@@ -1,0 +1,114 @@
+// Command darwin-assemble runs the full de novo
+// overlap-layout-consensus pipeline: Darwin's overlap step (D-SOFT +
+// GACT over the concatenated read set), greedy layout, read splicing,
+// and iterative majority-vote polishing. Contigs are written as FASTA.
+//
+// Usage:
+//
+//	darwin-assemble -reads reads.fq -out contigs.fa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"darwin/internal/core"
+	"darwin/internal/dna"
+	"darwin/internal/olc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-assemble:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	readsPath := flag.String("reads", "", "reads FASTA/FASTQ (required)")
+	k := flag.Int("k", 12, "D-SOFT seed size k")
+	n := flag.Int("n", 1300, "D-SOFT seeds per query strand N")
+	h := flag.Int("h", 24, "D-SOFT base-count threshold h")
+	stride := flag.Int("stride", 4, "D-SOFT seed stride (spread N seeds across the whole read)")
+	minOverlap := flag.Int("min-overlap", 1000, "minimum overlap length")
+	polishRounds := flag.Int("polish", 2, "consensus polishing rounds (0 disables)")
+	minContig := flag.Int("min-contig", 0, "discard contigs shorter than this")
+	out := flag.String("out", "", "output FASTA path (default stdout)")
+	flag.Parse()
+
+	if *readsPath == "" {
+		return fmt.Errorf("-reads is required")
+	}
+	f, err := os.Open(*readsPath)
+	if err != nil {
+		return err
+	}
+	var recs []dna.Record
+	if strings.HasSuffix(*readsPath, ".fq") || strings.HasSuffix(*readsPath, ".fastq") {
+		recs, err = dna.ReadFASTQ(f)
+	} else {
+		recs, err = dna.ReadFASTA(f)
+	}
+	f.Close()
+	if err != nil {
+		return err
+	}
+	seqs := make([]dna.Seq, len(recs))
+	readLens := make([]int, len(recs))
+	for i := range recs {
+		seqs[i] = recs[i].Seq
+		readLens[i] = len(recs[i].Seq)
+	}
+
+	cfg := core.DefaultConfig(*k, *n, *h)
+	cfg.SeedStride = *stride
+	start := time.Now()
+	ovp, err := core.NewOverlapper(seqs, cfg)
+	if err != nil {
+		return err
+	}
+	overlaps, stats := ovp.FindOverlaps(*minOverlap / 2)
+	fmt.Fprintf(os.Stderr, "darwin-assemble: overlap step %s (%d overlaps, table build %s)\n",
+		time.Since(start).Round(time.Millisecond), len(overlaps), stats.TableBuildTime.Round(time.Millisecond))
+
+	layout := olc.BuildLayout(readLens, overlaps)
+	fmt.Fprintf(os.Stderr, "darwin-assemble: layout %s\n", olc.Summarize(layout))
+
+	var outRecs []dna.Record
+	for ci, contig := range layout.Contigs {
+		if contig.Len < *minContig {
+			continue
+		}
+		seq := olc.Splice(seqs, contig)
+		for round := 0; round < *polishRounds && len(contig.Placements) > 1; round++ {
+			polished, err := olc.Polish(seq, seqs, cfg)
+			if err != nil {
+				return err
+			}
+			seq = polished
+		}
+		outRecs = append(outRecs, dna.Record{
+			Name: fmt.Sprintf("contig_%d", ci),
+			Desc: fmt.Sprintf("reads=%d len=%d", len(contig.Placements), len(seq)),
+			Seq:  seq,
+		})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := dna.WriteFASTA(w, outRecs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "darwin-assemble: wrote %d contigs\n", len(outRecs))
+	return nil
+}

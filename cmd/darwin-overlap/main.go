@@ -1,0 +1,94 @@
+// Command darwin-overlap runs the overlap step of de novo assembly
+// (Figure 6 right): reads are concatenated into a padded reference and
+// every read is queried against it with D-SOFT + GACT. Overlaps are
+// written in a PAF-like TSV.
+//
+// Usage:
+//
+//	darwin-overlap -reads reads.fq -k 12 -n 1300 -h 24 > overlaps.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"darwin/internal/core"
+	"darwin/internal/dna"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-overlap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	readsPath := flag.String("reads", "", "reads FASTA/FASTQ (required)")
+	k := flag.Int("k", 12, "D-SOFT seed size k")
+	n := flag.Int("n", 1300, "D-SOFT seeds per query strand N")
+	h := flag.Int("h", 24, "D-SOFT base-count threshold h")
+	stride := flag.Int("stride", 4, "D-SOFT seed stride (spread N seeds across the whole read)")
+	minOverlap := flag.Int("min-overlap", 1000, "minimum reported overlap length")
+	out := flag.String("out", "", "output TSV path (default stdout)")
+	flag.Parse()
+
+	if *readsPath == "" {
+		return fmt.Errorf("-reads is required")
+	}
+	f, err := os.Open(*readsPath)
+	if err != nil {
+		return err
+	}
+	var recs []dna.Record
+	if strings.HasSuffix(*readsPath, ".fq") || strings.HasSuffix(*readsPath, ".fastq") {
+		recs, err = dna.ReadFASTQ(f)
+	} else {
+		recs, err = dna.ReadFASTA(f)
+	}
+	f.Close()
+	if err != nil {
+		return err
+	}
+	seqs := make([]dna.Seq, len(recs))
+	for i := range recs {
+		seqs[i] = recs[i].Seq
+	}
+
+	cfg := core.DefaultConfig(*k, *n, *h)
+	cfg.SeedStride = *stride
+	ov, err := core.NewOverlapper(seqs, cfg)
+	if err != nil {
+		return err
+	}
+	overlaps, stats := ov.FindOverlaps(*minOverlap)
+	fmt.Fprintf(os.Stderr, "darwin-overlap: table build %s, %d overlaps among %d reads\n",
+		stats.TableBuildTime, len(overlaps), len(recs))
+
+	var w *bufio.Writer
+	if *out == "" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = bufio.NewWriter(of)
+	}
+	fmt.Fprintln(w, "target\tquery\tstrand\ttarget_start\ttarget_end\tquery_start\tquery_end\tscore")
+	for i := range overlaps {
+		o := &overlaps[i]
+		strand := "+"
+		if o.QueryRev {
+			strand = "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			recs[o.Target].Name, recs[o.Query].Name, strand,
+			o.TargetStart, o.TargetEnd, o.QueryStart, o.QueryEnd, o.Score)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,141 @@
+// Command darwin is the reference-guided long-read mapper: D-SOFT
+// filtering plus GACT tiled alignment (the software realization of the
+// paper's co-processor pipeline, Figure 6 left). Reads FASTA/FASTQ,
+// writes SAM.
+//
+// Usage:
+//
+//	darwin -ref ref.fa -reads reads.fq -k 12 -n 750 -h 24 > out.sam
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"darwin/internal/core"
+	"darwin/internal/dna"
+	"darwin/internal/sam"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "darwin:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	refPath := flag.String("ref", "", "reference FASTA (required)")
+	readsPath := flag.String("reads", "", "reads FASTA/FASTQ (required)")
+	k := flag.Int("k", 12, "D-SOFT seed size k")
+	n := flag.Int("n", 750, "D-SOFT seeds per query strand N")
+	h := flag.Int("h", 24, "D-SOFT base-count threshold h")
+	hTile := flag.Int("htile", 90, "first GACT tile score threshold (0 disables)")
+	tileT := flag.Int("T", 320, "GACT tile size T")
+	tileO := flag.Int("O", 128, "GACT tile overlap O")
+	out := flag.String("out", "", "output SAM path (default stdout)")
+	allAlignments := flag.Bool("all", false, "report all alignments, not just the best")
+	flag.Parse()
+
+	if *refPath == "" || *readsPath == "" {
+		return fmt.Errorf("-ref and -reads are required")
+	}
+	refRecs, err := readSeqFile(*refPath)
+	if err != nil {
+		return err
+	}
+	if len(refRecs) == 0 {
+		return fmt.Errorf("no sequences in %s", *refPath)
+	}
+
+	cfg := core.DefaultConfig(*k, *n, *h)
+	cfg.HTile = *hTile
+	cfg.GACT.T = *tileT
+	cfg.GACT.O = *tileO
+	engine, ref, err := core.NewMulti(refRecs, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "darwin: indexed %d sequences, %d bp (k=%d) in %s\n",
+		ref.NumSeqs(), len(ref.Seq()), *k, engine.TableBuildTime)
+
+	reads, err := readSeqFile(*readsPath)
+	if err != nil {
+		return err
+	}
+
+	sqs := make([]sam.RefSeq, ref.NumSeqs())
+	for i := range sqs {
+		sqs[i] = sam.RefSeq{Name: ref.Name(i), Len: ref.Len(i)}
+	}
+	var w *sam.Writer
+	if *out == "" {
+		w = sam.NewWriter(os.Stdout, sqs, "darwin")
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = sam.NewWriter(f, sqs, "darwin")
+	}
+
+	mapped := 0
+	for _, rec := range reads {
+		alns, _ := engine.MapRead(rec.Seq)
+		if len(alns) == 0 {
+			if err := w.Write(sam.Record{QName: rec.Name, Flag: sam.FlagUnmapped, Seq: rec.Seq}); err != nil {
+				return err
+			}
+			continue
+		}
+		mapped++
+		emit := alns[:1]
+		if *allAlignments {
+			emit = alns
+		}
+		for _, a := range emit {
+			seqIdx, localStart, _, err := ref.LocateSpan(a.Result.RefStart, a.Result.RefEnd)
+			if err != nil {
+				continue // degenerate cross-sequence span
+			}
+			flagBits := 0
+			seq := rec.Seq
+			if a.Reverse {
+				flagBits |= sam.FlagReverse
+				seq = dna.RevComp(seq)
+			}
+			if err := w.Write(sam.Record{
+				QName: rec.Name,
+				Flag:  flagBits,
+				RName: ref.Name(seqIdx),
+				Pos:   localStart,
+				MapQ:  60,
+				Cigar: sam.CigarWithClips(a.Result.Cigar, a.Result.QueryStart, a.Result.QueryEnd, len(seq)),
+				Seq:   seq,
+				Tags:  []string{fmt.Sprintf("AS:i:%d", a.Result.Score), fmt.Sprintf("ft:i:%d", a.FirstTileScore)},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "darwin: mapped %d/%d reads\n", mapped, len(reads))
+	return nil
+}
+
+func readSeqFile(path string) ([]dna.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".fq") || strings.HasSuffix(path, ".fastq") {
+		return dna.ReadFASTQ(f)
+	}
+	return dna.ReadFASTA(f)
+}

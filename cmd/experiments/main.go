@@ -1,0 +1,62 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results).
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table4 -genome-len 2000000 -reads 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darwin/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	id := flag.String("run", "all", "experiment id (table1..table4, fig9a..fig13) or 'all' or 'list'")
+	genomeLen := flag.Int("genome-len", 0, "synthetic genome length (0 = default)")
+	reads := flag.Int("reads", 0, "reads per class (0 = default)")
+	readLen := flag.Int("read-len", 0, "mean read length (0 = default)")
+	seed := flag.Int64("seed", 42, "random seed")
+	quick := flag.Bool("quick", false, "shrink workloads")
+	values := flag.Bool("values", false, "also print machine-readable headline values")
+	flag.Parse()
+
+	o := experiments.Options{
+		GenomeLen: *genomeLen,
+		Reads:     *reads,
+		ReadLen:   *readLen,
+		Seed:      *seed,
+		Quick:     *quick,
+	}
+
+	if *id == "list" {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Doc)
+		}
+		return nil
+	}
+	if *id == "all" {
+		return experiments.RunAll(os.Stdout, o)
+	}
+	res, err := experiments.Run(*id, o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== %s (%.1fs)\n%s\n", res.ID, res.Elapsed.Seconds(), res.Report)
+	if *values {
+		fmt.Print(experiments.FormatValues(res))
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command genomesim generates a synthetic genome in FASTA format, the
+// stand-in for GRCh38/C. elegans in this reproduction (see DESIGN.md,
+// "Substitutions"). It can additionally derive a diverged sample
+// genome (SNPs, indels, structural variants) to exercise
+// reference-vs-sample divergence.
+//
+// Usage:
+//
+//	genomesim -len 1000000 -out ref.fa
+//	genomesim -len 1000000 -out ref.fa -sample sample.fa -sv 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darwin/internal/dna"
+	"darwin/internal/genome"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "genomesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	length := flag.Int("len", 1_000_000, "genome length in bp")
+	gc := flag.Float64("gc", 0.41, "GC content")
+	repeatFrac := flag.Float64("repeat-fraction", 0.25, "fraction of genome covered by planted repeats")
+	families := flag.Int("repeat-families", 8, "number of interspersed repeat families")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output FASTA path (default stdout)")
+	name := flag.String("name", "synthetic", "sequence name")
+	samplePath := flag.String("sample", "", "also write a diverged sample genome to this path")
+	snpRate := flag.Float64("snp-rate", 0.001, "sample SNP rate")
+	indelRate := flag.Float64("indel-rate", 0.0001, "sample small-indel rate")
+	svCount := flag.Int("sv", 4, "sample structural variant count")
+	flag.Parse()
+
+	g, err := genome.Generate(genome.Config{
+		Length:           *length,
+		GC:               *gc,
+		RepeatFraction:   *repeatFrac,
+		RepeatFamilies:   *families,
+		RepeatUnitLen:    300,
+		RepeatDivergence: 0.10,
+		TandemFraction:   0.10,
+		Seed:             *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeFASTA(*out, []dna.Record{{Name: *name, Desc: fmt.Sprintf("len=%d gc=%.2f seed=%d", *length, *gc, *seed), Seq: g.Seq}}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "genomesim: wrote %d bp (%d repeat intervals)\n", len(g.Seq), len(g.RepeatIntervals))
+
+	if *samplePath != "" {
+		sample, vars, err := genome.ApplyVariants(g.Seq, genome.VariantConfig{
+			SNPRate:        *snpRate,
+			SmallIndelRate: *indelRate,
+			SVCount:        *svCount,
+			SVMeanLen:      2000,
+			Seed:           *seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeFASTA(*samplePath, []dna.Record{{Name: *name + "_sample", Desc: fmt.Sprintf("%d variants", len(vars)), Seq: sample}}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "genomesim: wrote sample with %d variants\n", len(vars))
+	}
+	return nil
+}
+
+func writeFASTA(path string, recs []dna.Record) error {
+	if path == "" {
+		return dna.WriteFASTA(os.Stdout, recs)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dna.WriteFASTA(f, recs); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,13 @@
+// Package darwin is the root of a from-scratch Go reproduction of
+// "Darwin: A Genomics Co-processor Provides up to 15,000× acceleration
+// on long read assembly" (Turakhia, Bejerano, Dally; ASPLOS 2018).
+//
+// The library lives under internal/: dna, genome, readsim (workload
+// substrates), seedtable, dsoft, align, gact, fmindex (the algorithms),
+// hw (the calibrated ASIC/FPGA performance model), baseline (GraphMap/
+// BWA-MEM/DALIGNER-class comparisons), core (the Darwin engine),
+// assembly, olc, wga, metrics, experiments. Executables are in cmd/,
+// runnable examples in examples/, and bench_test.go regenerates each
+// paper table and figure as a benchmark. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package darwin

@@ -1,0 +1,89 @@
+// Reference-guided assembly example: the paper's headline workload
+// (Table 4, top). Simulates a reads-vs-reference workload for all
+// three read classes, maps with Darwin and with the class-appropriate
+// baseline, evaluates sensitivity/precision against ground truth with
+// the 50 bp criterion, and reports the modeled ASIC throughput and
+// speedup per the paper's estimation methodology.
+//
+// Run with: go run ./examples/refguided
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"darwin/internal/assembly"
+	"darwin/internal/baseline"
+	"darwin/internal/core"
+	"darwin/internal/genome"
+	"darwin/internal/hw"
+	"darwin/internal/readsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const genomeLen = 500_000
+	const readLen = 4000
+	const readsPerClass = 25
+
+	g, err := genome.Generate(genome.Config{Length: genomeLen, GC: 0.41, RepeatFraction: 0.25,
+		RepeatFamilies: 8, RepeatUnitLen: 300, RepeatDivergence: 0.1, TandemFraction: 0.1, Seed: 11})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Reference: synthetic %d bp genome (GRCh38 stand-in)\n\n", genomeLen)
+	estimator := hw.NewDarwin()
+
+	// Per-class D-SOFT settings, as in Table 4 (scaled to this genome).
+	settings := map[string][3]int{
+		"PacBio": {12, readLen / 8, 24},
+		"ONT_2D": {11, readLen / 6, 25},
+		"ONT_1D": {10, readLen / 3, 22},
+	}
+
+	for _, p := range readsim.Profiles {
+		reads, err := readsim.SimulateN(g.Seq, readsPerClass, readsim.Config{
+			Profile: p, MeanLen: readLen, LenSpread: 0.1, Seed: 12,
+		})
+		if err != nil {
+			return err
+		}
+		s := settings[p.Name]
+		engine, err := core.New(g.Seq, core.DefaultConfig(s[0], s[1], s[2]))
+		if err != nil {
+			return err
+		}
+		dm := assembly.NewDarwinMapper(engine)
+		dRes := assembly.EvaluateRefGuided(dm, reads)
+
+		var bRes assembly.RefGuidedResult
+		if p.Name == "PacBio" {
+			bw, err := baseline.NewBWAMemLike(g.Seq, baseline.DefaultBWAMemConfig())
+			if err != nil {
+				return err
+			}
+			bRes = assembly.EvaluateRefGuided(assembly.BWAMemMapper{B: bw}, reads)
+		} else {
+			gm, err := baseline.NewGraphMapLike(g.Seq, baseline.DefaultGraphMapConfig())
+			if err != nil {
+				return err
+			}
+			bRes = assembly.EvaluateRefGuided(assembly.GraphMapMapper{G: gm}, reads)
+		}
+
+		est := estimator.Estimate(dm.Workload())
+		fmt.Printf("%s (%.0f%% error), D-SOFT (k=%d, N=%d, h=%d):\n", p.Name, p.Total()*100, s[0], s[1], s[2])
+		fmt.Printf("  %-15s sensitivity %5.1f%%  precision %5.1f%%  %8.2f reads/s (measured)\n",
+			bRes.Mapper, bRes.Confusion.Sensitivity()*100, bRes.Confusion.Precision()*100, bRes.ReadsPerSec)
+		fmt.Printf("  %-15s sensitivity %5.1f%%  precision %5.1f%%  %8.2f reads/s (measured software)\n",
+			"darwin", dRes.Confusion.Sensitivity()*100, dRes.Confusion.Precision()*100, dRes.ReadsPerSec)
+		fmt.Printf("  darwin ASIC model: %.0f reads/s (bottleneck %s) => %.0f× vs %s\n\n",
+			est.ReadsPerSec, est.Bottleneck, est.ReadsPerSec/bRes.ReadsPerSec, bRes.Mapper)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module darwin
+
+go 1.22

@@ -1,0 +1,179 @@
+// End-to-end integration test of the command-line tools: build each
+// binary and drive the full workflow — synthesize a genome, simulate
+// reads, map them (SAM), find overlaps, assemble contigs — checking
+// each stage's outputs. Run with: go test -run TestCLIPipeline
+package darwin_test
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"darwin/internal/dna"
+)
+
+// buildTool compiles one cmd into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds binaries")
+	}
+	dir := t.TempDir()
+	genomesim := buildTool(t, dir, "genomesim")
+	readsim := buildTool(t, dir, "readsim")
+	darwin := buildTool(t, dir, "darwin")
+	overlap := buildTool(t, dir, "darwin-overlap")
+	assemble := buildTool(t, dir, "darwin-assemble")
+
+	refPath := filepath.Join(dir, "ref.fa")
+	runTool(t, genomesim, "-len", "80000", "-seed", "5", "-out", refPath)
+	recs := readFASTA(t, refPath)
+	if len(recs) != 1 || len(recs[0].Seq) != 80000 {
+		t.Fatalf("genomesim output wrong: %d records", len(recs))
+	}
+
+	readsPath := filepath.Join(dir, "reads.fq")
+	truthPath := filepath.Join(dir, "truth.tsv")
+	runTool(t, readsim, "-ref", refPath, "-profile", "pacbio", "-n", "40",
+		"-len", "2500", "-seed", "6", "-out", readsPath, "-truth", truthPath)
+
+	// Mapping: every read line must reference the synthetic sequence
+	// and the majority must map within 50 bp of the recorded truth.
+	samPath := filepath.Join(dir, "out.sam")
+	runTool(t, darwin, "-ref", refPath, "-reads", readsPath,
+		"-k", "11", "-n", "600", "-h", "20", "-out", samPath)
+	truth := readTruth(t, truthPath)
+	f, err := os.Open(samPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	mapped, correct := 0, 0
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "@") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 11 {
+			t.Fatalf("short SAM line: %q", line)
+		}
+		flag, _ := strconv.Atoi(fields[1])
+		if flag&0x4 != 0 {
+			continue
+		}
+		mapped++
+		pos, _ := strconv.Atoi(fields[3])
+		want, ok := truth[fields[0]]
+		if !ok {
+			t.Fatalf("unknown read %q in SAM", fields[0])
+		}
+		if pos-1 >= want-50 && pos-1 <= want+50 {
+			correct++
+		}
+	}
+	if mapped < 35 {
+		t.Errorf("only %d/40 reads mapped", mapped)
+	}
+	if correct < mapped*9/10 {
+		t.Errorf("only %d/%d mapped reads at the true position", correct, mapped)
+	}
+
+	// Overlap step over denser reads.
+	ovReadsPath := filepath.Join(dir, "ovreads.fq")
+	runTool(t, readsim, "-ref", refPath, "-profile", "pacbio", "-n", "200",
+		"-len", "2500", "-seed", "7", "-out", ovReadsPath)
+	ovPath := filepath.Join(dir, "ov.tsv")
+	runTool(t, overlap, "-reads", ovReadsPath, "-k", "11", "-n", "700", "-h", "20",
+		"-stride", "3", "-min-overlap", "800", "-out", ovPath)
+	ovData, err := os.ReadFile(ovPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovLines := strings.Count(string(ovData), "\n")
+	if ovLines < 100 {
+		t.Errorf("only %d overlap lines for a 6x workload", ovLines)
+	}
+
+	// Assembly: expect few contigs, largest a sizable fraction of the
+	// genome.
+	asmPath := filepath.Join(dir, "contigs.fa")
+	runTool(t, assemble, "-reads", ovReadsPath, "-k", "11", "-n", "700", "-h", "20",
+		"-stride", "3", "-min-overlap", "800", "-polish", "1", "-out", asmPath)
+	contigs := readFASTA(t, asmPath)
+	if len(contigs) == 0 {
+		t.Fatal("no contigs")
+	}
+	longest := 0
+	for _, c := range contigs {
+		if len(c.Seq) > longest {
+			longest = len(c.Seq)
+		}
+	}
+	if longest < 40000 {
+		t.Errorf("largest contig %d bp, want ≥ half the 80 kbp genome", longest)
+	}
+}
+
+func readFASTA(t *testing.T, path string) []dna.Record {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := dna.ReadFASTA(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func readTruth(t *testing.T, path string) map[string]int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) < 3 || fields[0] == "name" {
+			continue
+		}
+		start, err := strconv.Atoi(fields[1])
+		if err != nil {
+			t.Fatalf("bad truth line %q", sc.Text())
+		}
+		out[fields[0]] = start
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package align
+
+import (
+	"fmt"
+
+	"darwin/internal/dna"
+)
+
+// BandedGlobal aligns query against ref end-to-end (Needleman-Wunsch
+// with affine gaps) restricted to a band of half-width band around the
+// corner-to-corner diagonal. This is the Chao-Pearson-Miller heuristic
+// the paper cites as the classic linear-space/time alternative to full
+// Smith-Waterman; the baseline mappers use it for candidate extension.
+//
+// If the optimal path leaves the band the returned alignment is the
+// best within-band path, as with any banded heuristic. The band is
+// automatically widened to cover the length difference between the
+// sequences, without which no global path exists.
+func BandedGlobal(ref, query dna.Seq, band int, sc *Scoring) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := len(ref), len(query)
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("align: empty sequence (ref %d, query %d)", n, m)
+	}
+	if band < 1 {
+		band = 1
+	}
+	// The global path must bridge the length difference.
+	if d := n - m; d > 0 && band < d+1 {
+		band = d + 1
+	} else if d < 0 && band < -d+1 {
+		band = -d + 1
+	}
+	// Band geometry: row j covers columns [center-band, center+band]
+	// where center tracks the corner-to-corner diagonal.
+	width := 2*band + 1
+	center := func(j int) int {
+		if m == 0 {
+			return 0
+		}
+		return j * n / m
+	}
+	// Storage: H, V (vertical gap), pointers, per banded cell.
+	hCur := make([]int, width)
+	hPrev := make([]int, width)
+	vPrev := make([]int, width)
+	ptr := make([]byte, (m+1)*width)
+	colOf := func(j, i int) int { return i - center(j) + band } // band-local index
+
+	gapCost := func(l int) int {
+		if l <= 0 {
+			return 0
+		}
+		return sc.GapOpen + (l-1)*sc.GapExtend
+	}
+
+	// Row 0: H(0,i) = -gapCost(i).
+	for c := 0; c < width; c++ {
+		i := c - band + center(0)
+		if i < 0 || i > n {
+			hPrev[c] = negInf
+			vPrev[c] = negInf
+			continue
+		}
+		hPrev[c] = -gapCost(i)
+		vPrev[c] = negInf
+		if i > 0 {
+			ptr[c] = hHoriz | horizOpenBit
+			if i > 1 {
+				ptr[c] = hHoriz // extension
+			}
+		}
+	}
+	for j := 1; j <= m; j++ {
+		cPrevRowShift := center(j) - center(j-1)
+		rowPtr := ptr[j*width:]
+		hGapPrev := negInf
+		for c := 0; c < width; c++ {
+			i := c - band + center(j)
+			if i < 0 || i > n {
+				hCur[c] = negInf
+				continue
+			}
+			var p byte
+			// Previous-row band-local indices for (j-1, i) and (j-1, i-1).
+			up := c + cPrevRowShift
+			diagC := up - 1
+
+			if i == 0 {
+				// First column: an all-vertical-gap prefix.
+				hCur[c] = -gapCost(j)
+				rowPtr[c] = hVert
+				if j == 1 {
+					rowPtr[c] |= vertOpenBit
+				}
+				vPrev[c] = hCur[c]
+				hGapPrev = negInf
+				continue
+			}
+
+			// Horizontal gap from (j, i-1).
+			hOpen, hExt := negInf, negInf
+			if c-1 >= 0 && hCur[c-1] > negInf/2 {
+				hOpen = hCur[c-1] - sc.GapOpen
+			}
+			if hGapPrev > negInf/2 {
+				hExt = hGapPrev - sc.GapExtend
+			}
+			hGap := hExt
+			if hOpen >= hExt {
+				hGap = hOpen
+				p |= horizOpenBit
+			}
+
+			// Vertical gap from (j-1, i).
+			vOpen, vExt := negInf, negInf
+			if up >= 0 && up < width && hPrev[up] > negInf/2 {
+				vOpen = hPrev[up] - sc.GapOpen
+			}
+			if up >= 0 && up < width && vPrev[up] > negInf/2 {
+				vExt = vPrev[up] - sc.GapExtend
+			}
+			vGap := vExt
+			if vOpen >= vExt {
+				vGap = vOpen
+				p |= vertOpenBit
+			}
+
+			diagScore := negInf
+			if diagC >= 0 && diagC < width && hPrev[diagC] > negInf/2 {
+				diagScore = hPrev[diagC] + sc.Sub(ref[i-1], query[j-1])
+			}
+
+			best, src := diagScore, byte(hDiag)
+			if hGap > best {
+				best, src = hGap, hHoriz
+			}
+			if vGap > best {
+				best, src = vGap, hVert
+			}
+			p |= src
+			rowPtr[c] = p
+			hCur[c] = best
+			hGapPrev = hGap
+			// Store vGap for the next row at this absolute column: we
+			// stash it in vPrev after the row completes, band-aligned.
+			vPrev[c] = vGap
+		}
+		// Re-align vPrev/hPrev to absolute columns for the next row:
+		// both arrays are indexed band-locally for row j now.
+		hPrev, hCur = hCur, hPrev
+	}
+
+	// Traceback from (m, n) using banded pointers.
+	endC := colOf(m, n)
+	if endC < 0 || endC >= width || hPrev[endC] <= negInf/2 {
+		return nil, fmt.Errorf("align: band %d too narrow for a global path", band)
+	}
+	score := hPrev[endC]
+	var cigar Cigar
+	i, j := n, m
+	state := stateH
+	for i > 0 || j > 0 {
+		c := colOf(j, i)
+		if c < 0 || c >= width {
+			return nil, fmt.Errorf("align: traceback left the band at (%d,%d)", i, j)
+		}
+		p := ptr[j*width+c]
+		switch state {
+		case stateH:
+			switch p & hMask {
+			case hDiag:
+				cigar = cigar.AppendOp(OpMatch)
+				i--
+				j--
+			case hHoriz:
+				state = hHoriz
+			case hVert:
+				state = hVert
+			default:
+				return nil, fmt.Errorf("align: null pointer inside global traceback at (%d,%d)", i, j)
+			}
+		case hHoriz:
+			cigar = cigar.AppendOp(OpDel)
+			open := p&horizOpenBit != 0
+			i--
+			if open {
+				state = stateH
+			}
+		case hVert:
+			cigar = cigar.AppendOp(OpIns)
+			open := p&vertOpenBit != 0
+			j--
+			if open {
+				state = stateH
+			}
+		}
+	}
+	res := &Result{
+		Score:    score,
+		RefStart: 0, RefEnd: n,
+		QueryStart: 0, QueryEnd: m,
+		Cigar: cigar.Reverse(),
+	}
+	return res, nil
+}

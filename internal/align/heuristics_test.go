@@ -1,0 +1,144 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"darwin/internal/dna"
+)
+
+func TestHirschbergMatchesGlobalOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 40; trial++ {
+		ref := dna.Random(rng, 2+rng.Intn(80), 0.5)
+		query := mutate(rng, ref, 0.3)
+		sc := Simple(1+trial%2, 1, 1)
+		res, err := Hirschberg(ref, query, &sc)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Check(ref, query); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := naiveGlobalScore(ref, query, &sc)
+		if res.Score != want {
+			t.Fatalf("trial %d: Hirschberg %d, oracle %d\nref=%s\nq=%s\ncigar=%s",
+				trial, res.Score, want, ref, query, res.Cigar)
+		}
+		if res.RefEnd != len(ref) || res.QueryEnd != len(query) {
+			t.Fatalf("trial %d: global alignment must consume both sequences", trial)
+		}
+	}
+}
+
+func TestHirschbergEdgeCases(t *testing.T) {
+	sc := Simple(1, 1, 1)
+	res, err := Hirschberg(dna.NewSeq("ACGT"), dna.NewSeq("A"), &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(dna.NewSeq("ACGT"), dna.NewSeq("A")); err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != naiveGlobalScore(dna.NewSeq("ACGT"), dna.NewSeq("A"), &sc) {
+		t.Errorf("single-base query score %d", res.Score)
+	}
+	if _, err := Hirschberg(nil, dna.NewSeq("A"), &sc); err == nil {
+		t.Error("empty ref should error")
+	}
+	affine := Simple(1, 1, 3)
+	affine.GapExtend = 1
+	if _, err := Hirschberg(dna.NewSeq("AC"), dna.NewSeq("AC"), &affine); err == nil {
+		t.Error("affine gaps should be rejected")
+	}
+}
+
+func TestHirschbergLinearSpaceLongInput(t *testing.T) {
+	// 20 kbp pair: quadratic space would need 400M cells; linear-space
+	// recursion must handle it comfortably.
+	rng := rand.New(rand.NewSource(142))
+	ref := dna.Random(rng, 20000, 0.5)
+	query := mutate(rng, ref, 0.1)
+	sc := Simple(1, 1, 1)
+	res, err := Hirschberg(ref, query, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(ref, query); err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < len(ref)/2 {
+		t.Errorf("score %d unexpectedly low for 10%% divergence", res.Score)
+	}
+}
+
+func TestXDropExtendsSimilarSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	ref := dna.Random(rng, 3000, 0.5)
+	query := mutate(rng, ref, 0.1)
+	// Subcritical scoring, as BLAST pairs with X-drop: with (1,-1,-1)
+	// local scores drift upward even on random DNA and the extension
+	// would never terminate.
+	sc := Simple(1, 2, 2)
+	res, err := XDrop(ref, query, 50, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RefEnd < len(ref)*9/10 {
+		t.Errorf("extension ended at %d / %d", res.RefEnd, len(ref))
+	}
+	if res.Score <= 0 {
+		t.Errorf("score = %d", res.Score)
+	}
+	// X-drop is a heuristic: never above the optimal local score.
+	if opt := ScoreOnly(ref, query, &sc); res.Score > opt {
+		t.Errorf("X-drop %d exceeds optimal %d", res.Score, opt)
+	}
+}
+
+func TestXDropStopsOnJunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(144))
+	// 500 similar bases then unrelated sequence: extension must stop
+	// near the boundary instead of crossing the junk.
+	common := dna.Random(rng, 500, 0.5)
+	ref := append(common.Clone(), dna.Random(rng, 2000, 0.5)...)
+	query := append(mutate(rng, common, 0.05), dna.Random(rng, 2000, 0.5)...)
+	sc := Simple(1, 2, 2)
+	res, err := XDrop(ref, query, 30, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RefEnd < 400 || res.RefEnd > 700 {
+		t.Errorf("extension end %d, want near the 500-base boundary", res.RefEnd)
+	}
+}
+
+func TestXDropBandNarrowerThanFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(145))
+	ref := dna.Random(rng, 1000, 0.5)
+	query := mutate(rng, ref, 0.05)
+	sc := Simple(1, 2, 2)
+	res, err := XDrop(ref, query, 20, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := int64(len(ref)) * int64(len(query))
+	if res.CellsComputed >= full/2 {
+		t.Errorf("X-drop computed %d cells, full matrix is %d — pruning ineffective", res.CellsComputed, full)
+	}
+}
+
+func TestXDropErrors(t *testing.T) {
+	sc := Simple(1, 1, 1)
+	if _, err := XDrop(nil, dna.NewSeq("A"), 10, &sc); err == nil {
+		t.Error("empty ref should error")
+	}
+	if _, err := XDrop(dna.NewSeq("A"), dna.NewSeq("A"), 0, &sc); err == nil {
+		t.Error("zero threshold should error")
+	}
+	affine := Simple(1, 1, 3)
+	affine.GapExtend = 1
+	if _, err := XDrop(dna.NewSeq("AC"), dna.NewSeq("AC"), 10, &affine); err == nil {
+		t.Error("affine gaps should be rejected")
+	}
+}

@@ -1,0 +1,109 @@
+package align
+
+import (
+	"fmt"
+
+	"darwin/internal/dna"
+)
+
+// Hirschberg computes an optimal global alignment in O(m+n) space via
+// divide and conquer — the classical linear-space alternative the
+// paper cites (Section 4) when motivating GACT: "Hirschberg's
+// algorithm can improve the space complexity to linear, but is rarely
+// used in practice because of its performance." It is implemented here
+// for linear gap penalties (GapOpen == GapExtend); affine gaps require
+// the Myers-Miller extension and a quadratic-space oracle covers that
+// case in this repository.
+//
+// The returned alignment consumes both sequences fully and scores
+// identically to the quadratic-space global aligner.
+func Hirschberg(ref, query dna.Seq, sc *Scoring) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.GapOpen != sc.GapExtend {
+		return nil, fmt.Errorf("align: Hirschberg requires linear gaps (open %d != extend %d)", sc.GapOpen, sc.GapExtend)
+	}
+	if len(ref) == 0 || len(query) == 0 {
+		return nil, fmt.Errorf("align: empty sequence (ref %d, query %d)", len(ref), len(query))
+	}
+	cigar := hirschbergRec(ref, query, sc)
+	res := &Result{
+		RefStart: 0, RefEnd: len(ref),
+		QueryStart: 0, QueryEnd: len(query),
+		Cigar: cigar,
+	}
+	res.Score = res.Rescore(ref, query, sc)
+	return res, nil
+}
+
+// nwScoreRow computes the last row of the global DP matrix of ref vs
+// query (linear gaps) in O(|ref|) space.
+func nwScoreRow(ref, query dna.Seq, sc *Scoring) []int {
+	gap := sc.GapExtend
+	prev := make([]int, len(ref)+1)
+	cur := make([]int, len(ref)+1)
+	for i := range prev {
+		prev[i] = -i * gap
+	}
+	for j := 1; j <= len(query); j++ {
+		cur[0] = -j * gap
+		qb := query[j-1]
+		for i := 1; i <= len(ref); i++ {
+			cur[i] = max(prev[i-1]+sc.Sub(ref[i-1], qb), max(prev[i]-gap, cur[i-1]-gap))
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+func hirschbergRec(ref, query dna.Seq, sc *Scoring) Cigar {
+	gap := sc.GapExtend
+	switch {
+	case len(query) == 0:
+		if len(ref) == 0 {
+			return nil
+		}
+		return Cigar{{OpDel, len(ref)}}
+	case len(ref) == 0:
+		return Cigar{{OpIns, len(query)}}
+	case len(query) == 1:
+		// Base case: align the single query base against the best ref
+		// position (or as an insertion).
+		bestScore := -gap * (len(ref) + 1) // all-gap option
+		bestPos := -1
+		for i := 0; i < len(ref); i++ {
+			s := sc.Sub(ref[i], query[0]) - gap*(len(ref)-1)
+			if s > bestScore {
+				bestScore = s
+				bestPos = i
+			}
+		}
+		if bestPos < 0 {
+			return Cigar{{OpIns, 1}}.Concat(Cigar{{OpDel, len(ref)}})
+		}
+		var c Cigar
+		if bestPos > 0 {
+			c = append(c, Step{OpDel, bestPos})
+		}
+		c = append(c, Step{OpMatch, 1})
+		if tail := len(ref) - bestPos - 1; tail > 0 {
+			c = c.Concat(Cigar{{OpDel, tail}})
+		}
+		return c
+	}
+	// Divide on the query midpoint; find the optimal reference split.
+	mid := len(query) / 2
+	top := nwScoreRow(ref, query[:mid], sc)
+	bot := nwScoreRow(dna.Reverse(ref), dna.Reverse(query[mid:]), sc)
+	split, best := 0, int(-1)<<62
+	for i := 0; i <= len(ref); i++ {
+		if s := top[i] + bot[len(ref)-i]; s > best {
+			best = s
+			split = i
+		}
+	}
+	left := hirschbergRec(ref[:split], query[:mid], sc)
+	right := hirschbergRec(ref[split:], query[mid:], sc)
+	return left.Concat(right)
+}

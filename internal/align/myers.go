@@ -1,0 +1,292 @@
+package align
+
+import (
+	"fmt"
+	"math/bits"
+
+	"darwin/internal/dna"
+)
+
+// EditMode selects the boundary conditions of the bit-vector aligner.
+type EditMode int
+
+const (
+	// EditGlobal aligns query against ref end-to-end (Needleman-Wunsch
+	// under unit costs) — Edlib's NW mode, used for the paper's
+	// Figure 10 pairwise-alignment comparison.
+	EditGlobal EditMode = iota
+	// EditInfix aligns the whole query against the best-matching
+	// substring of ref (Edlib's HW mode), the mapping-shaped variant.
+	EditInfix
+)
+
+// EditResult is an edit-distance alignment. Distance counts unit-cost
+// substitutions/insertions/deletions (lower is better) — the
+// Levenshtein scoring Edlib is restricted to, as the paper notes when
+// contrasting it with GACT's flexible scoring.
+type EditResult struct {
+	Distance             int
+	RefStart, RefEnd     int
+	QueryStart, QueryEnd int
+	Cigar                Cigar
+}
+
+// Myers computes the edit distance and alignment path between ref and
+// query with Myers' 1999 bit-vector algorithm, the algorithm class
+// Edlib implements. Time is O(⌈m/64⌉·n); the per-column Pv/Mv words are
+// retained so the traceback does not recompute the matrix.
+func Myers(ref, query dna.Seq, mode EditMode) (*EditResult, error) {
+	m, n := len(query), len(ref)
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("align: empty sequence (ref %d, query %d)", n, m)
+	}
+	blocks := (m + 63) / 64
+
+	// Peq[c][b]: bit i set iff query[b*64+i] has base code c. N rows
+	// match nothing (always an edit), like Edlib.
+	var peq [4][]uint64
+	for c := 0; c < 4; c++ {
+		peq[c] = make([]uint64, blocks)
+	}
+	for i := 0; i < m; i++ {
+		c := dna.Code(query[i])
+		if c < 4 {
+			peq[c][i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+
+	pv := make([]uint64, blocks)
+	mv := make([]uint64, blocks)
+	for b := range pv {
+		pv[b] = ^uint64(0)
+	}
+	// Column history for traceback: pvHist[j] / mvHist[j] hold the
+	// vertical delta words *after* processing column j (1-based).
+	pvHist := make([][]uint64, n+1)
+	mvHist := make([][]uint64, n+1)
+	pvHist[0] = append([]uint64(nil), pv...)
+	mvHist[0] = append([]uint64(nil), mv...)
+
+	hin0 := 1 // global: D(0,j) = j
+	if mode == EditInfix {
+		hin0 = 0 // infix: D(0,j) = 0
+	}
+
+	for j := 1; j <= n; j++ {
+		rc := dna.Code(ref[j-1])
+		hin := hin0
+		for b := 0; b < blocks; b++ {
+			var eq uint64
+			if rc < 4 {
+				eq = peq[rc][b]
+			}
+			pvB, mvB := pv[b], mv[b]
+			xv := eq | mvB
+			if hin < 0 {
+				eq |= 1
+			}
+			xh := (((eq & pvB) + pvB) ^ pvB) | eq
+			ph := mvB | ^(xh | pvB)
+			mh := pvB & xh
+
+			hout := 0
+			if ph&(1<<63) != 0 {
+				hout = 1
+			} else if mh&(1<<63) != 0 {
+				hout = -1
+			}
+			ph <<= 1
+			mh <<= 1
+			if hin > 0 {
+				ph |= 1
+			} else if hin < 0 {
+				mh |= 1
+			}
+			pv[b] = mh | ^(xv | ph)
+			mv[b] = ph & xv
+			hin = hout
+		}
+		pvHist[j] = append([]uint64(nil), pv...)
+		mvHist[j] = append([]uint64(nil), mv...)
+	}
+
+	// score returns D(i, j) by prefix-summing the stored vertical
+	// deltas of column j from the top boundary value D(0, j).
+	score := func(i, j int) int {
+		d := 0
+		if mode == EditGlobal {
+			d = j
+		}
+		pvJ, mvJ := pvHist[j], mvHist[j]
+		for b := 0; b*64 < i; b++ {
+			word := uint(min(64, i-b*64))
+			var mask uint64
+			if word == 64 {
+				mask = ^uint64(0)
+			} else {
+				mask = (uint64(1) << word) - 1
+			}
+			d += bits.OnesCount64(pvJ[b]&mask) - bits.OnesCount64(mvJ[b]&mask)
+		}
+		return d
+	}
+
+	// Pick the traceback start.
+	endJ := n
+	if mode == EditInfix {
+		best := score(m, 0)
+		endJ = 0
+		for j := 1; j <= n; j++ {
+			if d := score(m, j); d < best {
+				best = d
+				endJ = j
+			}
+		}
+	}
+	dist := score(m, endJ)
+
+	// Traceback by DP-value comparison.
+	var cigar Cigar
+	i, j := m, endJ
+	cur := dist
+	for i > 0 {
+		if j == 0 {
+			// Leading query bases with no text left are insertions
+			// (D(i,0) = i in both modes).
+			cigar = cigar.AppendOp(OpIns)
+			i--
+			cur--
+			continue
+		}
+		diag := score(i-1, j-1)
+		matchCost := 1
+		if dna.Code(ref[j-1]) == dna.Code(query[i-1]) && dna.Code(ref[j-1]) != dna.CodeN {
+			matchCost = 0
+		}
+		switch {
+		case cur == diag+matchCost:
+			cigar = cigar.AppendOp(OpMatch)
+			i--
+			j--
+			cur = diag
+		case cur == score(i, j-1)+1:
+			cigar = cigar.AppendOp(OpDel)
+			j--
+			cur--
+		case cur == score(i-1, j)+1:
+			cigar = cigar.AppendOp(OpIns)
+			i--
+			cur--
+		default:
+			return nil, fmt.Errorf("align: inconsistent traceback at (%d,%d)", i, j)
+		}
+	}
+	if mode == EditGlobal {
+		for j > 0 {
+			cigar = cigar.AppendOp(OpDel)
+			j--
+		}
+	}
+	res := &EditResult{
+		Distance:   dist,
+		RefStart:   j,
+		RefEnd:     endJ,
+		QueryStart: 0,
+		QueryEnd:   m,
+		Cigar:      cigar.Reverse(),
+	}
+	return res, nil
+}
+
+// EditDistance computes just the edit distance (no traceback, O(m/64)
+// memory) between ref and query in the given mode. For EditInfix it
+// returns the minimum distance over all ref substrings.
+func EditDistance(ref, query dna.Seq, mode EditMode) (int, error) {
+	m, n := len(query), len(ref)
+	if m == 0 || n == 0 {
+		return 0, fmt.Errorf("align: empty sequence (ref %d, query %d)", n, m)
+	}
+	blocks := (m + 63) / 64
+	var peq [4][]uint64
+	for c := 0; c < 4; c++ {
+		peq[c] = make([]uint64, blocks)
+	}
+	for i := 0; i < m; i++ {
+		c := dna.Code(query[i])
+		if c < 4 {
+			peq[c][i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	pv := make([]uint64, blocks)
+	mv := make([]uint64, blocks)
+	for b := range pv {
+		pv[b] = ^uint64(0)
+	}
+	hin0 := 1
+	if mode == EditInfix {
+		hin0 = 0
+	}
+	// D(m, j) is recovered per column from the boundary value D(0, j)
+	// plus the vertical-delta prefix sum over the column's Pv/Mv words
+	// (O(⌈m/64⌉) popcounts, same order as the column update itself).
+	lastBlock := blocks - 1
+	tailBits := uint(m - lastBlock*64)
+	var tailMask uint64
+	if tailBits == 64 {
+		tailMask = ^uint64(0)
+	} else {
+		tailMask = (uint64(1) << tailBits) - 1
+	}
+	bottom := m
+	best := bottom
+	for j := 1; j <= n; j++ {
+		rc := dna.Code(ref[j-1])
+		hin := hin0
+		for b := 0; b < blocks; b++ {
+			var eq uint64
+			if rc < 4 {
+				eq = peq[rc][b]
+			}
+			pvB, mvB := pv[b], mv[b]
+			xv := eq | mvB
+			if hin < 0 {
+				eq |= 1
+			}
+			xh := (((eq & pvB) + pvB) ^ pvB) | eq
+			ph := mvB | ^(xh | pvB)
+			mh := pvB & xh
+			hout := 0
+			if ph&(1<<63) != 0 {
+				hout = 1
+			} else if mh&(1<<63) != 0 {
+				hout = -1
+			}
+			ph <<= 1
+			mh <<= 1
+			if hin > 0 {
+				ph |= 1
+			} else if hin < 0 {
+				mh |= 1
+			}
+			pv[b] = mh | ^(xv | ph)
+			mv[b] = ph & xv
+			hin = hout
+		}
+		d := 0
+		if mode == EditGlobal {
+			d = j
+		}
+		for b := 0; b < lastBlock; b++ {
+			d += bits.OnesCount64(pv[b]) - bits.OnesCount64(mv[b])
+		}
+		d += bits.OnesCount64(pv[lastBlock]&tailMask) - bits.OnesCount64(mv[lastBlock]&tailMask)
+		bottom = d
+		if bottom < best {
+			best = bottom
+		}
+	}
+	if mode == EditInfix {
+		return best, nil
+	}
+	return bottom, nil
+}

@@ -1,0 +1,92 @@
+// Package align provides the alignment kernels Darwin builds on:
+//
+//   - a full affine-gap Smith-Waterman with traceback (the optimality
+//     oracle the paper compares GACT against, standing in for SeqAn);
+//   - the GACT tile aligner — the hardware-accelerated Align step of
+//     Algorithm 2, with traceback from either the maximum cell (first
+//     tile) or the bottom-right cell, clipped to T−O consumed bases;
+//   - a banded Smith-Waterman (the Chao et al. heuristic the paper
+//     cites, used by the baseline mappers);
+//   - Myers' bit-vector edit-distance algorithm with traceback (the
+//     Edlib baseline of Figure 10).
+//
+// Scoring follows the paper's hardware exactly (Section 7): a 4×4
+// substitution matrix W over {A,C,G,T}, affine gap parameters o (open)
+// and e (extend) applied as I(i,j)=max(H(i,j−1)−o, I(i,j−1)−e), and an
+// N base that never contributes to the score.
+package align
+
+import (
+	"fmt"
+
+	"darwin/internal/dna"
+)
+
+// Scoring holds the 18 parameters the GACT array is configured with:
+// 16 substitution scores plus gap open and gap extend.
+type Scoring struct {
+	// W is the substitution matrix indexed by base codes (A,C,G,T).
+	W [4][4]int
+	// GapOpen is the cost o of the first base of a gap.
+	GapOpen int
+	// GapExtend is the cost e of each further gap base.
+	GapExtend int
+}
+
+// Simple returns a uniform match/mismatch scoring with linear gaps
+// (open == extend == gap), e.g. Simple(1, 1, 1) is the paper's GACT
+// evaluation scheme (match=+1, mismatch=−1, gap=1).
+func Simple(match, mismatch, gap int) Scoring {
+	var s Scoring
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				s.W[i][j] = match
+			} else {
+				s.W[i][j] = -mismatch
+			}
+		}
+	}
+	s.GapOpen = gap
+	s.GapExtend = gap
+	return s
+}
+
+// Figure1 returns the scoring of the paper's Figure 1 example:
+// match=+2, mismatch=−1, gap=1.
+func Figure1() Scoring { return Simple(2, 1, 1) }
+
+// GACTEval returns the scoring used for the paper's GACT-vs-optimal
+// comparison (Section 8): match=+1, mismatch=−1, gap=1.
+func GACTEval() Scoring { return Simple(1, 1, 1) }
+
+// Sub returns the substitution score of aligning reference base r
+// against query base q. Pairs involving N contribute zero (Section 7).
+func (s *Scoring) Sub(r, q byte) int {
+	rc, qc := dna.Code(r), dna.Code(q)
+	if rc == dna.CodeN || qc == dna.CodeN {
+		return 0
+	}
+	return s.W[rc][qc]
+}
+
+// Validate reports scoring parameter combinations that break the
+// aligners' assumptions.
+func (s *Scoring) Validate() error {
+	if s.GapOpen < 0 || s.GapExtend < 0 {
+		return fmt.Errorf("align: negative gap penalties (open=%d extend=%d); penalties are costs and must be ≥ 0", s.GapOpen, s.GapExtend)
+	}
+	if s.GapExtend > s.GapOpen {
+		return fmt.Errorf("align: gap extend %d exceeds gap open %d; affine recurrence assumes e ≤ o", s.GapExtend, s.GapOpen)
+	}
+	pos := false
+	for i := 0; i < 4; i++ {
+		if s.W[i][i] > 0 {
+			pos = true
+		}
+	}
+	if !pos {
+		return fmt.Errorf("align: no positive match score; local alignment would be empty")
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package align
+
+import (
+	"fmt"
+
+	"darwin/internal/dna"
+)
+
+// XDropResult is the outcome of an X-drop extension.
+type XDropResult struct {
+	// Score is the best extension score found.
+	Score int
+	// RefEnd, QueryEnd are the numbers of reference/query bases
+	// consumed by the best-scoring extension.
+	RefEnd, QueryEnd int
+	// CellsComputed counts DP cells evaluated — the live-band memory/
+	// work footprint that, unlike GACT's O(T²), grows with divergence
+	// and length.
+	CellsComputed int64
+}
+
+// XDrop performs greedy seed extension from position (0, 0) of ref and
+// query, the heuristic of Zhang et al. that BLAST-family tools use
+// (cited in Section 4): the DP is evaluated antidiagonal by
+// antidiagonal, discarding cells whose score falls more than x below
+// the running best. Linear gap penalties (GapOpen == GapExtend).
+//
+// X-drop completes its matrix fill before any traceback, so traceback
+// memory grows with the extension length — the property that makes it
+// awkward in hardware and that GACT's tiling removes.
+func XDrop(ref, query dna.Seq, x int, sc *Scoring) (XDropResult, error) {
+	var res XDropResult
+	if err := sc.Validate(); err != nil {
+		return res, err
+	}
+	if sc.GapOpen != sc.GapExtend {
+		return res, fmt.Errorf("align: XDrop requires linear gaps (open %d != extend %d)", sc.GapOpen, sc.GapExtend)
+	}
+	if x <= 0 {
+		return res, fmt.Errorf("align: X-drop threshold %d must be positive", x)
+	}
+	if len(ref) == 0 || len(query) == 0 {
+		return res, fmt.Errorf("align: empty sequence (ref %d, query %d)", len(ref), len(query))
+	}
+	gap := sc.GapExtend
+
+	// Antidiagonal d holds cells (i, j) with i+j == d, i ∈ [lo, hi].
+	// scores[i-lo] is the running H; pruned cells are dropped from the
+	// live band by shrinking [lo, hi].
+	prev2 := []int{} // antidiagonal d-2
+	prev := []int{0} // antidiagonal d-1, starting from cell (0,0)
+	lo1, hi1 := 0, 0 // bounds of prev
+	lo2, hi2 := 0, -1
+	best := 0
+
+	for d := 1; d <= len(ref)+len(query); d++ {
+		// Only cells with a live parent on d-1 or d-2 can be alive.
+		nlo := max(max(0, d-len(query)), min(lo1, lo2+1))
+		nhi := min(min(len(ref), d), max(hi1+1, hi2+1))
+		cur := make([]int, 0, nhi-nlo+1)
+		clo, chi := -1, -2
+		for i := nlo; i <= nhi; i++ {
+			j := d - i
+			s := int(-1) << 40
+			// Horizontal: (i-1, j) on d-1, consumes ref.
+			if i-1 >= lo1 && i-1 <= hi1 {
+				s = max(s, prev[i-1-lo1]-gap)
+			}
+			// Vertical: (i, j-1) on d-1, consumes query.
+			if i >= lo1 && i <= hi1 {
+				s = max(s, prev[i-lo1]-gap)
+			}
+			// Diagonal: (i-1, j-1) on d-2.
+			if i-1 >= lo2 && i-1 <= hi2 && i >= 1 && j >= 1 {
+				s = max(s, prev2[i-1-lo2]+sc.Sub(ref[i-1], query[j-1]))
+			}
+			res.CellsComputed++
+			if s < best-x {
+				if clo < 0 {
+					continue // still trimming the leading edge
+				}
+				// Trailing edge pruned: but cells further along may
+				// revive via other paths; keep scanning with sentinel.
+				cur = append(cur, int(-1)<<40)
+				chi = i
+				continue
+			}
+			if clo < 0 {
+				clo = i
+			}
+			chi = i
+			cur = append(cur, s)
+			if s > best {
+				best = s
+				res.RefEnd, res.QueryEnd = i, j
+			}
+		}
+		if clo < 0 {
+			break // entire antidiagonal pruned: extension ends
+		}
+		// Trim sentinel tail.
+		for len(cur) > 0 && cur[len(cur)-1] == int(-1)<<40 {
+			cur = cur[:len(cur)-1]
+			chi--
+		}
+		lo2, hi2, prev2 = lo1, hi1, prev
+		lo1, hi1, prev = clo, chi, cur
+	}
+	_ = prev2
+	_ = lo2
+	_ = hi2
+	res.Score = best
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package assembly
+
+import (
+	"darwin/internal/dna"
+	"darwin/internal/dsoft"
+	"darwin/internal/metrics"
+	"darwin/internal/readsim"
+)
+
+// DSOFTEval is the filtration-only evaluation of Figure 11: D-SOFT
+// candidates (no GACT) scored against ground truth. A read counts as a
+// true positive when some candidate falls in a band consistent with
+// its ground-truth placement; every candidate outside those bands is a
+// false hit.
+type DSOFTEval struct {
+	// Sensitivity is the fraction of reads whose true band was
+	// reported.
+	Sensitivity float64
+	// FHR is the false hit rate: false candidates per true positive
+	// (Section 8's definition).
+	FHR float64
+	// Candidates is the total candidates emitted.
+	Candidates int
+	// Stats aggregates filter work for the performance model.
+	Stats dsoft.Stats
+}
+
+// EvaluateDSOFT runs the filter over both strands of every read.
+// Indel drift makes a true alignment wander off its nominal diagonal
+// by up to the read's total indel rate; candidates within
+// drift+1 bands of the nominal band (on the correct strand) count as
+// true.
+func EvaluateDSOFT(filter *dsoft.Filter, reads []readsim.Read, indelRate float64) DSOFTEval {
+	var eval DSOFTEval
+	var conf metrics.Confusion
+	tpReads := 0
+	for i := range reads {
+		r := &reads[i]
+		slackBins := int(indelRate*float64(len(r.Seq)))/filter.Config().BinSize + 1
+		trueBin := filter.BinOf(r.RefStart, 0)
+		found := false
+		for _, rev := range []bool{false, true} {
+			q := r.Seq
+			if rev {
+				q = dna.RevComp(q)
+			}
+			cands, st := filter.Query(q)
+			eval.Stats.SeedsIssued += st.SeedsIssued
+			eval.Stats.SeedsSkipped += st.SeedsSkipped
+			eval.Stats.Hits += st.Hits
+			eval.Stats.BinsTouched += st.BinsTouched
+			eval.Stats.Candidates += st.Candidates
+			eval.Candidates += len(cands)
+			correctStrand := rev == r.Reverse
+			for _, c := range cands {
+				if correctStrand && c.Bin >= trueBin-slackBins && c.Bin <= trueBin+slackBins {
+					found = true
+				} else {
+					conf.FP++
+				}
+			}
+		}
+		if found {
+			tpReads++
+		}
+	}
+	eval.Sensitivity = float64(tpReads) / float64(len(reads))
+	if tpReads > 0 {
+		eval.FHR = float64(conf.FP) / float64(tpReads)
+	} else if conf.FP > 0 {
+		eval.FHR = float64(conf.FP)
+	}
+	return eval
+}

@@ -1,0 +1,80 @@
+package assembly
+
+import (
+	"darwin/internal/baseline"
+	"darwin/internal/core"
+	"darwin/internal/metrics"
+	"darwin/internal/readsim"
+)
+
+// ReportedOverlap is a tool-agnostic overlap report: an unordered read
+// pair and the detected overlap length.
+type ReportedOverlap struct {
+	A, B int
+	Len  int
+}
+
+// FromCoreOverlaps converts Darwin overlap output.
+func FromCoreOverlaps(ovs []core.Overlap) []ReportedOverlap {
+	out := make([]ReportedOverlap, 0, len(ovs))
+	for i := range ovs {
+		a, b := ovs[i].Pair()
+		out = append(out, ReportedOverlap{A: a, B: b, Len: ovs[i].Len()})
+	}
+	return out
+}
+
+// FromDalignerOverlaps converts baseline overlap output.
+func FromDalignerOverlaps(ovs []baseline.Overlap) []ReportedOverlap {
+	out := make([]ReportedOverlap, 0, len(ovs))
+	for i := range ovs {
+		a, b := ovs[i].A, ovs[i].B
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, ReportedOverlap{A: a, B: b, Len: ovs[i].AEnd - ovs[i].AStart})
+	}
+	return out
+}
+
+// TrueOverlaps returns the ground-truth overlapping pairs — template
+// intersections of at least minLen bases (the paper uses 1 kbp) — with
+// their true lengths.
+func TrueOverlaps(reads []readsim.Read, minLen int) map[[2]int]int {
+	truth := map[[2]int]int{}
+	for a := 0; a < len(reads); a++ {
+		for b := a + 1; b < len(reads); b++ {
+			lo := max(reads[a].RefStart, reads[b].RefStart)
+			hi := min(reads[a].RefEnd, reads[b].RefEnd)
+			if hi-lo >= minLen {
+				truth[[2]int{a, b}] = hi - lo
+			}
+		}
+	}
+	return truth
+}
+
+// EvaluateOverlaps scores reported overlaps against ground truth with
+// the paper's criterion: a true overlap (≥ 1 kbp of shared template)
+// counts as detected when at least detectFrac (the paper uses 0.80) of
+// it is recovered; reported pairs with no qualifying template
+// intersection are false positives.
+func EvaluateOverlaps(reads []readsim.Read, reported []ReportedOverlap, minLen int, detectFrac float64) metrics.Confusion {
+	truth := TrueOverlaps(reads, minLen)
+	var c metrics.Confusion
+	detected := map[[2]int]bool{}
+	for _, r := range reported {
+		key := [2]int{r.A, r.B}
+		trueLen, ok := truth[key]
+		if !ok {
+			c.FP++
+			continue
+		}
+		if float64(r.Len) >= detectFrac*float64(trueLen) {
+			detected[key] = true
+		}
+	}
+	c.TP = len(detected)
+	c.FN = len(truth) - len(detected)
+	return c
+}

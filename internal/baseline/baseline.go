@@ -1,0 +1,75 @@
+// Package baseline reimplements the comparison software of the paper's
+// evaluation (Section 8) from scratch, at algorithm-class fidelity:
+//
+//   - GraphMapLike: a hit-count diagonal-band filter with heavyweight
+//     filtration (the GraphMap role: ONT reference-guided baseline);
+//   - BWAMemLike: FM-index variable-length seeding with diagonal
+//     chaining and banded extension (the BWA-MEM role: PacBio
+//     reference-guided baseline);
+//   - DalignerLike: a sort-merge unique-base overlap counter over read
+//     blocks (the DALIGNER role: de novo overlap baseline).
+//
+// The Edlib role (Figure 10) is played by align.Myers. Each baseline
+// reports stage timings so the Figure 13 waterfall can be reproduced.
+package baseline
+
+import (
+	"time"
+
+	"darwin/internal/align"
+	"darwin/internal/dna"
+)
+
+// Mapping is one candidate placement of a query on the reference.
+type Mapping struct {
+	// RefStart, RefEnd delimit the mapped reference span.
+	RefStart, RefEnd int
+	// Reverse is true if the reverse-complemented query mapped.
+	Reverse bool
+	// Score ranks mappings (higher is better; for edit-distance
+	// verifiers this is −distance).
+	Score int
+}
+
+// StageTimes splits a mapper's runtime into the two stages of
+// Figure 13.
+type StageTimes struct {
+	Filtration time.Duration
+	Alignment  time.Duration
+}
+
+// Add accumulates another measurement.
+func (s *StageTimes) Add(o StageTimes) {
+	s.Filtration += o.Filtration
+	s.Alignment += o.Alignment
+}
+
+// Total returns the summed stage time.
+func (s StageTimes) Total() time.Duration { return s.Filtration + s.Alignment }
+
+// verifyWindow aligns the full query against a reference window around
+// the candidate diagonal with Myers' bit-vector algorithm in infix
+// mode, returning the mapped span and a score of −distance. This is
+// the "alignment/verification" stage shared by the software baselines.
+func verifyWindow(ref, q dna.Seq, diag int, pad int) (Mapping, bool) {
+	lo := diag - pad
+	hi := diag + len(q) + pad
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(ref) {
+		hi = len(ref)
+	}
+	if hi-lo < len(q)/2 || hi <= lo {
+		return Mapping{}, false
+	}
+	res, err := align.Myers(ref[lo:hi], q, align.EditInfix)
+	if err != nil {
+		return Mapping{}, false
+	}
+	return Mapping{
+		RefStart: lo + res.RefStart,
+		RefEnd:   lo + res.RefEnd,
+		Score:    -res.Distance,
+	}, true
+}

@@ -1,0 +1,224 @@
+package baseline
+
+import (
+	"testing"
+
+	"darwin/internal/dna"
+	"darwin/internal/genome"
+	"darwin/internal/readsim"
+)
+
+func testGenome(t *testing.T, n int, seed int64) dna.Seq {
+	t.Helper()
+	g, err := genome.Generate(genome.Config{
+		Length: n, GC: 0.45, RepeatFraction: 0.15, RepeatFamilies: 4,
+		RepeatUnitLen: 200, RepeatDivergence: 0.1, TandemFraction: 0.1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Seq
+}
+
+// mapBothStrands maps a read in both orientations and returns the best
+// mapping, as the evaluation pipelines do.
+func mapBothStrands(mapRead func(dna.Seq) ([]Mapping, StageTimes), q dna.Seq) (Mapping, bool) {
+	best := Mapping{Score: -1 << 60}
+	found := false
+	fwd, _ := mapRead(q)
+	for _, m := range fwd {
+		if m.Score > best.Score {
+			best = m
+			found = true
+		}
+	}
+	rev, _ := mapRead(dna.RevComp(q))
+	for _, m := range rev {
+		if m.Score > best.Score {
+			best = m
+			best.Reverse = true
+			found = true
+		}
+	}
+	return best, found
+}
+
+func checkMapper(t *testing.T, name string, mapRead func(dna.Seq) ([]Mapping, StageTimes), ref dna.Seq, profile readsim.Profile, minSens float64) {
+	t.Helper()
+	reads, err := readsim.SimulateN(ref, 25, readsim.Config{Profile: profile, MeanLen: 2000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range reads {
+		r := &reads[i]
+		m, ok := mapBothStrands(mapRead, r.Seq)
+		if !ok {
+			continue
+		}
+		// Paper criterion: within 50 bp of the ground-truth region.
+		if m.RefStart >= r.RefStart-50 && m.RefStart <= r.RefStart+50 {
+			correct++
+		}
+	}
+	sens := float64(correct) / float64(len(reads))
+	if sens < minSens {
+		t.Errorf("%s %s: sensitivity %.2f, want ≥ %.2f", name, profile.Name, sens, minSens)
+	}
+}
+
+func TestGraphMapLikeMapsONTReads(t *testing.T) {
+	ref := testGenome(t, 300000, 81)
+	g, err := NewGraphMapLike(ref, DefaultGraphMapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMapper(t, g.Name(), g.MapRead, ref, readsim.ONT2D, 0.85)
+}
+
+func TestGraphMapLikeTimings(t *testing.T) {
+	ref := testGenome(t, 100000, 82)
+	g, err := NewGraphMapLike(ref, DefaultGraphMapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := readsim.SimulateN(ref, 3, readsim.Config{Profile: readsim.ONT2D, MeanLen: 2000, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total StageTimes
+	for i := range reads {
+		_, st := g.MapRead(reads[i].Seq)
+		total.Add(st)
+	}
+	if total.Filtration <= 0 || total.Alignment <= 0 {
+		t.Errorf("stage times not recorded: %+v", total)
+	}
+	if total.Total() != total.Filtration+total.Alignment {
+		t.Error("Total() inconsistent")
+	}
+}
+
+func TestBWAMemLikeMapsPacBioReads(t *testing.T) {
+	ref := testGenome(t, 200000, 84)
+	b, err := NewBWAMemLike(ref, DefaultBWAMemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMapper(t, b.Name(), b.MapRead, ref, readsim.PacBio, 0.85)
+}
+
+func TestBWAMemLikeNoSpuriousOnRandomQuery(t *testing.T) {
+	ref := testGenome(t, 100000, 85)
+	b, err := NewBWAMemLike(ref, DefaultBWAMemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query unrelated to the reference should produce no long exact
+	// seeds and hence no (or only poor) mappings.
+	other := testGenome(t, 2000, 86)
+	maps, _ := b.MapRead(other)
+	for _, m := range maps {
+		// Edit distance near the read length means "no real mapping".
+		if -m.Score < len(other)/3 {
+			t.Errorf("unrelated query mapped with distance %d (< len/3)", -m.Score)
+		}
+	}
+}
+
+func TestDalignerLikeFindsOverlaps(t *testing.T) {
+	ref := testGenome(t, 60000, 87)
+	// 8× coverage of 2 kbp reads over a 60 kbp genome: adjacent reads
+	// overlap heavily.
+	reads, err := readsim.SimulateN(ref, 240, readsim.Config{Profile: readsim.PacBio, MeanLen: 2000, Seed: 88})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([]dna.Seq, len(reads))
+	for i := range reads {
+		seqs[i] = reads[i].Seq
+	}
+	d := NewDalignerLike(DefaultDalignerConfig())
+	overlaps, times := d.FindOverlaps(seqs[:60])
+	if len(overlaps) == 0 {
+		t.Fatal("no overlaps found")
+	}
+	if times.Filtration <= 0 || times.Alignment <= 0 {
+		t.Errorf("stage times not recorded: %+v", times)
+	}
+	// Verify a sample of reported overlaps against ground truth: the
+	// template intervals of the two reads must intersect.
+	badPairs := 0
+	for _, ov := range overlaps {
+		if ov.A >= ov.B {
+			t.Fatalf("overlap pair not ordered: %+v", ov)
+		}
+		ra, rb := &reads[ov.A], &reads[ov.B]
+		lo := max(ra.RefStart, rb.RefStart)
+		hi := min(ra.RefEnd, rb.RefEnd)
+		if hi-lo < 200 {
+			badPairs++
+		}
+	}
+	if frac := float64(badPairs) / float64(len(overlaps)); frac > 0.1 {
+		t.Errorf("%.0f%% of reported overlaps have no ground-truth intersection", frac*100)
+	}
+}
+
+func TestDalignerLikeSensitivity(t *testing.T) {
+	ref := testGenome(t, 40000, 89)
+	reads, err := readsim.SimulateN(ref, 80, readsim.Config{Profile: readsim.PacBio, MeanLen: 2000, Seed: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([]dna.Seq, len(reads))
+	for i := range reads {
+		seqs[i] = reads[i].Seq
+	}
+	d := NewDalignerLike(DefaultDalignerConfig())
+	overlaps, _ := d.FindOverlaps(seqs)
+	found := map[[2]int]bool{}
+	for _, ov := range overlaps {
+		found[[2]int{ov.A, ov.B}] = true
+	}
+	// Ground-truth overlapping pairs (≥ 1 kbp, paper criterion).
+	total, detected := 0, 0
+	for a := 0; a < len(reads); a++ {
+		for b := a + 1; b < len(reads); b++ {
+			lo := max(reads[a].RefStart, reads[b].RefStart)
+			hi := min(reads[a].RefEnd, reads[b].RefEnd)
+			if hi-lo >= 1000 {
+				total++
+				if found[[2]int{a, b}] {
+					detected++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("test setup produced no ground-truth overlaps")
+	}
+	sens := float64(detected) / float64(total)
+	if sens < 0.80 {
+		t.Errorf("overlap sensitivity %.2f (%d/%d), want ≥ 0.80", sens, detected, total)
+	}
+}
+
+func TestVerifyWindowBounds(t *testing.T) {
+	ref := testGenome(t, 5000, 91)
+	q := ref[1000:1500].Clone()
+	m, ok := verifyWindow(ref, q, 1000, 100)
+	if !ok {
+		t.Fatal("verifyWindow failed on exact substring")
+	}
+	if m.Score != 0 {
+		t.Errorf("distance = %d, want 0", -m.Score)
+	}
+	if m.RefStart != 1000 || m.RefEnd != 1500 {
+		t.Errorf("span = [%d,%d), want [1000,1500)", m.RefStart, m.RefEnd)
+	}
+	// Out-of-range diagonal: window collapses.
+	if _, ok := verifyWindow(ref, q, 100000, 10); ok {
+		t.Error("expected failure for out-of-range window")
+	}
+}

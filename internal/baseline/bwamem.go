@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"darwin/internal/dna"
+	"darwin/internal/fmindex"
+)
+
+// BWAMemLike is a reference-guided mapper in the BWA-MEM mold: it
+// seeds with variable-length maximal exact matches found by FM-index
+// backward search (approximating super-maximal exact matches), chains
+// seeds that fall on compatible diagonals, and verifies the best
+// chains with banded alignment. It is the paper's PacBio
+// reference-guided comparison class (run there as `bwa mem -x pacbio`).
+type BWAMemLike struct {
+	index *fmindex.Index
+	ref   dna.Seq
+	cfg   BWAMemConfig
+}
+
+// BWAMemConfig parameterizes the BWA-MEM-class mapper.
+type BWAMemConfig struct {
+	// MinSeedLen is the minimum exact-match length used as a seed
+	// (BWA-MEM's -k, default 19).
+	MinSeedLen int
+	// SampleStride spaces the query end-positions probed for maximal
+	// suffix matches.
+	SampleStride int
+	// MaxHitsPerSeed bounds hits taken per seed (repeat guard).
+	MaxHitsPerSeed int
+	// ChainBand is the diagonal tolerance for chaining.
+	ChainBand int
+	// MaxChains bounds how many chains are verified.
+	MaxChains int
+	// Pad is the verification window padding.
+	Pad int
+}
+
+// DefaultBWAMemConfig returns a PacBio-oriented configuration.
+func DefaultBWAMemConfig() BWAMemConfig {
+	return BWAMemConfig{
+		MinSeedLen:     17,
+		SampleStride:   16,
+		MaxHitsPerSeed: 16,
+		ChainBand:      512,
+		MaxChains:      6,
+		Pad:            512,
+	}
+}
+
+// NewBWAMemLike builds the mapper (and its FM-index) over a reference.
+func NewBWAMemLike(ref dna.Seq, cfg BWAMemConfig) (*BWAMemLike, error) {
+	idx, err := fmindex.Build(ref)
+	if err != nil {
+		return nil, err
+	}
+	return &BWAMemLike{index: idx, ref: ref, cfg: cfg}, nil
+}
+
+// Name identifies the mapper in reports.
+func (b *BWAMemLike) Name() string { return "bwamem-like" }
+
+// MapRead maps one query (forward orientation).
+func (b *BWAMemLike) MapRead(q dna.Seq) ([]Mapping, StageTimes) {
+	var times StageTimes
+	start := time.Now()
+
+	// Seeding: maximal suffix matches at sampled end positions.
+	type seed struct{ qEnd, refPos, length int }
+	var seeds []seed
+	for end := len(q); end >= b.cfg.MinSeedLen; end -= b.cfg.SampleStride {
+		length, pos := b.index.LongestSuffixMatch(q, end, b.cfg.MaxHitsPerSeed)
+		if length < b.cfg.MinSeedLen {
+			continue
+		}
+		for _, p := range pos {
+			seeds = append(seeds, seed{qEnd: end, refPos: p, length: length})
+		}
+	}
+
+	// Chaining: group seeds by diagonal band, score by covered bases.
+	chains := map[int]int{}
+	for _, s := range seeds {
+		diag := s.refPos - (s.qEnd - s.length)
+		chains[diag/b.cfg.ChainBand] += s.length
+	}
+	type chain struct{ band, score int }
+	var ranked []chain
+	for band, score := range chains {
+		ranked = append(ranked, chain{band, score})
+	}
+	sort.Slice(ranked, func(a, c int) bool { return ranked[a].score > ranked[c].score })
+	if len(ranked) > b.cfg.MaxChains {
+		ranked = ranked[:b.cfg.MaxChains]
+	}
+	times.Filtration = time.Since(start)
+
+	// Extension/verification of the best chains.
+	start = time.Now()
+	var out []Mapping
+	for _, c := range ranked {
+		diag := c.band * b.cfg.ChainBand
+		if m, ok := verifyWindow(b.ref, q, diag, b.cfg.Pad+b.cfg.ChainBand); ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(a, c int) bool { return out[a].Score > out[c].Score })
+	times.Alignment = time.Since(start)
+	return out, times
+}

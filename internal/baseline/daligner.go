@@ -1,0 +1,216 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"darwin/internal/dna"
+)
+
+// DalignerLike finds pairwise overlaps among long reads in the
+// DALIGNER mold: it enumerates (seed, read, position) tuples for a
+// block of reads, sorts them so hits of the same seed are adjacent,
+// expands them into per-read-pair diagonal tuples, sorts again, and
+// merge-counts the unique query bases covered per diagonal band —
+// DALIGNER's base-counting criterion (the one that inspired D-SOFT,
+// Section 10), realized with the sort-and-merge memory behaviour the
+// paper contrasts with Darwin's table-lookup approach.
+type DalignerLike struct {
+	cfg DalignerConfig
+}
+
+// DalignerConfig parameterizes the overlap finder.
+type DalignerConfig struct {
+	// K is the seed size.
+	K int
+	// BinSize is the diagonal band width.
+	BinSize int
+	// MinBases is the unique covered-base threshold (like D-SOFT's h).
+	MinBases int
+	// MaxSeedOcc masks seeds occurring more often than this across the
+	// block (repeat guard, like DALIGNER's -t).
+	MaxSeedOcc int
+	// MinOverlap discards candidate overlaps shorter than this many
+	// bases after verification.
+	MinOverlap int
+}
+
+// DefaultDalignerConfig returns a PacBio-overlap-oriented config.
+func DefaultDalignerConfig() DalignerConfig {
+	return DalignerConfig{K: 14, BinSize: 256, MinBases: 28, MaxSeedOcc: 64, MinOverlap: 500}
+}
+
+// NewDalignerLike returns the overlap finder.
+func NewDalignerLike(cfg DalignerConfig) *DalignerLike { return &DalignerLike{cfg: cfg} }
+
+// Name identifies the tool in reports.
+func (d *DalignerLike) Name() string { return "daligner-like" }
+
+// Overlap is a detected pairwise overlap between reads A and B.
+type Overlap struct {
+	// A and B are read indices, A < B.
+	A, B int
+	// BRev is true if B overlaps A in reverse-complement orientation.
+	BRev bool
+	// AStart, AEnd delimit the overlap on read A.
+	AStart, AEnd int
+	// Score ranks the overlap (−edit distance of the verification).
+	Score int
+}
+
+// FindOverlaps returns overlaps among the block of reads, plus stage
+// timings (sort-merge filtration vs verification alignment).
+func (d *DalignerLike) FindOverlaps(reads []dna.Seq) ([]Overlap, StageTimes) {
+	var times StageTimes
+	start := time.Now()
+
+	// Orientation handling: sequence s with id 2r is read r forward,
+	// 2r+1 is its reverse complement. Pairs are counted between a
+	// forward "A-side" and either orientation of a later read.
+	seqs := make([]dna.Seq, 2*len(reads))
+	for r, rd := range reads {
+		seqs[2*r] = rd
+		seqs[2*r+1] = dna.RevComp(rd)
+	}
+
+	// Pass 1: (seed, seq, pos) tuples, sorted by seed.
+	type tuple struct {
+		seed uint32
+		seq  int32
+		pos  int32
+	}
+	var tuples []tuple
+	for id, s := range seqs {
+		for p := 0; p+d.cfg.K <= len(s); p++ {
+			code, ok := dna.PackSeed(s, p, d.cfg.K)
+			if !ok {
+				continue
+			}
+			tuples = append(tuples, tuple{code, int32(id), int32(p)})
+		}
+	}
+	sort.Slice(tuples, func(a, b int) bool {
+		if tuples[a].seed != tuples[b].seed {
+			return tuples[a].seed < tuples[b].seed
+		}
+		if tuples[a].seq != tuples[b].seq {
+			return tuples[a].seq < tuples[b].seq
+		}
+		return tuples[a].pos < tuples[b].pos
+	})
+
+	// Pass 2: expand seed groups into per-pair diagonal tuples.
+	// pairKey packs (A-side seq, B-side seq); diag = posA − posB.
+	type hit struct {
+		pair int64
+		diag int32
+		posB int32
+	}
+	var hits []hit
+	for lo := 0; lo < len(tuples); {
+		hi := lo
+		for hi < len(tuples) && tuples[hi].seed == tuples[lo].seed {
+			hi++
+		}
+		if hi-lo <= d.cfg.MaxSeedOcc {
+			for x := lo; x < hi; x++ {
+				for y := lo; y < hi; y++ {
+					a, b := tuples[x], tuples[y]
+					// A-side must be forward and a strictly earlier read.
+					if a.seq%2 != 0 || int(a.seq)/2 >= int(b.seq)/2 {
+						continue
+					}
+					hits = append(hits, hit{
+						pair: int64(a.seq)<<32 | int64(b.seq),
+						diag: a.pos - b.pos,
+						posB: b.pos,
+					})
+				}
+			}
+		}
+		lo = hi
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].pair != hits[b].pair {
+			return hits[a].pair < hits[b].pair
+		}
+		da := int32(hits[a].diag) / int32(d.cfg.BinSize)
+		db := int32(hits[b].diag) / int32(d.cfg.BinSize)
+		if da != db {
+			return da < db
+		}
+		return hits[a].posB < hits[b].posB
+	})
+
+	// Pass 3: merge-count unique B bases per (pair, band).
+	type cand struct {
+		pair int64
+		diag int32
+	}
+	var cands []cand
+	for lo := 0; lo < len(hits); {
+		hi := lo
+		band := hits[lo].diag / int32(d.cfg.BinSize)
+		for hi < len(hits) && hits[hi].pair == hits[lo].pair && hits[hi].diag/int32(d.cfg.BinSize) == band {
+			hi++
+		}
+		covered, lastEnd := 0, int32(-1)
+		for x := lo; x < hi; x++ {
+			s := hits[x].posB
+			e := s + int32(d.cfg.K)
+			if s > lastEnd {
+				covered += int(e - s)
+			} else if e > lastEnd {
+				covered += int(e - lastEnd)
+			}
+			if e > lastEnd {
+				lastEnd = e
+			}
+		}
+		if covered >= d.cfg.MinBases {
+			cands = append(cands, cand{pair: hits[lo].pair, diag: hits[lo].diag})
+		}
+		lo = hi
+	}
+	// Deduplicate pairs (multiple bands may fire for one pair).
+	seen := map[int64]bool{}
+	times.Filtration = time.Since(start)
+
+	// Verification: align the predicted overlapping segment of B
+	// (dovetail geometry from the candidate diagonal) against A, and
+	// keep sufficiently long overlaps.
+	start = time.Now()
+	var out []Overlap
+	for _, c := range cands {
+		if seen[c.pair] {
+			continue
+		}
+		seen[c.pair] = true
+		aID := int(c.pair >> 32)
+		bID := int(c.pair & 0xffffffff)
+		aSeq, bSeq := seqs[aID], seqs[bID]
+		diag := int(c.diag)
+		// B position b maps to A position ≈ b + diag; clip to both reads
+		// with slack for indel drift.
+		slack := d.cfg.BinSize * 2
+		bLo := max(0, -diag-slack)
+		bHi := min(len(bSeq), len(aSeq)-diag+slack)
+		if bHi-bLo < d.cfg.MinOverlap/2 {
+			continue
+		}
+		m, ok := verifyWindow(aSeq, bSeq[bLo:bHi], diag+bLo, slack)
+		if !ok || m.RefEnd-m.RefStart < d.cfg.MinOverlap {
+			continue
+		}
+		out = append(out, Overlap{
+			A:      aID / 2,
+			B:      bID / 2,
+			BRev:   bID%2 == 1,
+			AStart: m.RefStart,
+			AEnd:   m.RefEnd,
+			Score:  m.Score,
+		})
+	}
+	times.Alignment = time.Since(start)
+	return out, times
+}

@@ -1,0 +1,274 @@
+// Package core is the Darwin engine: the composition of D-SOFT
+// filtering and GACT alignment described in Section 5 and Figure 6.
+// It provides the two applications the paper evaluates — reference-
+// guided read mapping and the overlap step of de novo assembly — with
+// per-stage instrumentation feeding the hardware performance model
+// (Figure 13, Table 4).
+//
+// The engine follows the paper's system configuration: seeds from each
+// query (forward and reverse complement) feed D-SOFT with B=128 and
+// stride 1; high-frequency seeds are discarded by the seed table; each
+// candidate bin's last-hit position anchors a GACT first tile of size
+// 384 whose score must reach h_tile to survive; surviving candidates
+// are extended with (T=320, O=128) tiles.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"darwin/internal/align"
+	"darwin/internal/dna"
+	"darwin/internal/dsoft"
+	"darwin/internal/gact"
+	"darwin/internal/seedtable"
+)
+
+// Config holds the full Darwin parameter set.
+type Config struct {
+	// SeedK is the seed size k (Table 4 uses 11-14 depending on the
+	// read class).
+	SeedK int
+	// SeedN is the number of seeds N drawn from each query strand.
+	SeedN int
+	// SeedStride spaces the N seeds (default 1, the paper's
+	// reference-guided setting, sampling the read head densely). The
+	// de novo overlap step spreads seeds across the whole read
+	// (stride ≈ readLen/N): an overlap can sit at either end of a
+	// read, and head-only seeding is blind to tail-side overlaps of
+	// reverse-orientation pairs.
+	SeedStride int
+	// Threshold is the D-SOFT base-count threshold h.
+	Threshold int
+	// BinSize is the D-SOFT band width B (paper: 128).
+	BinSize int
+	// HTile is the first-tile score threshold (paper: 90 at first-tile
+	// size 384). Zero disables it.
+	HTile int
+	// GACT holds the tile parameters and scoring.
+	GACT gact.Config
+	// MaxCandidates bounds GACT work per query strand as a safety
+	// valve against pathological repeat regions. Zero means no bound.
+	MaxCandidates int
+	// TableOptions configures seed-table masking.
+	TableOptions seedtable.Options
+}
+
+// DefaultConfig returns the paper's system defaults with the given
+// D-SOFT tuning knobs (k, N, h); Table 4 lists the per-read-class
+// values, e.g. (14, 750, 24) for PacBio reference-guided assembly.
+func DefaultConfig(k, n, h int) Config {
+	g := gact.DefaultConfig()
+	return Config{
+		SeedK:         k,
+		SeedN:         n,
+		Threshold:     h,
+		BinSize:       128,
+		HTile:         90,
+		GACT:          g,
+		MaxCandidates: 256,
+		TableOptions:  seedtable.DefaultOptions(),
+	}
+}
+
+// Darwin maps queries against one reference.
+type Darwin struct {
+	ref    dna.Seq
+	table  *seedtable.Table
+	filter *dsoft.Filter
+	cfg    Config
+
+	// TableBuildTime records seed-table construction (software-side in
+	// the paper's de novo accounting).
+	TableBuildTime time.Duration
+}
+
+// New indexes the reference and returns an engine.
+func New(ref dna.Seq, cfg Config) (*Darwin, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("core: empty reference")
+	}
+	start := time.Now()
+	table, err := seedtable.Build(ref, cfg.SeedK, cfg.TableOptions)
+	if err != nil {
+		return nil, fmt.Errorf("core: building seed table: %w", err)
+	}
+	buildTime := time.Since(start)
+	stride := cfg.SeedStride
+	if stride < 1 {
+		stride = 1
+	}
+	filter, err := dsoft.New(table, dsoft.Config{
+		N:       cfg.SeedN,
+		H:       cfg.Threshold,
+		BinSize: cfg.BinSize,
+		Stride:  stride,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: configuring D-SOFT: %w", err)
+	}
+	g := cfg.GACT
+	g.MinFirstTile = cfg.HTile
+	cfg.GACT = g
+	return &Darwin{ref: ref, table: table, filter: filter, cfg: cfg, TableBuildTime: buildTime}, nil
+}
+
+// Ref returns the indexed reference.
+func (d *Darwin) Ref() dna.Seq { return d.ref }
+
+// Table returns the underlying seed table (for statistics).
+func (d *Darwin) Table() *seedtable.Table { return d.table }
+
+// Config returns the engine configuration.
+func (d *Darwin) Config() Config { return d.cfg }
+
+// ReadAlignment is one alignment of a query to the reference.
+type ReadAlignment struct {
+	// Result holds the alignment in forward-reference coordinates.
+	// For Reverse alignments, query coordinates refer to the
+	// reverse-complemented query.
+	Result align.Result
+	// Reverse marks reverse-complement strand alignments.
+	Reverse bool
+	// FirstTileScore is the candidate's first GACT tile score.
+	FirstTileScore int
+}
+
+// MapStats instruments one MapRead call for the performance model and
+// the Figure 13 breakdown.
+type MapStats struct {
+	// DSOFT aggregates filter work across both strands.
+	DSOFT dsoft.Stats
+	// Candidates is the number of candidate bins D-SOFT emitted.
+	Candidates int
+	// PassedHTile counts candidates surviving the first-tile filter.
+	PassedHTile int
+	// Tiles is the total number of GACT tiles processed.
+	Tiles int
+	// Cells is the total DP cells filled by GACT.
+	Cells int64
+	// FirstTileScores records each candidate's first-tile score
+	// (Figure 12's histogram input).
+	FirstTileScores []int
+	// FiltrationTime and AlignmentTime split the software runtime.
+	FiltrationTime, AlignmentTime time.Duration
+}
+
+func (s *MapStats) add(o MapStats) {
+	s.DSOFT.SeedsIssued += o.DSOFT.SeedsIssued
+	s.DSOFT.SeedsSkipped += o.DSOFT.SeedsSkipped
+	s.DSOFT.Hits += o.DSOFT.Hits
+	s.DSOFT.BinsTouched += o.DSOFT.BinsTouched
+	s.DSOFT.Candidates += o.DSOFT.Candidates
+	s.Candidates += o.Candidates
+	s.PassedHTile += o.PassedHTile
+	s.Tiles += o.Tiles
+	s.Cells += o.Cells
+	s.FirstTileScores = append(s.FirstTileScores, o.FirstTileScores...)
+	s.FiltrationTime += o.FiltrationTime
+	s.AlignmentTime += o.AlignmentTime
+}
+
+// MapRead maps a read against the reference, querying both strands
+// (Figure 6: "the forward and reverse-complement of P reads are used
+// as queries"). Alignments are sorted by descending score.
+func (d *Darwin) MapRead(q dna.Seq) ([]ReadAlignment, MapStats) {
+	var out []ReadAlignment
+	var stats MapStats
+	for _, rev := range []bool{false, true} {
+		query := q
+		if rev {
+			query = dna.RevComp(q)
+		}
+		alns, st := d.mapStrand(query, rev)
+		out = append(out, alns...)
+		stats.add(st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Result.Score > out[b].Result.Score })
+	return out, stats
+}
+
+// mapStrand runs the Fig. 6 pipeline for one oriented query.
+func (d *Darwin) mapStrand(query dna.Seq, rev bool) ([]ReadAlignment, MapStats) {
+	var stats MapStats
+	start := time.Now()
+	cands, dst := d.filter.Query(query)
+	stats.DSOFT = dst
+	stats.Candidates = len(cands)
+	stats.FiltrationTime = time.Since(start)
+
+	if d.cfg.MaxCandidates > 0 && len(cands) > d.cfg.MaxCandidates {
+		cands = cands[:d.cfg.MaxCandidates]
+	}
+
+	start = time.Now()
+	var out []ReadAlignment
+	for _, c := range cands {
+		res, gst, err := gact.Extend(d.ref, query, c.RefPos, c.QueryPos, &d.cfg.GACT)
+		if err != nil {
+			continue // invalid anchor geometry; candidate is unusable
+		}
+		stats.Tiles += gst.Tiles
+		stats.Cells += gst.Cells
+		stats.FirstTileScores = append(stats.FirstTileScores, gst.FirstTileScore)
+		if res == nil {
+			continue
+		}
+		stats.PassedHTile++
+		out = append(out, ReadAlignment{Result: *res, Reverse: rev, FirstTileScore: gst.FirstTileScore})
+	}
+	stats.AlignmentTime = time.Since(start)
+	return out, stats
+}
+
+// mapStrandClipped is mapStrand with each candidate's GACT extension
+// restricted to a reference window: window(refPos) returns the target
+// segment id and its [lo, hi) bounds; candidates whose target equals
+// skipRead are dropped (a read's trivial self-hit in the de novo
+// concatenated reference). Returned coordinates are global.
+func (d *Darwin) mapStrandClipped(query dna.Seq, rev bool, window func(refPos int) (int, int, int), skipRead int) ([]ReadAlignment, MapStats) {
+	var stats MapStats
+	start := time.Now()
+	cands, dst := d.filter.Query(query)
+	stats.DSOFT = dst
+	stats.Candidates = len(cands)
+	stats.FiltrationTime = time.Since(start)
+
+	if d.cfg.MaxCandidates > 0 && len(cands) > d.cfg.MaxCandidates {
+		cands = cands[:d.cfg.MaxCandidates]
+	}
+
+	start = time.Now()
+	var out []ReadAlignment
+	for _, c := range cands {
+		target, lo, hi := window(c.RefPos)
+		if target == skipRead || c.RefPos >= hi {
+			continue
+		}
+		res, gst, err := gact.Extend(d.ref[lo:hi], query, c.RefPos-lo, c.QueryPos, &d.cfg.GACT)
+		if err != nil {
+			continue
+		}
+		stats.Tiles += gst.Tiles
+		stats.Cells += gst.Cells
+		stats.FirstTileScores = append(stats.FirstTileScores, gst.FirstTileScore)
+		if res == nil {
+			continue
+		}
+		stats.PassedHTile++
+		res.RefStart += lo
+		res.RefEnd += lo
+		out = append(out, ReadAlignment{Result: *res, Reverse: rev, FirstTileScore: gst.FirstTileScore})
+	}
+	stats.AlignmentTime = time.Since(start)
+	return out, stats
+}
+
+// Best returns the highest-scoring alignment, or nil.
+func Best(alns []ReadAlignment) *ReadAlignment {
+	if len(alns) == 0 {
+		return nil
+	}
+	return &alns[0]
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"darwin/internal/dna"
+)
+
+// Overlap is a detected pairwise overlap between two reads in the
+// de novo overlap step (Figure 6, right).
+type Overlap struct {
+	// Target is the read found in the concatenated reference; Query is
+	// the read used as the D-SOFT/GACT query.
+	Target, Query int
+	// QueryRev is true if the reverse complement of the query read
+	// produced the overlap.
+	QueryRev bool
+	// TargetStart, TargetEnd delimit the overlap on the target read.
+	TargetStart, TargetEnd int
+	// QueryStart, QueryEnd delimit the overlap on the query read (in
+	// reverse-complement coordinates when QueryRev).
+	QueryStart, QueryEnd int
+	// Score is the GACT alignment score.
+	Score int
+}
+
+// Pair returns the unordered read pair.
+func (o *Overlap) Pair() (int, int) {
+	if o.Target < o.Query {
+		return o.Target, o.Query
+	}
+	return o.Query, o.Target
+}
+
+// Len returns the overlap length on the target read.
+func (o *Overlap) Len() int { return o.TargetEnd - o.TargetStart }
+
+// Overlapper runs the overlap step of de novo assembly: reads are
+// concatenated (each padded with N to a whole number of D-SOFT bins,
+// Section 5) to form the reference, and every read is queried against
+// it in both orientations.
+type Overlapper struct {
+	darwin  *Darwin
+	reads   []dna.Seq
+	offsets []int // start of each read in the concatenated reference
+}
+
+// OverlapStats aggregates the pipeline statistics of an overlap run.
+type OverlapStats struct {
+	// Map aggregates MapStats across all reads.
+	Map MapStats
+	// TableBuildTime is the software-side seed-table construction time
+	// (the dominant software cost in the paper's de novo accounting:
+	// 370 of 385 seconds for C. elegans).
+	TableBuildTime time.Duration
+}
+
+// NewOverlapper builds the concatenated reference and indexes it.
+func NewOverlapper(reads []dna.Seq, cfg Config) (*Overlapper, error) {
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("core: no reads to overlap")
+	}
+	B := cfg.BinSize
+	if B <= 0 {
+		return nil, fmt.Errorf("core: bin size must be positive")
+	}
+	total := 0
+	for _, r := range reads {
+		pad := B - len(r)%B
+		total += len(r) + pad
+	}
+	ref := make(dna.Seq, 0, total)
+	offsets := make([]int, len(reads))
+	for i, r := range reads {
+		offsets[i] = len(ref)
+		ref = append(ref, r...)
+		pad := B - len(r)%B
+		for p := 0; p < pad; p++ {
+			ref = append(ref, 'N')
+		}
+	}
+	d, err := New(ref, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Overlapper{darwin: d, reads: reads, offsets: offsets}, nil
+}
+
+// readAt returns the index of the read containing reference position p.
+func (o *Overlapper) readAt(p int) int {
+	i := sort.SearchInts(o.offsets, p+1) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// FindOverlaps queries every read against the concatenated reference
+// and returns deduplicated overlaps of at least minOverlap bases.
+// Each GACT extension is clipped to the segment of the read its
+// candidate falls in: N padding contributes nothing to scores (the
+// hardware's Σext semantics), so an unclipped extension would silently
+// bridge adjacent reads and misattribute the overlap.
+func (o *Overlapper) FindOverlaps(minOverlap int) ([]Overlap, OverlapStats) {
+	stats := OverlapStats{TableBuildTime: o.darwin.TableBuildTime}
+	type key struct {
+		a, b int
+		rev  bool
+	}
+	best := map[key]Overlap{}
+	for q := range o.reads {
+		for _, rev := range []bool{false, true} {
+			query := o.reads[q]
+			if rev {
+				query = dna.RevComp(query)
+			}
+			alns, st := o.darwin.mapStrandClipped(query, rev, func(refPos int) (int, int, int) {
+				t := o.readAt(refPos)
+				return t, o.offsets[t], o.offsets[t] + len(o.reads[t])
+			}, q)
+			stats.Map.add(st)
+			for _, a := range alns {
+				target := o.readAt(a.Result.RefStart)
+				tStart := a.Result.RefStart - o.offsets[target]
+				tEnd := min(a.Result.RefEnd-o.offsets[target], len(o.reads[target]))
+				if tEnd-tStart < minOverlap {
+					continue
+				}
+				ov := Overlap{
+					Target:      target,
+					Query:       q,
+					QueryRev:    a.Reverse,
+					TargetStart: tStart,
+					TargetEnd:   tEnd,
+					QueryStart:  a.Result.QueryStart,
+					QueryEnd:    a.Result.QueryEnd,
+					Score:       a.Result.Score,
+				}
+				lo, hi := ov.Pair()
+				k := key{lo, hi, a.Reverse}
+				if cur, ok := best[k]; !ok || ov.Score > cur.Score {
+					best[k] = ov
+				}
+			}
+		}
+	}
+	out := make([]Overlap, 0, len(best))
+	for _, ov := range best {
+		out = append(out, ov)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa1, pa2 := out[a].Pair()
+		pb1, pb2 := out[b].Pair()
+		if pa1 != pb1 {
+			return pa1 < pb1
+		}
+		if pa2 != pb2 {
+			return pa2 < pb2
+		}
+		return !out[a].QueryRev && out[b].QueryRev
+	})
+	return out, stats
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"darwin/internal/dna"
+	"darwin/internal/dsoft"
+)
+
+// Clone returns an engine sharing this one's (immutable) seed table
+// but with private D-SOFT bin state, safe to use from another
+// goroutine. This mirrors the hardware, where the seed tables are
+// replicated read-only across DRAM channels while each query stream
+// owns its bin-count SRAM state.
+func (d *Darwin) Clone() (*Darwin, error) {
+	stride := d.cfg.SeedStride
+	if stride < 1 {
+		stride = 1
+	}
+	filter, err := dsoft.New(d.table, dsoft.Config{
+		N:       d.cfg.SeedN,
+		H:       d.cfg.Threshold,
+		BinSize: d.cfg.BinSize,
+		Stride:  stride,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: cloning filter: %w", err)
+	}
+	clone := *d
+	clone.filter = filter
+	return &clone, nil
+}
+
+// MapResult pairs one read's alignments with its index and statistics.
+type MapResult struct {
+	// Index is the read's position in the input slice.
+	Index int
+	// Alignments are sorted by descending score.
+	Alignments []ReadAlignment
+	// Stats instruments the read's mapping.
+	Stats MapStats
+}
+
+// MapAll maps every read using the given number of worker goroutines
+// (≤ 1 runs inline). Results are returned in input order; workers use
+// cloned engines so bin state never races.
+func (d *Darwin) MapAll(reads []dna.Seq, workers int) ([]MapResult, error) {
+	out := make([]MapResult, len(reads))
+	if workers <= 1 || len(reads) <= 1 {
+		for i, r := range reads {
+			alns, st := d.MapRead(r)
+			out[i] = MapResult{Index: i, Alignments: alns, Stats: st}
+		}
+		return out, nil
+	}
+	if workers > len(reads) {
+		workers = len(reads)
+	}
+	engines := make([]*Darwin, workers)
+	for w := range engines {
+		e, err := d.Clone()
+		if err != nil {
+			return nil, err
+		}
+		engines[w] = e
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(e *Darwin) {
+			defer wg.Done()
+			for i := range next {
+				alns, st := e.MapRead(reads[i])
+				out[i] = MapResult{Index: i, Alignments: alns, Stats: st}
+			}
+		}(engines[w])
+	}
+	for i := range reads {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"darwin/internal/dna"
+	"darwin/internal/readsim"
+)
+
+func TestMapAllMatchesSequential(t *testing.T) {
+	ref := testGenome(t, 150000, 191)
+	d, err := New(ref, DefaultConfig(11, 600, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := readsim.SimulateN(ref, 12, readsim.Config{Profile: readsim.PacBio, MeanLen: 2000, Seed: 192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([]dna.Seq, len(reads))
+	for i := range reads {
+		seqs[i] = reads[i].Seq
+	}
+	seq, err := d.MapAll(seqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := d.MapAll(seqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if par[i].Index != i {
+			t.Fatalf("result %d out of order (index %d)", i, par[i].Index)
+		}
+		a, b := Best(seq[i].Alignments), Best(par[i].Alignments)
+		switch {
+		case a == nil && b == nil:
+		case a == nil || b == nil:
+			t.Fatalf("read %d: mapped-ness differs between sequential and parallel", i)
+		case a.Result.Score != b.Result.Score || a.Result.RefStart != b.Result.RefStart:
+			t.Fatalf("read %d: results differ: %+v vs %+v", i, a.Result, b.Result)
+		}
+		if seq[i].Stats.DSOFT.Hits != par[i].Stats.DSOFT.Hits {
+			t.Fatalf("read %d: stats differ", i)
+		}
+	}
+}
+
+func TestCloneIndependentState(t *testing.T) {
+	ref := testGenome(t, 50000, 193)
+	d, err := New(ref, DefaultConfig(11, 400, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Table() != d.Table() {
+		t.Error("clone should share the seed table")
+	}
+	// Interleaved queries on both engines must match fresh queries.
+	q1 := ref[1000:3000].Clone()
+	q2 := ref[20000:22000].Clone()
+	a1, _ := d.MapRead(q1)
+	b1, _ := c.MapRead(q2)
+	a2, _ := d.MapRead(q1)
+	b2, _ := c.MapRead(q2)
+	if Best(a1).Result.Score != Best(a2).Result.Score {
+		t.Error("original engine state leaked across queries")
+	}
+	if Best(b1).Result.Score != Best(b2).Result.Score {
+		t.Error("cloned engine state leaked across queries")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"darwin/internal/dna"
+)
+
+// Reference is a multi-sequence reference (e.g. the 24 nuclear
+// chromosomes of GRCh38, Section 8) concatenated into one indexable
+// sequence. Sequences are separated by N padding, which contributes
+// no seeds and no alignment score, so seeding and extension never
+// produce cross-chromosome artifacts; coordinates map back through
+// Locate.
+type Reference struct {
+	seq     dna.Seq
+	names   []string
+	offsets []int
+	lengths []int
+}
+
+// NewReference concatenates records with N padding to multiples of
+// pad (use the D-SOFT bin size, as the de novo pipeline does).
+func NewReference(recs []dna.Record, pad int) (*Reference, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("core: no reference sequences")
+	}
+	if pad <= 0 {
+		pad = 128
+	}
+	r := &Reference{}
+	for _, rec := range recs {
+		if len(rec.Seq) == 0 {
+			return nil, fmt.Errorf("core: reference sequence %q is empty", rec.Name)
+		}
+		r.names = append(r.names, rec.Name)
+		r.offsets = append(r.offsets, len(r.seq))
+		r.lengths = append(r.lengths, len(rec.Seq))
+		r.seq = append(r.seq, rec.Seq...)
+		for p := pad - len(rec.Seq)%pad; p > 0; p-- {
+			r.seq = append(r.seq, 'N')
+		}
+	}
+	return r, nil
+}
+
+// Seq returns the concatenated sequence the engine indexes.
+func (r *Reference) Seq() dna.Seq { return r.seq }
+
+// NumSeqs returns the number of reference sequences.
+func (r *Reference) NumSeqs() int { return len(r.names) }
+
+// Name and Len describe sequence i.
+func (r *Reference) Name(i int) string { return r.names[i] }
+
+// Len returns the length of sequence i.
+func (r *Reference) Len(i int) int { return r.lengths[i] }
+
+// Locate maps a concatenated-coordinate position to (sequence index,
+// local position). Positions inside padding map to the preceding
+// sequence, clamped to its end.
+func (r *Reference) Locate(pos int) (int, int) {
+	i := sort.SearchInts(r.offsets, pos+1) - 1
+	if i < 0 {
+		i = 0
+	}
+	local := pos - r.offsets[i]
+	if local > r.lengths[i] {
+		local = r.lengths[i]
+	}
+	return i, local
+}
+
+// LocateSpan maps a concatenated [start, end) span to a sequence and
+// local coordinates, clipping any padding overhang. It reports an
+// error if the span straddles two sequences (possible only for
+// degenerate alignments bridging ≥ pad Ns, which score nothing).
+func (r *Reference) LocateSpan(start, end int) (seq int, localStart, localEnd int, err error) {
+	si, ls := r.Locate(start)
+	ei, le := r.Locate(end - 1)
+	if si != ei {
+		return 0, 0, 0, fmt.Errorf("core: span [%d,%d) crosses reference sequences %q and %q",
+			start, end, r.names[si], r.names[ei])
+	}
+	le++
+	if le > r.lengths[si] {
+		le = r.lengths[si]
+	}
+	return si, ls, le, nil
+}
+
+// NewMulti indexes a multi-sequence reference. The returned engine's
+// alignments use concatenated coordinates; use the Reference to map
+// them back.
+func NewMulti(recs []dna.Record, cfg Config) (*Darwin, *Reference, error) {
+	ref, err := NewReference(recs, cfg.BinSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := New(ref.Seq(), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, ref, nil
+}

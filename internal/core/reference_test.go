@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"darwin/internal/dna"
+	"darwin/internal/readsim"
+)
+
+func TestReferenceCoordinates(t *testing.T) {
+	recs := []dna.Record{
+		{Name: "chr1", Seq: dna.NewSeq("ACGTACGTAC")}, // len 10
+		{Name: "chr2", Seq: dna.NewSeq("GGGGCCCC")},   // len 8
+	}
+	ref, err := NewReference(recs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NumSeqs() != 2 || ref.Name(1) != "chr2" || ref.Len(0) != 10 {
+		t.Fatalf("metadata wrong: %+v", ref)
+	}
+	// chr1 padded to 16; chr2 starts at 16.
+	if i, p := ref.Locate(0); i != 0 || p != 0 {
+		t.Errorf("Locate(0) = (%d,%d)", i, p)
+	}
+	if i, p := ref.Locate(9); i != 0 || p != 9 {
+		t.Errorf("Locate(9) = (%d,%d)", i, p)
+	}
+	if i, p := ref.Locate(12); i != 0 || p != 10 {
+		t.Errorf("Locate(padding) = (%d,%d), want clamped (0,10)", i, p)
+	}
+	if i, p := ref.Locate(16); i != 1 || p != 0 {
+		t.Errorf("Locate(16) = (%d,%d), want (1,0)", i, p)
+	}
+	if _, ls, le, err := ref.LocateSpan(16, 24); err != nil || ls != 0 || le != 8 {
+		t.Errorf("LocateSpan(chr2) = %d %d %v", ls, le, err)
+	}
+	if _, _, _, err := ref.LocateSpan(5, 20); err == nil {
+		t.Error("cross-sequence span should error")
+	}
+	// Padding bases must be N.
+	if ref.Seq()[10] != 'N' || ref.Seq()[15] != 'N' {
+		t.Error("padding not N")
+	}
+}
+
+func TestReferenceErrors(t *testing.T) {
+	if _, err := NewReference(nil, 16); err == nil {
+		t.Error("empty record list should error")
+	}
+	if _, err := NewReference([]dna.Record{{Name: "x"}}, 16); err == nil {
+		t.Error("empty sequence should error")
+	}
+}
+
+// TestNewMultiMapsToRightChromosome: reads simulated from each
+// "chromosome" must map back to it with correct local coordinates.
+func TestNewMultiMapsToRightChromosome(t *testing.T) {
+	chr1 := testGenome(t, 60000, 151)
+	chr2 := testGenome(t, 40000, 152)
+	recs := []dna.Record{{Name: "chr1", Seq: chr1}, {Name: "chr2", Seq: chr2}}
+	d, ref, err := NewMulti(recs, DefaultConfig(11, 600, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, chrom := range []dna.Seq{chr1, chr2} {
+		reads, err := readsim.SimulateN(chrom, 8, readsim.Config{Profile: readsim.PacBio, MeanLen: 2000, Seed: int64(153 + ci)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for i := range reads {
+			r := &reads[i]
+			alns, _ := d.MapRead(r.Seq)
+			best := Best(alns)
+			if best == nil {
+				continue
+			}
+			seq, lo, _, err := ref.LocateSpan(best.Result.RefStart, best.Result.RefEnd)
+			if err != nil {
+				t.Errorf("chr%d read %d: %v", ci+1, i, err)
+				continue
+			}
+			if seq == ci && lo >= r.RefStart-50 && lo <= r.RefStart+50 {
+				correct++
+			}
+		}
+		if correct < 7 {
+			t.Errorf("chr%d: %d/8 reads mapped to the right place", ci+1, correct)
+		}
+	}
+}

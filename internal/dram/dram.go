@@ -1,0 +1,222 @@
+// Package dram is an event-driven LPDDR4 channel simulator — the
+// Ramulator stand-in of this reproduction (Section 8: "We generated a
+// memory trace using a software run of D-SOFT and GACT and used
+// Ramulator to estimate DRAM timing"). It models banks with open-row
+// policy, row activate/precharge/CAS timing, burst transfers, and a
+// simple in-order-per-bank scheduler: enough microarchitecture for
+// the quantity the paper's methodology needs, namely the *effective
+// bandwidth* of each access pattern (random pointer lookups,
+// sequential position-table streams, GACT tile reads/writes).
+//
+// The analytical constants in package hw (sequential efficiency,
+// per-seed random-access cost) are validated against this simulator's
+// output (see the tests), closing the loop the paper closed with
+// Ramulator.
+package dram
+
+import "fmt"
+
+// Config holds the channel geometry and timing in memory-clock cycles.
+// Defaults model LPDDR4-2400: 1200 MHz clock, data on both edges,
+// 32-bit channel ⇒ 9.6 GB/s peak, 8 banks, 2 KB rows.
+type Config struct {
+	// ClockHz is the memory command clock (1200 MHz for LPDDR4-2400).
+	ClockHz float64
+	// BusBytesPerCycle is the data transferred per clock (DDR 32-bit:
+	// 8 bytes/cycle).
+	BusBytesPerCycle int
+	// Banks per channel.
+	Banks int
+	// RowBytes is the row-buffer (page) size.
+	RowBytes int
+	// BurstBytes is the minimum transfer granularity (BL16 × 4 B).
+	BurstBytes int
+	// Timing in clock cycles.
+	TRCD   int // activate → column command
+	TRP    int // precharge
+	TCAS   int // column command → first data
+	TRAS   int // activate → precharge minimum
+	TBurst int // data transfer occupancy per burst
+	// MLP is the controller's outstanding-request window: up to this
+	// many bursts overlap their activate/CAS latencies (bounded in
+	// real parts by command-bus and queue capacity).
+	MLP int
+}
+
+// DefaultConfig returns LPDDR4-2400 timing (approximate datasheet
+// values at 1200 MHz: tRCD ≈ 15 ns, tRP ≈ 18 ns, tCAS ≈ 24 ns,
+// tRAS ≈ 35 ns).
+func DefaultConfig() Config {
+	return Config{
+		ClockHz:          1200e6,
+		BusBytesPerCycle: 8,
+		Banks:            8,
+		RowBytes:         2048,
+		BurstBytes:       64,
+		TRCD:             18,
+		TRP:              22,
+		TCAS:             29,
+		TRAS:             42,
+		TBurst:           8, // 64 B / 8 B-per-cycle
+		MLP:              4,
+	}
+}
+
+// PeakGBps is the channel's raw bandwidth.
+func (c Config) PeakGBps() float64 {
+	return c.ClockHz * float64(c.BusBytesPerCycle) / 1e9
+}
+
+// Request is one memory access.
+type Request struct {
+	// Addr is the byte address.
+	Addr int64
+	// Bytes is the transfer size (split into bursts internally).
+	Bytes int
+	// Write marks stores (same timing as reads in this model, but
+	// they occupy the bus).
+	Write bool
+}
+
+// Result summarizes a simulated request stream.
+type Result struct {
+	// Cycles is the total memory-clock cycles from first command to
+	// last data.
+	Cycles int64
+	// BytesMoved is the total data transferred.
+	BytesMoved int64
+	// RowHits and RowMisses count row-buffer outcomes per burst.
+	RowHits, RowMisses int64
+}
+
+// EffectiveGBps is the achieved bandwidth.
+func (r Result) EffectiveGBps(cfg Config) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.Cycles) / cfg.ClockHz
+	return float64(r.BytesMoved) / seconds / 1e9
+}
+
+// HitRate is the row-buffer hit fraction.
+func (r Result) HitRate() float64 {
+	total := r.RowHits + r.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RowHits) / float64(total)
+}
+
+// Channel simulates one LPDDR4 channel.
+type Channel struct {
+	cfg Config
+	// Per-bank state.
+	openRow  []int64 // -1 = closed
+	bankFree []int64 // cycle at which the bank can accept a command
+	busFree  int64   // cycle at which the data bus is free
+	// inflight holds the completion cycles of the last MLP bursts; a
+	// new burst may not issue before the oldest completes (queue
+	// capacity).
+	inflight []int64
+	ifIdx    int
+	res      Result
+}
+
+// NewChannel creates a channel with all rows closed.
+func NewChannel(cfg Config) (*Channel, error) {
+	if cfg.Banks <= 0 || cfg.RowBytes <= 0 || cfg.BurstBytes <= 0 || cfg.BusBytesPerCycle <= 0 {
+		return nil, fmt.Errorf("dram: invalid geometry %+v", cfg)
+	}
+	if cfg.MLP <= 0 {
+		cfg.MLP = 1
+	}
+	ch := &Channel{
+		cfg:      cfg,
+		openRow:  make([]int64, cfg.Banks),
+		bankFree: make([]int64, cfg.Banks),
+		inflight: make([]int64, cfg.MLP),
+	}
+	for i := range ch.openRow {
+		ch.openRow[i] = -1
+	}
+	return ch, nil
+}
+
+// rowOf maps an address to (bank, row): rows are interleaved across
+// banks at row granularity, so sequential streams hop banks and hide
+// activation latency — the standard controller mapping.
+func (ch *Channel) rowOf(addr int64) (bank int, row int64) {
+	rowIdx := addr / int64(ch.cfg.RowBytes)
+	return int(rowIdx % int64(ch.cfg.Banks)), rowIdx
+}
+
+// Access issues one request and advances the simulation.
+func (ch *Channel) Access(req Request) {
+	bytes := req.Bytes
+	if bytes <= 0 {
+		bytes = ch.cfg.BurstBytes
+	}
+	addr := req.Addr
+	for bytes > 0 {
+		burst := ch.cfg.BurstBytes - int(addr)%ch.cfg.BurstBytes
+		if burst > bytes {
+			burst = bytes
+		}
+		ch.burst(addr)
+		addr += int64(burst)
+		bytes -= burst
+		ch.res.BytesMoved += int64(burst)
+	}
+}
+
+// burst performs one ≤BurstBytes transfer.
+func (ch *Channel) burst(addr int64) {
+	cfg := ch.cfg
+	bank, row := ch.rowOf(addr)
+	// Issue when the bank is ready and a queue slot is free (the
+	// oldest of the last MLP bursts has completed).
+	start := maxI64(ch.inflight[ch.ifIdx], ch.bankFree[bank])
+	if ch.openRow[bank] == row {
+		ch.res.RowHits++
+	} else {
+		ch.res.RowMisses++
+		if ch.openRow[bank] != -1 {
+			start += int64(cfg.TRP) // precharge the old row
+		}
+		start += int64(cfg.TRCD) // activate the new row
+		ch.openRow[bank] = row
+	}
+	// Column access: data appears TCAS later and occupies the bus for
+	// TBurst.
+	dataStart := maxI64(start+int64(cfg.TCAS), ch.busFree)
+	done := dataStart + int64(cfg.TBurst)
+	ch.busFree = done
+	ch.bankFree[bank] = start + int64(cfg.TBurst)
+	ch.inflight[ch.ifIdx] = done
+	ch.ifIdx = (ch.ifIdx + 1) % len(ch.inflight)
+	if done > ch.res.Cycles {
+		ch.res.Cycles = done
+	}
+}
+
+// Result returns the accumulated statistics.
+func (ch *Channel) Result() Result { return ch.res }
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Simulate runs a request stream through a fresh channel.
+func Simulate(cfg Config, reqs []Request) (Result, error) {
+	ch, err := NewChannel(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, r := range reqs {
+		ch.Access(r)
+	}
+	return ch.Result(), nil
+}

@@ -1,0 +1,157 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"darwin/internal/hw"
+)
+
+func TestPeakBandwidth(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.PeakGBps(); got < 9.5 || got > 9.7 {
+		t.Errorf("peak = %.2f GB/s, want 9.6 (LPDDR4-2400 ×32)", got)
+	}
+}
+
+// TestSequentialStreamEfficiency: long sequential reads must achieve a
+// large fraction of peak (row hits dominate, bank interleaving hides
+// activations).
+func TestSequentialStreamEfficiency(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MLP = 8 // a streaming prefetcher keeps several bursts in flight
+	res, err := Simulate(cfg, StreamTrace(0, 8<<20, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := res.EffectiveGBps(cfg) / cfg.PeakGBps()
+	if eff < 0.85 {
+		t.Errorf("sequential efficiency = %.2f, want ≥ 0.85", eff)
+	}
+	if res.HitRate() < 0.9 {
+		t.Errorf("row hit rate = %.2f, want ≥ 0.9", res.HitRate())
+	}
+}
+
+// TestRandomAccessLatencyBound: small random reads are latency-bound;
+// effective bandwidth collapses and the per-access cost approaches
+// tRP+tRCD+tCAS.
+func TestRandomAccessLatencyBound(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	res, err := Simulate(cfg, RandomTrace(rng, n, 8, 4<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := res.EffectiveGBps(cfg) / cfg.PeakGBps()
+	if eff > 0.1 {
+		t.Errorf("random 8B efficiency = %.2f, want ≤ 0.1", eff)
+	}
+	// ~11% of 8 B reads straddle a 64 B burst boundary; the second
+	// burst of those is a same-row hit. True cross-request hits are
+	// negligible.
+	if res.HitRate() > 0.15 {
+		t.Errorf("random hit rate = %.2f, want ≤ 0.15", res.HitRate())
+	}
+	nsPerAccess := float64(res.Cycles) / cfg.ClockHz * 1e9 / n
+	// With 8 banks overlapping, the amortized cost is below one full
+	// tRC but must remain well above a burst slot.
+	if nsPerAccess < 5 || nsPerAccess > 80 {
+		t.Errorf("random access cost = %.1f ns, want 5-80 ns", nsPerAccess)
+	}
+}
+
+// TestSeedLookupMatchesAnalyticalModel closes the Ramulator loop: the
+// simulated per-seed D-SOFT cost must track hw.DSOFTModel's analytical
+// throughput (which was calibrated to the paper's Table 3) within a
+// factor of two across the hits/seed range.
+func TestSeedLookupMatchesAnalyticalModel(t *testing.T) {
+	cfg := DefaultConfig()
+	model := hw.NewDSOFTModel(hw.DefaultChip())
+	rng := rand.New(rand.NewSource(2))
+	for _, hits := range []float64{8.7, 33.4, 127.3, 491.6} {
+		const seeds = 3000
+		res, err := Simulate(cfg, SeedLookupTrace(rng, seeds, hits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Simulated seeds/s for the whole memory system: 4 channels,
+		// scaled by the share not reserved for GACT.
+		perChannel := cfg.ClockHz / (float64(res.Cycles) / seeds)
+		simSeedsPerSec := perChannel * 4 * (1 - model.DRAM.GACTReserve)
+		want := model.SeedsPerSecond(hits)
+		ratio := simSeedsPerSec / want
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("hits/seed=%.1f: simulated %.3g seeds/s vs model %.3g (ratio %.2f)",
+				hits, simSeedsPerSec, want, ratio)
+		}
+	}
+}
+
+// TestGACTTrafficShare: at the paper's peak tile rate, simulated GACT
+// traffic must occupy roughly the 44.4% of memory cycles Section 9
+// reports.
+func TestGACTTrafficShare(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MLP = 16 // 16 GACT arrays share each channel (Section 8)
+	rng := rand.New(rand.NewSource(3))
+	const tiles = 5000
+	res, err := Simulate(cfg, GACTTileTrace(rng, tiles, 320))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycles consumed per tile on one channel; 20.8M tiles/s spread
+	// over 4 channels ⇒ 5.2M tiles/s each.
+	cyclesPerTile := float64(res.Cycles) / tiles
+	share := cyclesPerTile * 5.2e6 / cfg.ClockHz
+	if share < 0.25 || share > 0.65 {
+		t.Errorf("GACT memory share = %.2f, want ≈ 0.44 (paper: 44.4%%)", share)
+	}
+}
+
+// TestRowPolicy: two bursts to the same row cost one activation; to
+// different rows in one bank, two.
+func TestRowPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	same, err := Simulate(cfg, []Request{{Addr: 0, Bytes: 64}, {Addr: 64, Bytes: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.RowHits != 1 || same.RowMisses != 1 {
+		t.Errorf("same-row: hits=%d misses=%d, want 1/1", same.RowHits, same.RowMisses)
+	}
+	rowStride := int64(cfg.RowBytes * cfg.Banks) // same bank, next row
+	diff, err := Simulate(cfg, []Request{{Addr: 0, Bytes: 64}, {Addr: rowStride, Bytes: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.RowMisses != 2 {
+		t.Errorf("conflict: misses=%d, want 2", diff.RowMisses)
+	}
+	if diff.Cycles <= same.Cycles {
+		t.Errorf("row conflict (%d cycles) not slower than row hit (%d)", diff.Cycles, same.Cycles)
+	}
+}
+
+func TestRequestSplitting(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Simulate(cfg, []Request{{Addr: 32, Bytes: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesMoved != 100 {
+		t.Errorf("bytes moved = %d, want 100", res.BytesMoved)
+	}
+	if res.RowHits+res.RowMisses != 3 { // 32..64, 64..128, 128..132
+		t.Errorf("bursts = %d, want 3", res.RowHits+res.RowMisses)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Banks = 0
+	if _, err := Simulate(bad, nil); err == nil {
+		t.Error("zero banks should error")
+	}
+}

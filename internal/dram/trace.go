@@ -1,0 +1,80 @@
+package dram
+
+import "math/rand"
+
+// Trace builders for the three access patterns the paper's memory
+// methodology evaluates (Section 8): D-SOFT seed lookups, GACT tile
+// traffic, and raw streaming/random reference patterns.
+
+// SeedLookupTrace models D-SOFT's per-seed DRAM behaviour: one random
+// 8 B pointer-table read (two adjacent 4 B pointers) followed by a
+// sequential hits×4 B position-table stream at a random offset. Table
+// regions are placed as in Figure 5b (4 GB pointer table, 16 GB
+// position table).
+func SeedLookupTrace(rng *rand.Rand, seeds int, hitsPerSeed float64) []Request {
+	const (
+		ptrBase = int64(0)
+		ptrSize = int64(4) << 30
+		posBase = ptrSize
+		posSize = int64(16) << 30
+	)
+	reqs := make([]Request, 0, seeds*2)
+	for s := 0; s < seeds; s++ {
+		reqs = append(reqs, Request{Addr: ptrBase + rng.Int63n(ptrSize-8), Bytes: 8})
+		// Hit-list length varies; draw around the mean.
+		hits := int(hitsPerSeed)
+		if frac := hitsPerSeed - float64(hits); rng.Float64() < frac {
+			hits++
+		}
+		if hits == 0 {
+			continue
+		}
+		reqs = append(reqs, Request{Addr: posBase + rng.Int63n(posSize-int64(hits*4)), Bytes: hits * 4})
+	}
+	return reqs
+}
+
+// GACTTileTrace models the per-tile traffic of Section 9: two
+// sequential T-byte reads (R_tile, Q_tile from the reference and
+// query partitions) and one 64 B traceback write, at random positions.
+func GACTTileTrace(rng *rand.Rand, tiles, tileT int) []Request {
+	const (
+		refBase = int64(20) << 30
+		refSize = int64(4) << 30
+		qBase   = int64(24) << 30
+		qSize   = int64(6) << 30
+		tbBase  = int64(30) << 30
+		tbSize  = int64(2) << 30
+	)
+	reqs := make([]Request, 0, tiles*3)
+	for t := 0; t < tiles; t++ {
+		reqs = append(reqs,
+			Request{Addr: refBase + rng.Int63n(refSize-int64(tileT)), Bytes: tileT},
+			Request{Addr: qBase + rng.Int63n(qSize-int64(tileT)), Bytes: tileT},
+			Request{Addr: tbBase + rng.Int63n(tbSize-64), Bytes: 64, Write: true},
+		)
+	}
+	return reqs
+}
+
+// StreamTrace is a purely sequential read of the given size.
+func StreamTrace(start int64, bytes, chunk int) []Request {
+	var reqs []Request
+	for off := 0; off < bytes; off += chunk {
+		n := chunk
+		if off+n > bytes {
+			n = bytes - off
+		}
+		reqs = append(reqs, Request{Addr: start + int64(off), Bytes: n})
+	}
+	return reqs
+}
+
+// RandomTrace is uniformly random small reads over a region.
+func RandomTrace(rng *rand.Rand, count, bytes int, region int64) []Request {
+	reqs := make([]Request, count)
+	for i := range reqs {
+		reqs[i] = Request{Addr: rng.Int63n(region - int64(bytes)), Bytes: bytes}
+	}
+	return reqs
+}

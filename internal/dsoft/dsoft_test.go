@@ -1,0 +1,398 @@
+package dsoft
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"darwin/internal/dna"
+	"darwin/internal/genome"
+	"darwin/internal/readsim"
+	"darwin/internal/seedtable"
+)
+
+// naiveDSOFT is a direct transliteration of Algorithm 1 using
+// brute-force seed lookup, used as an oracle.
+func naiveDSOFT(ref, q dna.Seq, k int, cfg Config, qPad int) []Candidate {
+	B := cfg.BinSize
+	nb := (len(ref)+qPad)/B + 2
+	lastHit := make([]int, nb)
+	bpCount := make([]int, nb)
+	for i := range lastHit {
+		lastHit[i] = -k
+	}
+	var out []Candidate
+	end := cfg.Start + cfg.N*cfg.Stride
+	for j := cfg.Start; j < end && j+k <= len(q); j += cfg.Stride {
+		seed, ok := dna.PackSeed(q, j, k)
+		if !ok {
+			continue
+		}
+		for i := 0; i+k <= len(ref); i++ {
+			code, ok := dna.PackSeed(ref, i, k)
+			if !ok || code != seed {
+				continue
+			}
+			bin := (i - j + qPad) / B
+			if cfg.ResetGap > 0 && lastHit[bin] != -k && j-lastHit[bin] > cfg.ResetGap {
+				bpCount[bin] = 0
+			}
+			overlap := 0
+			if o := lastHit[bin] + k - j; o > 0 {
+				overlap = o
+			}
+			lastHit[bin] = j
+			add := k - overlap
+			if cfg.HitCountMode {
+				add = 1
+			}
+			old := bpCount[bin]
+			bpCount[bin] += add
+			if old < cfg.H && bpCount[bin] >= cfg.H {
+				out = append(out, Candidate{Bin: bin - qPad/B, RefPos: i, QueryPos: j})
+			}
+		}
+	}
+	return out
+}
+
+func buildTable(t *testing.T, ref dna.Seq, k int) *seedtable.Table {
+	t.Helper()
+	tab, err := seedtable.Build(ref, k, seedtable.Options{NoMask: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestMatchesNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		ref := dna.Random(rng, 400, 0.5)
+		// Query embeds a chunk of the reference so real candidates exist.
+		start := rng.Intn(300)
+		q := append(dna.Random(rng, 20, 0.5), ref[start:start+60]...)
+		q = append(q, dna.Random(rng, 20, 0.5)...)
+
+		k := 4 + trial%3
+		cfg := Config{N: 60, H: 5 + trial%8, BinSize: 16, Stride: 1}
+		if trial%4 == 0 {
+			cfg.HitCountMode = true
+			cfg.H = 2 + trial%3
+		}
+		f, err := New(buildTable(t, ref, k), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := f.Query(q)
+		want := naiveDSOFT(ref, q, k, cfg, f.qPad)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (k=%d cfg=%+v):\ngot  %v\nwant %v", trial, k, cfg, got, want)
+		}
+	}
+}
+
+// TestUniqueBaseVsHitCount reproduces the Figure 2 contrast: a band
+// with heavily overlapping seed hits (few unique bases) must be
+// rejected by base counting yet accepted by hit counting.
+func TestUniqueBaseVsHitCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	// Region A: an 11bp shared word ⇒ 4 seed positions (k=8) covering
+	// only 11 unique bases. Region B: a 20bp exact copy ⇒ 13 seed
+	// positions covering 20 unique bases. With k=8 spurious random
+	// hits are vanishingly rare.
+	word := dna.NewSeq("ACGTGCATTCA")           // 11bp
+	block := dna.NewSeq("GGATCCGGTTAACCGGATAC") // 20bp
+	ref := dna.Random(rng, 400, 0.5)
+	copy(ref[40:], word)
+	copy(ref[200:], block)
+	q := dna.Random(rng, 150, 0.5)
+	copy(q[10:], word)
+	copy(q[80:], block)
+
+	const k = 8
+	tab := buildTable(t, ref, k)
+	binA := (40 - 10) / 32
+	binB := (200 - 80) / 32
+
+	// Base counting with h=16: only the 20-base region qualifies
+	// (the word region has just 11 unique bases).
+	f, err := New(tab, Config{N: 143, H: 16, BinSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, _ := f.Query(q)
+	seen := map[int]bool{}
+	for _, c := range cands {
+		seen[c.Bin] = true
+	}
+	if !seen[binB] {
+		t.Errorf("base counting missed the 20bp region (bin %d); candidates: %v", binB, cands)
+	}
+	if seen[binA] {
+		t.Errorf("base counting accepted the 11-unique-base region (bin %d) at h=16", binA)
+	}
+
+	// Hit counting with h=4 hits: both regions have ≥4 seed hits, so
+	// the overlapping region is a false positive of the hit strategy.
+	fh, err := New(tab, Config{N: 143, H: 4, BinSize: 32, HitCountMode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candsH, _ := fh.Query(q)
+	seenH := map[int]bool{}
+	for _, c := range candsH {
+		seenH[c.Bin] = true
+	}
+	if !seenH[binA] || !seenH[binB] {
+		t.Errorf("hit counting should accept both regions; got bins %v (want %d and %d)", seenH, binA, binB)
+	}
+}
+
+func TestSensitivityOnSimulatedRead(t *testing.T) {
+	g, err := genome.Generate(genome.Config{Length: 200000, GC: 0.5, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := buildTable(t, g.Seq, 11)
+	reads, err := readsim.SimulateN(g.Seq, 20, readsim.Config{Profile: readsim.PacBio, MeanLen: 3000, Seed: 54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(tab, Config{N: 500, H: 20, BinSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := range reads {
+		r := &reads[i]
+		q := r.Seq
+		if r.Reverse {
+			q = dna.RevComp(q)
+		}
+		cands, _ := f.Query(q)
+		trueBin := f.BinOf(r.RefStart, 0)
+		hit := false
+		for _, c := range cands {
+			if c.Bin >= trueBin-2 && c.Bin <= trueBin+2 {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			found++
+		}
+	}
+	if found < 18 {
+		t.Errorf("found true bin for %d/20 reads, want ≥ 18", found)
+	}
+}
+
+func TestSaturatingCountersMatchExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	ref := dna.Random(rng, 2000, 0.5)
+	q := append(ref[500:700].Clone(), dna.Random(rng, 100, 0.5)...)
+	tab := buildTable(t, ref, 5)
+	// H ≤ 31−k+1 guarantees the crossing happens before saturation.
+	for _, h := range []int{5, 10, 20, 27} {
+		exact, err := New(tab, Config{N: 250, H: h, BinSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sat, err := New(tab, Config{N: 250, H: h, BinSize: 64, SaturateCounts: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := exact.Query(q)
+		b, _ := sat.Query(q)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("h=%d: saturating counters changed candidates: %v vs %v", h, a, b)
+		}
+	}
+}
+
+func TestThresholdMonotone(t *testing.T) {
+	// Raising h can only shrink the candidate bin set (Fig. 11's
+	// fine-grained knob).
+	rng := rand.New(rand.NewSource(56))
+	ref := dna.Random(rng, 5000, 0.5)
+	q := append(ref[1000:1500].Clone(), dna.Random(rng, 200, 0.5)...)
+	tab := buildTable(t, ref, 6)
+	prevBins := -1
+	for _, h := range []int{6, 12, 24, 48, 96} {
+		f, err := New(tab, Config{N: 500, H: h, BinSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands, _ := f.Query(q)
+		bins := map[int]bool{}
+		for _, c := range cands {
+			bins[c.Bin] = true
+		}
+		if prevBins >= 0 && len(bins) > prevBins {
+			t.Errorf("h=%d produced %d bins, more than %d at lower h", h, len(bins), prevBins)
+		}
+		prevBins = len(bins)
+	}
+}
+
+func TestRepeatedQueriesIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	ref := dna.Random(rng, 3000, 0.5)
+	q1 := append(ref[100:400].Clone(), dna.Random(rng, 50, 0.5)...)
+	q2 := ref[2000:2400].Clone()
+	tab := buildTable(t, ref, 6)
+	f, err := New(tab, Config{N: 400, H: 12, BinSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, s1 := f.Query(q1)
+	_, _ = f.Query(q2)
+	a2, s2 := f.Query(q1)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Errorf("bin state leaked between queries: %v vs %v", a1, a2)
+	}
+	if s1 != s2 {
+		t.Errorf("stats differ between identical queries: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	ref := dna.Random(rng, 2000, 0.5)
+	q := append(dna.NewSeq("ACGNNGT"), ref[200:500]...)
+	tab := buildTable(t, ref, 5)
+	f, err := New(tab, Config{N: 100, H: 15, BinSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, st := f.Query(q)
+	if st.SeedsSkipped == 0 {
+		t.Error("seeds over N should be counted as skipped")
+	}
+	if st.SeedsIssued+st.SeedsSkipped > 100 {
+		t.Errorf("issued %d + skipped %d exceeds N=100", st.SeedsIssued, st.SeedsSkipped)
+	}
+	if st.Candidates != len(cands) {
+		t.Errorf("stats candidates %d != len(candidates) %d", st.Candidates, len(cands))
+	}
+	if st.Hits == 0 || st.BinsTouched == 0 {
+		t.Errorf("expected hits and touched bins, got %+v", st)
+	}
+	if st.BinsTouched > st.Hits {
+		t.Errorf("bins touched %d > hits %d", st.BinsTouched, st.Hits)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	ref := dna.Random(rng, 100, 0.5)
+	tab := buildTable(t, ref, 4)
+	cases := []Config{
+		{N: 0, H: 5, BinSize: 64},
+		{N: 10, H: 0, BinSize: 64},
+		{N: 10, H: 5, BinSize: 0},
+		{N: 10, H: 5, BinSize: 100}, // not a power of two
+	}
+	for i, cfg := range cases {
+		if _, err := New(tab, cfg); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, cfg)
+		}
+	}
+}
+
+// TestResetGapRefires: two exact copies of a block on the same
+// diagonal, separated by a long hitless stretch, must produce two
+// candidates with ResetGap set and only one without.
+func TestResetGapRefires(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const k, B = 8, 32
+	blockA := dna.Random(rng, 64, 0.5)
+	blockB := dna.Random(rng, 64, 0.5)
+	gap := 3000
+	// Reference: blockA ... blockB at the same diagonal offsets as in
+	// the query.
+	ref := append(blockA.Clone(), dna.Random(rng, gap, 0.5)...)
+	ref = append(ref, blockB...)
+	q := append(blockA.Clone(), dna.Random(rng, gap, 0.5)...)
+	q = append(q, blockB...)
+
+	tab := buildTable(t, ref, k)
+	base := Config{N: len(q), H: 32, BinSize: B, Stride: 1}
+	noReset, err := New(tab, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withReset := base
+	withReset.ResetGap = 1024
+	reset, err := New(tab, withReset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countOnDiag := func(cands []Candidate) int {
+		n := 0
+		for _, c := range cands {
+			if c.Bin == 0 || c.Bin == -1 {
+				n++
+			}
+		}
+		return n
+	}
+	a, _ := noReset.Query(q)
+	b, _ := reset.Query(q)
+	if got := countOnDiag(a); got != 1 {
+		t.Errorf("without reset: %d main-diagonal candidates, want 1 (%v)", got, a)
+	}
+	if got := countOnDiag(b); got < 2 {
+		t.Errorf("with reset: %d main-diagonal candidates, want ≥ 2 (%v)", got, b)
+	}
+	// The oracle must agree with the reset implementation too.
+	want := naiveDSOFT(ref, q, k, withReset, reset.qPad)
+	got, _ := reset.Query(q)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reset oracle mismatch:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestTraceMatchesQuery: the accelerator trace must mirror Query's
+// seed/hit accounting exactly (same seeds, same per-seed hit counts,
+// same bins).
+func TestTraceMatchesQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	ref := dna.Random(rng, 3000, 0.5)
+	q := append(ref[500:900].Clone(), dna.Random(rng, 100, 0.5)...)
+	tab := buildTable(t, ref, 6)
+	f, err := New(tab, Config{N: 300, H: 10, BinSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := f.Trace(q)
+	_, st := f.Query(q)
+	if len(trace) != st.SeedsIssued {
+		t.Errorf("trace has %d seeds, Query issued %d", len(trace), st.SeedsIssued)
+	}
+	hits := 0
+	for _, bins := range trace {
+		hits += len(bins)
+	}
+	if hits != st.Hits {
+		t.Errorf("trace has %d hits, Query processed %d", hits, st.Hits)
+	}
+	if DefaultConfig(300, 10).BinSize != 128 {
+		t.Error("DefaultConfig bin size should be the paper's 128")
+	}
+}
+
+func TestShortQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	ref := dna.Random(rng, 500, 0.5)
+	tab := buildTable(t, ref, 8)
+	f, err := New(tab, Config{N: 100, H: 10, BinSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, st := f.Query(dna.NewSeq("ACG")) // shorter than k
+	if len(cands) != 0 || st.SeedsIssued != 0 {
+		t.Errorf("short query produced work: %v %+v", cands, st)
+	}
+}

@@ -1,0 +1,117 @@
+package dsoft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"darwin/internal/dna"
+	"darwin/internal/seedtable"
+)
+
+// Property: raising h never adds candidate bins (Fig. 11's monotone
+// knob), for arbitrary references, queries, and parameters.
+func TestQuickThresholdMonotoneBins(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := dna.Random(rng, 200+rng.Intn(800), 0.5)
+		start := rng.Intn(len(ref) / 2)
+		ln := 50 + rng.Intn(len(ref)/2-1)
+		if start+ln > len(ref) {
+			ln = len(ref) - start
+		}
+		q := append(ref[start:start+ln].Clone(), dna.Random(rng, 50, 0.5)...)
+		k := 4 + rng.Intn(4)
+		tab, err := seedtable.Build(ref, k, seedtable.Options{NoMask: true})
+		if err != nil {
+			return false
+		}
+		h1 := 2 + rng.Intn(20)
+		h2 := h1 + 1 + rng.Intn(20)
+		binSize := 1 << (3 + rng.Intn(4))
+		f1, err := New(tab, Config{N: len(q), H: h1, BinSize: binSize})
+		if err != nil {
+			return false
+		}
+		f2, err := New(tab, Config{N: len(q), H: h2, BinSize: binSize})
+		if err != nil {
+			return false
+		}
+		c1, _ := f1.Query(q)
+		c2, _ := f2.Query(q)
+		bins1 := map[int]bool{}
+		for _, c := range c1 {
+			bins1[c.Bin] = true
+		}
+		for _, c := range c2 {
+			if !bins1[c.Bin] {
+				return false // a bin fired at high h but not at low h
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every candidate's (RefPos, QueryPos) is a genuine seed
+// match between reference and query, and its Bin is the hit's
+// canonical diagonal band.
+func TestQuickCandidatesAreRealHits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := dna.Random(rng, 300+rng.Intn(500), 0.5)
+		q := append(ref[:100+rng.Intn(100)].Clone(), dna.Random(rng, 40, 0.5)...)
+		const k = 6
+		tab, err := seedtable.Build(ref, k, seedtable.Options{NoMask: true})
+		if err != nil {
+			return false
+		}
+		filter, err := New(tab, Config{N: len(q), H: 8, BinSize: 32})
+		if err != nil {
+			return false
+		}
+		cands, _ := filter.Query(q)
+		for _, c := range cands {
+			rc, ok1 := dna.PackSeed(ref, c.RefPos, k)
+			qc, ok2 := dna.PackSeed(q, c.QueryPos, k)
+			if !ok1 || !ok2 || rc != qc {
+				return false
+			}
+			if c.Bin != filter.BinOf(c.RefPos, c.QueryPos) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stats are internally consistent for arbitrary queries.
+func TestQuickStatsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := dna.Random(rng, 400, 0.5)
+		q := dna.Random(rng, 100+rng.Intn(200), 0.5)
+		tab, err := seedtable.Build(ref, 5, seedtable.Options{NoMask: true})
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(300)
+		filter, err := New(tab, Config{N: n, H: 6, BinSize: 64})
+		if err != nil {
+			return false
+		}
+		cands, st := filter.Query(q)
+		return st.Candidates == len(cands) &&
+			st.SeedsIssued+st.SeedsSkipped <= n &&
+			st.BinsTouched <= st.Hits &&
+			st.Candidates <= st.Hits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 9) at laptop scale: synthetic genomes
+// stand in for GRCh38/C. elegans, seed sizes are scaled to preserve
+// the hits/seed regime, measured software numbers come from this
+// repository's implementations, and Darwin ASIC numbers come from the
+// calibrated hardware model (internal/hw) following the paper's own
+// estimation methodology. EXPERIMENTS.md records paper-vs-measured
+// values for each experiment.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"darwin/internal/dna"
+	"darwin/internal/genome"
+	"darwin/internal/readsim"
+)
+
+// Options configures workload scale. Zero values take defaults.
+type Options struct {
+	// GenomeLen is the synthetic reference length (default 1 Mbp;
+	// Quick uses 200 kbp).
+	GenomeLen int
+	// Reads is the number of reads evaluated per read class.
+	Reads int
+	// ReadLen is the mean simulated read length.
+	ReadLen int
+	// Seed makes runs deterministic.
+	Seed int64
+	// Quick shrinks every workload for use inside benchmarks.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.GenomeLen == 0 {
+		if o.Quick {
+			o.GenomeLen = 200_000
+		} else {
+			o.GenomeLen = 1_000_000
+		}
+	}
+	if o.Reads == 0 {
+		if o.Quick {
+			o.Reads = 8
+		} else {
+			o.Reads = 40
+		}
+	}
+	if o.ReadLen == 0 {
+		if o.Quick {
+			o.ReadLen = 2_000
+		} else {
+			o.ReadLen = 5_000
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// makeGenome builds the standard human-like synthetic reference.
+func makeGenome(o Options) (dna.Seq, error) {
+	g, err := genome.Generate(genome.Config{
+		Length:           o.GenomeLen,
+		GC:               0.41,
+		RepeatFraction:   0.25,
+		RepeatFamilies:   8,
+		RepeatUnitLen:    300,
+		RepeatDivergence: 0.10,
+		TandemFraction:   0.10,
+		Seed:             o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g.Seq, nil
+}
+
+// simulate draws o.Reads reads of one class with ground truth.
+func simulate(ref dna.Seq, o Options, p readsim.Profile) ([]readsim.Read, error) {
+	return readsim.SimulateN(ref, o.Reads, readsim.Config{
+		Profile:   p,
+		MeanLen:   o.ReadLen,
+		LenSpread: 0.1,
+		Seed:      o.Seed + int64(len(p.Name)),
+	})
+}
+
+// classConfig returns Darwin's per-read-class D-SOFT tuning (k, N, h),
+// the scaled analogue of Table 4's settings: k shrinks and N grows
+// with error rate; values are scaled to megabase genomes so hits/seed
+// stays in a regime comparable to the paper's.
+func classConfig(p readsim.Profile, readLen int) (k, n, h int) {
+	switch p.Name {
+	case "PacBio":
+		k, n, h = 12, readLen/8, 24
+	case "ONT_2D":
+		k, n, h = 11, readLen/6, 25
+	default: // ONT_1D
+		k, n, h = 10, readLen/3, 22
+	}
+	if n < 100 {
+		n = 100
+	}
+	return k, n, h
+}
+
+// Result is one experiment's rendered report plus machine-checkable
+// headline numbers (used by tests and EXPERIMENTS.md).
+type Result struct {
+	// ID is the experiment identifier ("table3", "fig10", ...).
+	ID string
+	// Report is the rendered text output.
+	Report string
+	// Values holds headline metrics by name.
+	Values map[string]float64
+	// Elapsed is the wall time of the experiment.
+	Elapsed time.Duration
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) (*Result, error)
+
+// Registry maps experiment ids to runners, in presentation order.
+func Registry() []struct {
+	ID  string
+	Fn  Runner
+	Doc string
+} {
+	return []struct {
+		ID  string
+		Fn  Runner
+		Doc string
+	}{
+		{"table1", Table1, "Error profiles of the three read classes"},
+		{"table2", Table2, "ASIC area and power breakdown"},
+		{"table3", Table3, "Seed hits and D-SOFT throughput vs seed size"},
+		{"table4", Table4, "Overall reference-guided and de novo comparison"},
+		{"fig9a", Fig9a, "GACT optimality across (T, O) settings"},
+		{"fig9b", Fig9b, "GACT array throughput across (T, O) settings"},
+		{"fig10", Fig10, "Alignment throughput vs sequence length"},
+		{"fig11", Fig11, "D-SOFT sensitivity and false hit rate tuning"},
+		{"fig12", Fig12, "First-tile score separation of true and false hits"},
+		{"fig13", Fig13, "Filtration/alignment timing waterfall"},
+	}
+}
+
+// Run executes one experiment by id.
+func Run(id string, o Options) (*Result, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			start := time.Now()
+			res, err := e.Fn(o)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", id, err)
+			}
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment, writing reports to w.
+func RunAll(w io.Writer, o Options) error {
+	for _, e := range Registry() {
+		res, err := Run(e.ID, o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "=== %s: %s (%.1fs)\n%s\n", res.ID, e.Doc, res.Elapsed.Seconds(), res.Report)
+	}
+	return nil
+}
+
+// sortedKeys renders Values deterministically.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FormatValues renders headline metrics one per line.
+func FormatValues(res *Result) string {
+	out := ""
+	for _, k := range sortedKeys(res.Values) {
+		out += fmt.Sprintf("%s = %.6g\n", k, res.Values[k])
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 7} }
+
+func run(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id, quick())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.Report == "" {
+		t.Fatalf("%s: empty report", id)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "table4", "fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, w := range want {
+		if reg[i].ID != w {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, w)
+		}
+	}
+	if _, err := Run("nonexistent", quick()); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestTable1ErrorProfiles(t *testing.T) {
+	res := run(t, "table1")
+	// Totals must match the paper's Table 1 (15%, 30%, 40%).
+	checks := map[string]float64{
+		"PacBio/total": 0.1501, "ONT_2D/total": 0.30, "ONT_1D/total": 0.3998,
+	}
+	for k, want := range checks {
+		got := res.Values[k]
+		if got < want-0.015 || got > want+0.015 {
+			t.Errorf("%s = %.4f, want ≈ %.4f", k, got, want)
+		}
+	}
+}
+
+func TestTable2Breakdown(t *testing.T) {
+	res := run(t, "table2")
+	if got := res.Values["Total/area"]; got < 405 || got > 420 {
+		t.Errorf("total area = %.1f, want ≈ 412.1", got)
+	}
+	if got := res.Values["Total/power"]; got < 15 || got > 15.5 {
+		t.Errorf("total power = %.2f, want ≈ 15.25", got)
+	}
+	if !strings.Contains(res.Report, "FPGA") {
+		t.Error("report missing FPGA operating point")
+	}
+}
+
+func TestTable3Trends(t *testing.T) {
+	res := run(t, "table3")
+	// Paper-scale model column within 30% of the paper's numbers.
+	paper := map[string]float64{"model/k11": 1426.9, "model/k15": 91138.7}
+	for k, want := range paper {
+		got := res.Values[k]
+		if got < want*0.7 || got > want*1.3 {
+			t.Errorf("%s = %.1f, want ≈ %.1f", k, got, want)
+		}
+	}
+	// Scaled measurement: hits/seed decreasing in k, speedup > 1.
+	if res.Values["scaled/k6/hits_per_seed"] <= res.Values["scaled/k10/hits_per_seed"] {
+		t.Error("hits/seed must decrease with k")
+	}
+	for _, k := range []string{"scaled/k6/speedup", "scaled/k10/speedup"} {
+		if res.Values[k] <= 1 {
+			t.Errorf("%s = %.1f, want > 1", k, res.Values[k])
+		}
+	}
+}
+
+func TestTable4Headlines(t *testing.T) {
+	res := run(t, "table4")
+	for _, class := range []string{"PacBio", "ONT_2D", "ONT_1D"} {
+		ds := res.Values[class+"/darwin_sens"]
+		bs := res.Values[class+"/baseline_sens"]
+		if ds < bs-0.15 {
+			t.Errorf("%s: darwin sensitivity %.2f far below baseline %.2f", class, ds, bs)
+		}
+		if got := res.Values[class+"/speedup"]; got < 100 {
+			t.Errorf("%s: modeled speedup %.0f×, want ≥ 100× (paper: >1000×)", class, got)
+		}
+	}
+	if got := res.Values["denovo/darwin_sens"]; got < 0.6 {
+		t.Errorf("de novo darwin sensitivity %.2f too low", got)
+	}
+	// De novo speedup is bounded by the software-side seed-table
+	// construction (the paper's own finding: 370 of 385 s), which at
+	// quick-mode scale looms large relative to the tiny workload; the
+	// qualitative claim is just Darwin > baseline.
+	if got := res.Values["denovo/speedup"]; got < 2 {
+		t.Errorf("de novo modeled speedup %.1f×, want ≥ 2×", got)
+	}
+}
+
+func TestFig9aOptimality(t *testing.T) {
+	res := run(t, "fig9a")
+	// At the paper's operating point, PacBio and ONT_2D must be fully
+	// optimal; the noisiest class may retain rare sub-1% edge
+	// deviations (documented in EXPERIMENTS.md).
+	for _, class := range []string{"PacBio", "ONT_2D"} {
+		if got := res.Values[class+"/T320_O128"]; got < 1 {
+			t.Errorf("%s at (320,128): %.0f%% optimal, want 100%%", class, got*100)
+		}
+	}
+	if got := res.Values["ONT_1D/T320_O128"]; got < 0.5 {
+		t.Errorf("ONT_1D at (320,128): %.0f%% optimal, want ≥ 50%%", got*100)
+	}
+	for _, class := range []string{"PacBio", "ONT_2D", "ONT_1D"} {
+		if gap := res.Values[class+"/T320_O128/gap"]; gap > 0.01 {
+			t.Errorf("%s at (320,128): relative score gap %.3f%%, want ≤ 1%%", class, gap*100)
+		}
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	res := run(t, "fig9b")
+	// Larger O at fixed T lowers throughput; check one column pair.
+	if res.Values["T320_O160"] >= res.Values["T320_O40"] {
+		t.Errorf("throughput should drop as O grows: O=160 %.0f vs O=40 %.0f",
+			res.Values["T320_O160"], res.Values["T320_O40"])
+	}
+}
+
+func TestFig10Crossover(t *testing.T) {
+	res := run(t, "fig10")
+	// Darwin's modeled speedup over the Edlib class must grow with
+	// length (quadratic vs linear — the Fig. 10 shape).
+	s1 := res.Values["speedup_vs_edlib/1000"]
+	s2 := res.Values["speedup_vs_edlib/2000"]
+	// Allow a little timing noise on the small quick-mode sample; the
+	// structural expectation is ~2× growth per length doubling.
+	if s2 <= s1*0.8 {
+		t.Errorf("speedup vs Edlib not growing with length: %.0f× at 1k, %.0f× at 2k", s1, s2)
+	}
+	if s1 < 10 {
+		t.Errorf("speedup at 1 kbp = %.0f×, want ≥ 10× (paper: 1392×)", s1)
+	}
+}
+
+func TestFig11Monotone(t *testing.T) {
+	res := run(t, "fig11")
+	// For each (k,N): sensitivity and FHR must not increase with h.
+	type kn struct{ k, n int }
+	for _, s := range []kn{{10, 500}, {11, 666}} {
+		prevSens, prevFHR := 2.0, -1.0
+		first := true
+		for _, h := range []int{15, 30, 60} {
+			sens := res.Values[keyKNH(s.k, s.n, h, "sens")]
+			fhr := res.Values[keyKNH(s.k, s.n, h, "fhr")]
+			if !first {
+				if sens > prevSens+1e-9 {
+					t.Errorf("(k=%d,N=%d): sensitivity rose with h: %.3f -> %.3f", s.k, s.n, prevSens, sens)
+				}
+				if fhr > prevFHR+1e-9 {
+					t.Errorf("(k=%d,N=%d): FHR rose with h: %.2f -> %.2f", s.k, s.n, prevFHR, fhr)
+				}
+			}
+			prevSens, prevFHR = sens, fhr
+			first = false
+		}
+	}
+}
+
+func keyKNH(k, n, h int, suffix string) string {
+	return "k" + strconv.Itoa(k) + "_N" + strconv.Itoa(n) + "_h" + strconv.Itoa(h) + "/" + suffix
+}
+
+func TestFig12Separation(t *testing.T) {
+	res := run(t, "fig12")
+	if res.Values["true_hits"] == 0 || res.Values["false_hits"] == 0 {
+		t.Fatalf("need both true and false hits: %+v", res.Values)
+	}
+	// h_tile=90 must filter most false hits at small sensitivity loss
+	// (paper: 97.3% filtered, <0.05% loss).
+	if got := res.Values["false_filtered_at_90"]; got < 0.8 {
+		t.Errorf("false hits filtered at 90 = %.2f, want ≥ 0.8", got)
+	}
+	if got := res.Values["true_lost_at_90"]; got > 0.05 {
+		t.Errorf("true hits lost at 90 = %.3f, want ≤ 0.05", got)
+	}
+}
+
+func TestFig13Waterfall(t *testing.T) {
+	res := run(t, "fig13")
+	// Totals must improve monotonically from line 2 (Darwin software)
+	// through line 6 (full Darwin), and line 6 must beat line 1 big.
+	for i := 3; i <= 6; i++ {
+		cur := res.Values[lineKey(i)]
+		prev := res.Values[lineKey(i-1)]
+		if cur > prev*1.01 {
+			t.Errorf("line %d total %.4g ms worse than line %d total %.4g ms", i, cur, i-1, prev)
+		}
+	}
+	if res.Values[lineKey(6)]*20 > res.Values[lineKey(1)] {
+		t.Errorf("full Darwin (%.4g ms) not ≥20× faster than GraphMap-class (%.4g ms)",
+			res.Values[lineKey(6)], res.Values[lineKey(1)])
+	}
+}
+
+func lineKey(i int) string { return "line" + strconv.Itoa(i) + "/total_ms" }

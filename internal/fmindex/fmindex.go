@@ -1,0 +1,206 @@
+package fmindex
+
+import (
+	"fmt"
+	"sort"
+
+	"darwin/internal/dna"
+)
+
+// Alphabet: 0 is the sentinel, 1..4 are A,C,G,T, 5 is N. N never equals
+// a pattern symbol, so patterns containing N simply never match.
+const (
+	sigma    = 6
+	occEvery = 128 // occ checkpoint spacing
+	saEvery  = 32  // suffix-array sample spacing
+)
+
+// Index is an FM-index over one sequence, supporting backward-search
+// counting and locating of exact patterns.
+type Index struct {
+	n    int // text length including sentinel
+	bwt  []byte
+	c    [sigma + 1]int32 // C[c] = number of text symbols < c
+	occ  [][sigma]int32   // checkpointed occ counts, every occEvery rows
+	saS  []int32          // sampled SA: saS[i] = SA[i*saEvery]
+	text []byte           // mapped text (kept for verification/extension)
+}
+
+func mapByte(b byte) byte {
+	c := dna.Code(b)
+	if c == dna.CodeN {
+		return 5
+	}
+	return c + 1
+}
+
+// Build constructs the FM-index of seq.
+func Build(seq dna.Seq) (*Index, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("fmindex: empty sequence")
+	}
+	text := make([]byte, len(seq)+1)
+	for i, b := range seq {
+		text[i] = mapByte(b)
+	}
+	text[len(seq)] = 0 // sentinel
+	sa := buildSuffixArray(text)
+
+	x := &Index{n: len(text), text: text}
+	x.bwt = make([]byte, x.n)
+	for i, s := range sa {
+		if s == 0 {
+			x.bwt[i] = text[x.n-1]
+		} else {
+			x.bwt[i] = text[s-1]
+		}
+	}
+	// C array.
+	var counts [sigma]int32
+	for _, b := range text {
+		counts[b]++
+	}
+	for c := 0; c < sigma; c++ {
+		x.c[c+1] = x.c[c] + counts[c]
+	}
+	// Occ checkpoints.
+	nCheck := x.n/occEvery + 1
+	x.occ = make([][sigma]int32, nCheck)
+	var running [sigma]int32
+	for i := 0; i < x.n; i++ {
+		if i%occEvery == 0 {
+			x.occ[i/occEvery] = running
+		}
+		running[x.bwt[i]]++
+	}
+	// SA samples.
+	x.saS = make([]int32, (x.n+saEvery-1)/saEvery)
+	for i := 0; i < x.n; i += saEvery {
+		x.saS[i/saEvery] = sa[i]
+	}
+	return x, nil
+}
+
+// occAt returns Occ(c, pos): occurrences of c in bwt[0:pos].
+func (x *Index) occAt(c byte, pos int32) int32 {
+	cp := pos / occEvery
+	cnt := x.occ[cp][c]
+	for i := cp * occEvery; i < pos; i++ {
+		if x.bwt[i] == c {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// lf is the last-to-first mapping for BWT row i.
+func (x *Index) lf(i int32) int32 {
+	c := x.bwt[i]
+	return x.c[c] + x.occAt(c, i)
+}
+
+// saAt recovers SA[i] by walking LF to the nearest sample.
+func (x *Index) saAt(i int32) int32 {
+	var steps int32
+	for i%saEvery != 0 {
+		i = x.lf(i)
+		steps++
+	}
+	return (x.saS[i/saEvery] + steps) % int32(x.n)
+}
+
+// interval is a BWT row range [lo, hi) of suffixes prefixed by the
+// current pattern.
+type interval struct{ lo, hi int32 }
+
+// backwardStep extends the interval by prepending symbol c.
+func (x *Index) backwardStep(iv interval, c byte) interval {
+	return interval{
+		lo: x.c[c] + x.occAt(c, iv.lo),
+		hi: x.c[c] + x.occAt(c, iv.hi),
+	}
+}
+
+func (x *Index) search(pattern dna.Seq) interval {
+	iv := interval{0, int32(x.n)}
+	for i := len(pattern) - 1; i >= 0; i-- {
+		c := mapByte(pattern[i])
+		if c == 5 { // N in pattern matches nothing
+			return interval{0, 0}
+		}
+		iv = x.backwardStep(iv, c)
+		if iv.lo >= iv.hi {
+			return interval{0, 0}
+		}
+	}
+	return iv
+}
+
+// Count returns the number of occurrences of pattern in the text.
+func (x *Index) Count(pattern dna.Seq) int {
+	if len(pattern) == 0 {
+		return 0
+	}
+	iv := x.search(pattern)
+	return int(iv.hi - iv.lo)
+}
+
+// Locate returns up to maxHits occurrence positions of pattern, sorted
+// ascending. maxHits ≤ 0 returns all occurrences.
+func (x *Index) Locate(pattern dna.Seq, maxHits int) []int {
+	if len(pattern) == 0 {
+		return nil
+	}
+	iv := x.search(pattern)
+	n := int(iv.hi - iv.lo)
+	if n == 0 {
+		return nil
+	}
+	if maxHits > 0 && n > maxHits {
+		n = maxHits
+	}
+	out := make([]int, 0, n)
+	for i := iv.lo; i < iv.lo+int32(n); i++ {
+		out = append(out, int(x.saAt(i)))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LongestSuffixMatch finds the longest suffix of q[:end] that occurs in
+// the text, returning its length and up to maxHits positions — the
+// variable-length seeding primitive of the BWA-MEM-class baseline
+// (an approximation of super-maximal exact matches).
+func (x *Index) LongestSuffixMatch(q dna.Seq, end, maxHits int) (length int, positions []int) {
+	iv := interval{0, int32(x.n)}
+	last := iv
+	for i := end - 1; i >= 0; i-- {
+		c := mapByte(q[i])
+		if c == 5 {
+			break
+		}
+		next := x.backwardStep(iv, c)
+		if next.lo >= next.hi {
+			break
+		}
+		last = next
+		iv = next
+		length++
+	}
+	if length == 0 {
+		return 0, nil
+	}
+	n := int(last.hi - last.lo)
+	if maxHits > 0 && n > maxHits {
+		n = maxHits
+	}
+	positions = make([]int, 0, n)
+	for i := last.lo; i < last.lo+int32(n); i++ {
+		positions = append(positions, int(x.saAt(i)))
+	}
+	sort.Ints(positions)
+	return length, positions
+}
+
+// Len returns the indexed text length (excluding the sentinel).
+func (x *Index) Len() int { return x.n - 1 }

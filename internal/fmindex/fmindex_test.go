@@ -1,0 +1,178 @@
+package fmindex
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"darwin/internal/dna"
+)
+
+func TestSuffixArrayMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(300)
+		text := make([]byte, n)
+		for i := 0; i < n-1; i++ {
+			text[i] = byte(1 + rng.Intn(4))
+		}
+		text[n-1] = 0 // sentinel
+		got := buildSuffixArray(text)
+		want := naiveSuffixArray(text)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d): sa mismatch\ngot  %v\nwant %v", trial, n, got, want)
+		}
+	}
+}
+
+func TestSuffixArrayRepetitive(t *testing.T) {
+	// Highly repetitive inputs stress prefix doubling.
+	for _, s := range []string{"aaaaaaaaab", "abababab", "abcabcabcabc", "a"} {
+		text := append([]byte(s), 0)
+		got := buildSuffixArray(text)
+		want := naiveSuffixArray(text)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: sa mismatch\ngot  %v\nwant %v", s, got, want)
+		}
+	}
+}
+
+func naiveFind(text, pattern string) []int {
+	var out []int
+	for i := 0; i+len(pattern) <= len(text); i++ {
+		if text[i:i+len(pattern)] == pattern {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestCountLocateMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	seq := dna.Random(rng, 3000, 0.5)
+	x, err := Build(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := seq.String()
+	for trial := 0; trial < 100; trial++ {
+		var pattern string
+		if trial%2 == 0 {
+			start := rng.Intn(len(seq) - 20)
+			pattern = text[start : start+3+rng.Intn(15)]
+		} else {
+			pattern = dna.Random(rng, 3+rng.Intn(10), 0.5).String()
+		}
+		want := naiveFind(text, pattern)
+		if got := x.Count(dna.Seq(pattern)); got != len(want) {
+			t.Fatalf("Count(%q) = %d, want %d", pattern, got, len(want))
+		}
+		got := x.Locate(dna.Seq(pattern), 0)
+		if want == nil {
+			want = []int{}
+		}
+		if got == nil {
+			got = []int{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Locate(%q) = %v, want %v", pattern, got, want)
+		}
+	}
+}
+
+func TestLocateMaxHits(t *testing.T) {
+	seq := dna.NewSeq(strings.Repeat("ACGT", 100))
+	x, err := Build(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := x.Locate(dna.NewSeq("ACGT"), 5)
+	if len(hits) != 5 {
+		t.Errorf("Locate with maxHits=5 returned %d hits", len(hits))
+	}
+	all := x.Locate(dna.NewSeq("ACGT"), 0)
+	if len(all) != 100 {
+		t.Errorf("all hits = %d, want 100", len(all))
+	}
+	if !sort.IntsAreSorted(all) {
+		t.Error("hits not sorted")
+	}
+}
+
+func TestPatternWithN(t *testing.T) {
+	seq := dna.NewSeq("ACGTNACGT")
+	x, err := Build(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Count(dna.NewSeq("GTNA")); got != 0 {
+		t.Errorf("pattern containing N matched %d times, want 0", got)
+	}
+	// Text N must not match a concrete pattern crossing it.
+	if got := x.Count(dna.NewSeq("GTAA")); got != 0 {
+		t.Errorf("pattern across text N matched %d times, want 0", got)
+	}
+	if got := x.Count(dna.NewSeq("ACGT")); got != 2 {
+		t.Errorf("ACGT count = %d, want 2", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty sequence should error")
+	}
+	x, err := Build(dna.NewSeq("ACGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Count(nil) != 0 {
+		t.Error("empty pattern should count 0")
+	}
+	if x.Locate(nil, 0) != nil {
+		t.Error("empty pattern should locate nothing")
+	}
+	if x.Len() != 4 {
+		t.Errorf("Len = %d, want 4", x.Len())
+	}
+}
+
+func TestLongestSuffixMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	seq := dna.Random(rng, 5000, 0.5)
+	x, err := Build(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query whose tail is an exact 40bp chunk of the text.
+	q := append(dna.Random(rng, 30, 0.5), seq[1000:1040]...)
+	length, pos := x.LongestSuffixMatch(q, len(q), 10)
+	if length < 40 {
+		t.Fatalf("longest suffix match = %d, want ≥ 40", length)
+	}
+	found := false
+	for _, p := range pos {
+		if p+length <= len(seq) && string(seq[p:p+length]) == string(q[len(q)-length:]) {
+			found = true
+		} else {
+			t.Errorf("position %d does not match the suffix", p)
+		}
+	}
+	if !found {
+		t.Error("no matching position returned")
+	}
+}
+
+func TestLongestSuffixMatchStopsAtN(t *testing.T) {
+	seq := dna.NewSeq("ACGTACGTACGT")
+	x, err := Build(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dna.NewSeq("NACGT")
+	length, _ := x.LongestSuffixMatch(q, len(q), 10)
+	if length != 4 {
+		t.Errorf("suffix match across N = %d, want 4", length)
+	}
+}

@@ -1,0 +1,105 @@
+package fmindex
+
+import (
+	"math/rand"
+
+	"testing"
+	"testing/quick"
+
+	"darwin/internal/dna"
+)
+
+// Property: Count agrees with brute-force substring counting for
+// arbitrary texts and patterns.
+func TestQuickCountMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := dna.Random(rng, 20+rng.Intn(400), 0.3+rng.Float64()*0.4)
+		x, err := Build(text)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			var pattern dna.Seq
+			if rng.Intn(2) == 0 && len(text) > 10 {
+				lo := rng.Intn(len(text) - 8)
+				pattern = text[lo : lo+1+rng.Intn(7)].Clone()
+			} else {
+				pattern = dna.Random(rng, 1+rng.Intn(8), 0.5)
+			}
+			// Manual scan (strings.Count skips overlapping matches).
+			want := 0
+			for i := 0; i+len(pattern) <= len(text); i++ {
+				if string(text[i:i+len(pattern)]) == pattern.String() {
+					want++
+				}
+			}
+			if x.Count(pattern) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every Locate position is a genuine occurrence and Locate
+// agrees with Count.
+func TestQuickLocateSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := dna.Random(rng, 50+rng.Intn(300), 0.5)
+		x, err := Build(text)
+		if err != nil {
+			return false
+		}
+		lo := rng.Intn(len(text) - 10)
+		pattern := text[lo : lo+2+rng.Intn(8)]
+		pos := x.Locate(pattern, 0)
+		if len(pos) != x.Count(pattern) {
+			return false
+		}
+		for _, p := range pos {
+			if p+len(pattern) > len(text) || string(text[p:p+len(pattern)]) != pattern.String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the suffix array is a permutation of 0..n-1 sorted by
+// suffix order.
+func TestQuickSuffixArrayValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		text := make([]byte, n)
+		for i := 0; i < n-1; i++ {
+			text[i] = byte(1 + rng.Intn(4))
+		}
+		text[n-1] = 0
+		sa := buildSuffixArray(text)
+		seen := make([]bool, n)
+		for _, s := range sa {
+			if s < 0 || int(s) >= n || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		for i := 1; i < n; i++ {
+			if string(text[sa[i-1]:]) >= string(text[sa[i]:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package fmindex implements a suffix array, Burrows-Wheeler transform
+// and FM-index over DNA sequences. Section 3 of the paper contrasts
+// Darwin's seed position table with "compressed tables based on
+// Burrows Wheeler Transform [and] FM-index": the seed table stores hits
+// sequentially (long DRAM bursts), whereas FM-index lookups are
+// pointer chases. This package provides that alternative — it backs
+// the BWA-MEM-class baseline mapper and the seed-lookup comparison
+// bench.
+package fmindex
+
+import "sort"
+
+// buildSuffixArray computes the suffix array of text (bytes already
+// mapped to a small alphabet, with text[len-1] a unique smallest
+// sentinel) using prefix doubling with radix sort: O(n log n) time,
+// O(n) space.
+func buildSuffixArray(text []byte) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+
+	// Initial ranks = byte values; initial order via counting sort.
+	var cnt [256]int32
+	for _, b := range text {
+		cnt[b]++
+	}
+	var sum int32
+	for c := 0; c < 256; c++ {
+		cnt[c], sum = sum, sum+cnt[c]
+	}
+	for i := 0; i < n; i++ {
+		sa[cnt[text[i]]] = int32(i)
+		cnt[text[i]]++
+	}
+	rank[sa[0]] = 0
+	for i := 1; i < n; i++ {
+		rank[sa[i]] = rank[sa[i-1]]
+		if text[sa[i]] != text[sa[i-1]] {
+			rank[sa[i]]++
+		}
+	}
+
+	buf := make([]int32, n)
+	count := make([]int32, n+1)
+	for h := 1; h < n; h *= 2 {
+		// Sort by (rank[i], rank[i+h]) with two counting-sort passes.
+		// Pass 1 (LSD): secondary key rank[i+h] (0 for i+h ≥ n).
+		// Exploit: suffixes i in n-h..n-1 have empty second key and
+		// come first; the rest follow in sa order shifted by h.
+		idx := 0
+		for i := n - h; i < n; i++ {
+			buf[idx] = int32(i)
+			idx++
+		}
+		for _, s := range sa {
+			if int(s) >= h {
+				buf[idx] = s - int32(h)
+				idx++
+			}
+		}
+		// Pass 2 (MSD): stable counting sort by rank[i].
+		for i := range count[:n+1] {
+			count[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			count[rank[i]+1]++
+		}
+		for i := 1; i <= n; i++ {
+			count[i] += count[i-1]
+		}
+		for _, s := range buf {
+			sa[count[rank[s]]] = s
+			count[rank[s]]++
+		}
+		// Recompute ranks.
+		key := func(i int32) (int32, int32) {
+			second := int32(-1)
+			if int(i)+h < n {
+				second = rank[int(i)+h]
+			}
+			return rank[i], second
+		}
+		tmp[sa[0]] = 0
+		maxRank := int32(0)
+		for i := 1; i < n; i++ {
+			a1, a2 := key(sa[i-1])
+			b1, b2 := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if a1 != b1 || a2 != b2 {
+				tmp[sa[i]]++
+			}
+			if tmp[sa[i]] > maxRank {
+				maxRank = tmp[sa[i]]
+			}
+		}
+		rank, tmp = tmp, rank
+		if maxRank == int32(n-1) {
+			break
+		}
+	}
+	return sa
+}
+
+// naiveSuffixArray is the comparison-sort reference used by tests.
+func naiveSuffixArray(text []byte) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		return string(text[sa[a]:]) < string(text[sa[b]:])
+	})
+	return sa
+}

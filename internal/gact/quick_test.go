@@ -1,0 +1,99 @@
+package gact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"darwin/internal/align"
+	"darwin/internal/dna"
+)
+
+// Property: for arbitrary sequences and anchors, Extend either rejects
+// the candidate or returns a self-consistent alignment whose score
+// never exceeds the optimal local score.
+func TestQuickExtendSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := dna.Random(rng, 50+rng.Intn(400), 0.5)
+		var query dna.Seq
+		if rng.Intn(2) == 0 {
+			lo := rng.Intn(len(ref) / 2)
+			hi := lo + 20 + rng.Intn(len(ref)-lo-20)
+			query = ref[lo:hi].Clone()
+			for i := range query {
+				if rng.Float64() < 0.2 {
+					query[i] = dna.MutatePoint(rng, query[i])
+				}
+			}
+		} else {
+			query = dna.Random(rng, 20+rng.Intn(300), 0.5)
+		}
+		cfg := Config{
+			T:       16 + rng.Intn(120),
+			Scoring: align.GACTEval(),
+		}
+		cfg.O = rng.Intn(cfg.T)
+		iSeed := rng.Intn(len(ref))
+		jSeed := rng.Intn(len(query))
+		res, stats, err := Extend(ref, query, iSeed, jSeed, &cfg)
+		if err != nil {
+			t.Logf("unexpected error: %v", err)
+			return false
+		}
+		if stats.Tiles < 1 {
+			return false
+		}
+		if res == nil {
+			return true // rejected candidate is fine
+		}
+		if err := res.Check(ref, query); err != nil {
+			t.Logf("check: %v", err)
+			return false
+		}
+		if res.Rescore(ref, query, &cfg.Scoring) != res.Score {
+			return false
+		}
+		return res.Score <= align.ScoreOnly(ref, query, &cfg.Scoring)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the h_tile filter only ever removes alignments — it never
+// changes those that pass.
+func TestQuickHTileOnlyFilters(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := dna.Random(rng, 150+rng.Intn(300), 0.5)
+		lo := rng.Intn(len(ref) / 2)
+		query := ref[lo : lo+50+rng.Intn(max(1, len(ref)/2-50))].Clone()
+		open := Config{T: 64, O: 16, Scoring: align.GACTEval()}
+		gated := open
+		gated.MinFirstTile = 1 + rng.Intn(80)
+		iSeed, jSeed := lo, 0
+		a, sa, err := Extend(ref, query, iSeed, jSeed, &open)
+		if err != nil {
+			return false
+		}
+		b, sb, err := Extend(ref, query, iSeed, jSeed, &gated)
+		if err != nil {
+			return false
+		}
+		if sa.FirstTileScore != sb.FirstTileScore {
+			return false
+		}
+		if sa.FirstTileScore >= gated.MinFirstTile {
+			// Both pipelines must produce the identical alignment.
+			if (a == nil) != (b == nil) {
+				return false
+			}
+			return a == nil || (a.Score == b.Score && a.Cigar.String() == b.Cigar.String())
+		}
+		return b == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

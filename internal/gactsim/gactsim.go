@@ -1,0 +1,371 @@
+// Package gactsim is a cycle-level functional simulator of the GACT
+// array hardware of Section 7: a linear systolic array of Npe
+// processing elements exploiting wavefront parallelism, one
+// single-port traceback SRAM bank per PE, an inter-block H/D FIFO, a
+// systolic max reduction, and a 3-cycle-per-step traceback unit.
+//
+// The simulator is bit-faithful to the described microarchitecture —
+// 16-bit score arithmetic, 4-bit traceback pointers (2 bits for the H
+// source, 1 bit each for gap opens), per-PE row interleaving — and is
+// validated two ways: its alignments must equal the software tile
+// aligner (align.AlignTile) exactly, and its cycle counts calibrate
+// the analytical throughput model (hw.GACTModel).
+package gactsim
+
+import (
+	"fmt"
+
+	"darwin/internal/align"
+	"darwin/internal/dna"
+)
+
+// Pointer encoding, matching the PE datapath (Section 7): two bits for
+// the H source and one bit each recording whether the horizontal/
+// vertical gap opened at this cell.
+const (
+	ptrNull  = 0
+	ptrDiag  = 1
+	ptrHoriz = 2 // consumes reference (deletion)
+	ptrVert  = 3 // consumes query (insertion)
+	ptrMask  = 3
+
+	horizOpenBit = 1 << 2
+	vertOpenBit  = 1 << 3
+)
+
+// negInf16 is the 16-bit "minus infinity" for gap registers; chosen so
+// subtracting a gap penalty cannot wrap.
+const negInf16 = int16(-0x4000)
+
+// Array simulates one GACT array.
+type Array struct {
+	// Npe is the number of processing elements.
+	Npe int
+	// Tmax is the largest supported tile size, fixed by the traceback
+	// SRAM: 4·Tmax² bits must fit in Npe banks of BankBytes each.
+	Tmax int
+	// BankBytes is the per-PE traceback SRAM bank size (2 KB in the
+	// paper's configuration, giving Tmax = 512 with Npe = 64).
+	BankBytes int
+	// Scoring holds the 18 configuration parameters loaded before
+	// operation (16 substitution scores, gap open, gap extend).
+	Scoring align.Scoring
+
+	// banks[p] holds 4-bit pointers for the rows PE p computes,
+	// two pointers per byte, indexed by (row/Npe, col).
+	banks [][]byte
+}
+
+// Cycles breaks down the simulated cycle count of one tile.
+type Cycles struct {
+	// Fill is the systolic matrix-fill time: query blocks × wavefront
+	// passes.
+	Fill int
+	// Reduce is the systolic global-max reduction (first tiles only).
+	Reduce int
+	// Traceback is 3 cycles per traceback step.
+	Traceback int
+	// PECellOps counts cell computations (for utilization: PECellOps /
+	// (Fill × Npe) is the array duty factor).
+	PECellOps int
+}
+
+// Total returns the tile's total cycles.
+func (c Cycles) Total() int { return c.Fill + c.Reduce + c.Traceback }
+
+// New configures an array. The default hardware point is
+// New(64, 2048, scoring): 64 PEs with 2 KB banks (Tmax 512).
+func New(npe, bankBytes int, sc align.Scoring) (*Array, error) {
+	if npe <= 0 {
+		return nil, fmt.Errorf("gactsim: need at least one PE, got %d", npe)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{Npe: npe, BankBytes: bankBytes, Scoring: sc}
+	// 4·T² bits ≤ npe·bankBytes·8  ⇒  T ≤ sqrt(npe·bankBytes·2).
+	bits := npe * bankBytes * 8
+	for (a.Tmax+1)*(a.Tmax+1)*4 <= bits {
+		a.Tmax++
+	}
+	if a.Tmax == 0 {
+		return nil, fmt.Errorf("gactsim: bank size %d B cannot hold any tile", bankBytes)
+	}
+	a.banks = make([][]byte, npe)
+	return a, nil
+}
+
+// peState is one processing element's registers.
+type peState struct {
+	hPrev  int16 // H(row, i-1): own previous column
+	hDiag  int16 // H(row-1, i-1): from the neighbour, delayed
+	horiz  int16 // horizontal gap score at (row, i-1)
+	qBase  byte  // the query base loaded for this block row
+	maxS   int16 // running per-PE maximum (first tiles)
+	maxRow int32
+	maxCol int32
+	active bool
+}
+
+// AlignTile simulates one Align call: fills the tile systolically,
+// then (per the t flag) traces back from the max or bottom-right cell,
+// consuming at most maxOff bases of either sequence. The result is
+// identical to align.AlignTile with the same arguments.
+func (a *Array) AlignTile(rTile, qTile dna.Seq, firstTile bool, maxOff int) (align.TileResult, Cycles, error) {
+	var cyc Cycles
+	n, m := len(rTile), len(qTile)
+	if n == 0 || m == 0 {
+		return align.TileResult{}, cyc, nil
+	}
+	if n > a.Tmax || m > a.Tmax {
+		return align.TileResult{}, cyc, fmt.Errorf("gactsim: tile %d×%d exceeds Tmax %d (traceback SRAM)", n, m, a.Tmax)
+	}
+	if maxOff <= 0 {
+		maxOff = max(n, m)
+	}
+
+	// Allocate pointer storage in the banks: PE p stores rows p,
+	// p+Npe, ... Each row needs n 4-bit pointers.
+	rowsPerPE := (m + a.Npe - 1) / a.Npe
+	bankNeed := (rowsPerPE*n + 1) / 2
+	for p := range a.banks {
+		if cap(a.banks[p]) < bankNeed {
+			a.banks[p] = make([]byte, bankNeed)
+		} else {
+			a.banks[p] = a.banks[p][:bankNeed]
+			for i := range a.banks[p] {
+				a.banks[p][i] = 0
+			}
+		}
+	}
+
+	// Inter-block FIFO: H and vertical-gap scores of the last PE's row,
+	// consumed by PE 0 in the next block (depth Tmax in hardware).
+	fifoH := make([]int16, n)
+	fifoV := make([]int16, n)
+	for i := range fifoV {
+		fifoV[i] = negInf16
+	}
+
+	pes := make([]peState, a.Npe)
+	var globalMax int16
+	var gMaxRow, gMaxCol int32
+
+	blocks := (m + a.Npe - 1) / a.Npe
+	for b := 0; b < blocks; b++ {
+		// Load query bases into the PEs for this block.
+		for p := 0; p < a.Npe; p++ {
+			row := b*a.Npe + p
+			pes[p] = peState{hDiag: 0, hPrev: 0, horiz: negInf16, active: row < m}
+			if row < m {
+				pes[p].qBase = qTile[row]
+				pes[p].maxS = 0
+				pes[p].maxRow, pes[p].maxCol = -1, -1
+			}
+		}
+		// Next block's FIFO contents are produced by the last active
+		// PE of this block.
+		lastActive := a.Npe - 1
+		if b == blocks-1 {
+			lastActive = (m - 1) % a.Npe
+		}
+		nextH := make([]int16, n)
+		nextV := make([]int16, n)
+
+		// Wavefront: at cycle c, PE p computes column c-p of its row.
+		// Vertical dependencies come from PE p-1's output one cycle
+		// earlier (or the FIFO for PE 0).
+		//
+		// vOut[p][i] is (H, vGap) of PE p at column i, consumed by
+		// PE p+1; modelled with per-PE row buffers (the hardware's
+		// neighbour registers in time-unrolled form).
+		hOut := make([][]int16, a.Npe)
+		vOut := make([][]int16, a.Npe)
+		for p := range hOut {
+			hOut[p] = make([]int16, n)
+			vOut[p] = make([]int16, n)
+		}
+		for c := 0; c < n+a.Npe; c++ {
+			for p := a.Npe - 1; p >= 0; p-- {
+				i := c - p
+				if i < 0 || i >= n || !pes[p].active {
+					continue
+				}
+				pe := &pes[p]
+				row := b*a.Npe + p
+
+				// Upstream values: H and vertical-gap of (row-1, i).
+				var upH, upV int16
+				if p == 0 {
+					upH, upV = fifoH[i], fifoV[i]
+				} else {
+					upH, upV = hOut[p-1][i], vOut[p-1][i]
+				}
+
+				var ptr byte
+				hOpen := pe.hPrev - int16(a.Scoring.GapOpen)
+				hExt := pe.horiz - int16(a.Scoring.GapExtend)
+				hGap := hExt
+				if hOpen >= hExt {
+					hGap = hOpen
+					ptr |= horizOpenBit
+				}
+				vOpen := upH - int16(a.Scoring.GapOpen)
+				vExt := upV - int16(a.Scoring.GapExtend)
+				vGap := vExt
+				if vOpen >= vExt {
+					vGap = vOpen
+					ptr |= vertOpenBit
+				}
+				diagScore := pe.hDiag + int16(a.Scoring.Sub(rTile[i], pe.qBase))
+				best, src := int16(0), byte(ptrNull)
+				if diagScore > best {
+					best, src = diagScore, ptrDiag
+				}
+				if hGap > best {
+					best, src = hGap, ptrHoriz
+				}
+				if vGap > best {
+					best, src = vGap, ptrVert
+				}
+				ptr |= src
+
+				a.storePtr(p, row/a.Npe, i, n, ptr)
+				cyc.PECellOps++
+
+				pe.hDiag = upH // becomes the diagonal for column i+1
+				pe.hPrev = best
+				pe.horiz = hGap
+				hOut[p][i] = best
+				vOut[p][i] = vGap
+				if p == lastActive {
+					nextH[i] = best
+					nextV[i] = vGap
+				}
+				if firstTile && best > pe.maxS {
+					pe.maxS = best
+					pe.maxRow, pe.maxCol = int32(row), int32(i)
+				}
+			}
+		}
+		cyc.Fill += n + a.Npe
+		fifoH, fifoV = nextH, nextV
+
+		// Per-block contribution to the global max, reduced
+		// systolically at the end; done here in software order that
+		// matches the row-major first-encounter tie-break.
+		if firstTile {
+			for p := 0; p <= lastActive; p++ {
+				pe := &pes[p]
+				if pe.maxRow < 0 {
+					continue
+				}
+				if pe.maxS > globalMax ||
+					(pe.maxS == globalMax && (pe.maxRow < gMaxRow || (pe.maxRow == gMaxRow && pe.maxCol < gMaxCol))) {
+					globalMax = pe.maxS
+					gMaxRow, gMaxCol = pe.maxRow, pe.maxCol
+				}
+			}
+		}
+	}
+	if firstTile {
+		cyc.Reduce = a.Npe // systolic max reduction pass
+	}
+
+	// Select the traceback start.
+	startI, startJ := n, m
+	score := int(fifoH[n-1]) // H of the bottom-right cell
+	if firstTile {
+		if globalMax <= 0 {
+			return align.TileResult{Score: 0}, cyc, nil
+		}
+		startI, startJ = int(gMaxCol)+1, int(gMaxRow)+1
+		score = int(globalMax)
+	}
+
+	// Traceback unit: 3 cycles per step (address, SRAM read, pointer
+	// computation).
+	res := align.TileResult{Score: score, MaxI: startI, MaxJ: startJ}
+	if firstTile {
+		res.MaxI, res.MaxJ = int(gMaxCol)+1, int(gMaxRow)+1
+	}
+	i, j := startI, startJ
+	const stateH = byte(4)
+	state := stateH
+	for i > 0 || j > 0 {
+		if res.IOff >= maxOff || res.JOff >= maxOff {
+			break
+		}
+		row, col := j-1, i-1
+		var p byte
+		if row >= 0 && col >= 0 {
+			p = a.loadPtr(row%a.Npe, row/a.Npe, col, n)
+		}
+		cyc.Traceback += 3
+		switch state {
+		case stateH:
+			switch p & ptrMask {
+			case ptrNull:
+				goto done
+			case ptrDiag:
+				if i == 0 || j == 0 {
+					goto done
+				}
+				res.Cigar = res.Cigar.AppendOp(align.OpMatch)
+				i--
+				j--
+				res.IOff++
+				res.JOff++
+			case ptrHoriz:
+				state = ptrHoriz
+			case ptrVert:
+				state = ptrVert
+			}
+		case ptrHoriz:
+			if i == 0 {
+				goto done
+			}
+			res.Cigar = res.Cigar.AppendOp(align.OpDel)
+			open := p&horizOpenBit != 0
+			i--
+			res.IOff++
+			if open {
+				state = stateH
+			}
+		case ptrVert:
+			if j == 0 {
+				goto done
+			}
+			res.Cigar = res.Cigar.AppendOp(align.OpIns)
+			open := p&vertOpenBit != 0
+			j--
+			res.JOff++
+			if open {
+				state = stateH
+			}
+		}
+	}
+done:
+	res.Cigar = res.Cigar.Reverse()
+	return res, cyc, nil
+}
+
+// storePtr writes a 4-bit pointer into PE p's bank.
+func (a *Array) storePtr(p, rowIdx, col, n int, ptr byte) {
+	idx := rowIdx*n + col
+	if idx%2 == 0 {
+		a.banks[p][idx/2] = (a.banks[p][idx/2] & 0xF0) | ptr
+	} else {
+		a.banks[p][idx/2] = (a.banks[p][idx/2] & 0x0F) | ptr<<4
+	}
+}
+
+// loadPtr reads a 4-bit pointer from PE p's bank.
+func (a *Array) loadPtr(p, rowIdx, col, n int) byte {
+	idx := rowIdx*n + col
+	b := a.banks[p][idx/2]
+	if idx%2 == 0 {
+		return b & 0x0F
+	}
+	return b >> 4
+}

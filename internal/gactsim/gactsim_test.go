@@ -1,0 +1,211 @@
+package gactsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"darwin/internal/align"
+	"darwin/internal/dna"
+	"darwin/internal/hw"
+	"darwin/internal/readsim"
+)
+
+func mutate(rng *rand.Rand, s dna.Seq, rate float64) dna.Seq {
+	out := make(dna.Seq, 0, len(s))
+	for _, b := range s {
+		r := rng.Float64()
+		switch {
+		case r < rate/3:
+		case r < 2*rate/3:
+			out = append(out, dna.Base(byte(rng.Intn(4))), b)
+		case r < rate:
+			out = append(out, dna.MutatePoint(rng, b))
+		default:
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, 'A')
+	}
+	return out
+}
+
+// TestMatchesSoftwareTileAligner is the core validation: the simulated
+// array must produce byte-identical results to align.AlignTile for
+// every tile shape, scoring, error rate, and both traceback modes.
+func TestMatchesSoftwareTileAligner(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	scorings := []align.Scoring{align.GACTEval(), align.Figure1()}
+	affine := align.Simple(2, 3, 4)
+	affine.GapExtend = 1
+	scorings = append(scorings, affine)
+
+	for trial := 0; trial < 40; trial++ {
+		sc := scorings[trial%len(scorings)]
+		arr, err := New(8, 1024, sc) // small array: many blocks per tile
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 3 + rng.Intn(60)
+		m := 3 + rng.Intn(60)
+		ref := dna.Random(rng, n, 0.5)
+		var query dna.Seq
+		if trial%2 == 0 {
+			query = mutate(rng, ref, 0.3)
+			if len(query) > m {
+				query = query[:m]
+			}
+		} else {
+			query = dna.Random(rng, m, 0.5)
+		}
+		for _, firstTile := range []bool{true, false} {
+			maxOff := 1 + rng.Intn(50)
+			want := align.AlignTile(ref, query, firstTile, maxOff, &sc)
+			got, cyc, err := arr.AlignTile(ref, query, firstTile, maxOff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Score != want.Score || got.IOff != want.IOff || got.JOff != want.JOff {
+				t.Fatalf("trial %d first=%v: got (score=%d ioff=%d joff=%d), want (%d %d %d)\nref=%s\nq=%s",
+					trial, firstTile, got.Score, got.IOff, got.JOff, want.Score, want.IOff, want.JOff, ref, query)
+			}
+			if got.Cigar.String() != want.Cigar.String() {
+				t.Fatalf("trial %d first=%v: cigar %s, want %s", trial, firstTile, got.Cigar, want.Cigar)
+			}
+			if firstTile && want.Score > 0 && (got.MaxI != want.MaxI || got.MaxJ != want.MaxJ) {
+				t.Fatalf("trial %d: max cell (%d,%d), want (%d,%d)", trial, got.MaxI, got.MaxJ, want.MaxI, want.MaxJ)
+			}
+			if cyc.Total() <= 0 {
+				t.Fatal("no cycles counted")
+			}
+		}
+	}
+}
+
+// TestMatchesOnRealReads runs the paper's tile shape (Npe=64, T=320)
+// on simulated noisy reads.
+func TestMatchesOnRealReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	sc := align.GACTEval()
+	arr, err := New(64, 2048, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Tmax < 512 {
+		t.Fatalf("Tmax = %d, want ≥ 512 (paper: 2KB banks × 64 PEs)", arr.Tmax)
+	}
+	for _, p := range readsim.Profiles {
+		ref := dna.Random(rng, 320, 0.5)
+		query := mutate(rng, ref, p.Total())
+		if len(query) > 320 {
+			query = query[:320]
+		}
+		want := align.AlignTile(ref, query, false, 192, &sc)
+		got, cyc, err := arr.AlignTile(ref, query, false, 192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score || got.Cigar.String() != want.Cigar.String() {
+			t.Errorf("%s: (score %d, %s), want (%d, %s)", p.Name, got.Score, got.Cigar, want.Score, want.Cigar)
+		}
+		// Fill time: ⌈320/64⌉ blocks × (320+64) cycles.
+		if wantFill := 5 * (320 + 64); cyc.Fill != wantFill {
+			t.Errorf("%s: fill cycles %d, want %d", p.Name, cyc.Fill, wantFill)
+		}
+	}
+}
+
+// TestCycleModelCalibration: the analytical model's cycles-per-tile
+// must agree with the simulator within the model's overhead term.
+func TestCycleModelCalibration(t *testing.T) {
+	sc := align.GACTEval()
+	arr, err := New(64, 2048, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := hw.NewGACTModel(hw.DefaultChip())
+	rng := rand.New(rand.NewSource(83))
+	ref := dna.Random(rng, 320, 0.5)
+	query := mutate(rng, ref, 0.15)
+	if len(query) > 320 {
+		query = query[:320]
+	}
+	_, cyc, err := arr.AlignTile(ref, query, false, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(cyc.Total())
+	want := model.CyclesPerTile(320, len(query), cyc.Traceback/3)
+	ratio := got / want
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("simulated %v cycles vs model %v (ratio %.2f), want within 20%%", got, want, ratio)
+	}
+}
+
+// TestUtilization: PE duty factor on a full square tile must be high
+// (wavefront fill/drain is the only idle time).
+func TestUtilization(t *testing.T) {
+	sc := align.GACTEval()
+	arr, err := New(64, 2048, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(84))
+	ref := dna.Random(rng, 320, 0.5)
+	query := dna.Random(rng, 320, 0.5)
+	_, cyc, err := arr.AlignTile(ref, query, false, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := float64(cyc.PECellOps) / float64(cyc.Fill*64)
+	if util < 0.7 {
+		t.Errorf("PE utilization %.2f, want ≥ 0.7", util)
+	}
+	if cyc.PECellOps != 320*320 {
+		t.Errorf("cell ops %d, want %d", cyc.PECellOps, 320*320)
+	}
+}
+
+func TestTileSizeLimit(t *testing.T) {
+	sc := align.GACTEval()
+	arr, err := New(4, 32, sc) // tiny banks
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := dna.NewSeq("ACGTACGTACGTACGTACGTACGTACGTACGT")
+	if len(big) <= arr.Tmax {
+		t.Skipf("test needs tile > Tmax=%d", arr.Tmax)
+	}
+	if _, _, err := arr.AlignTile(big, big, false, 0); err == nil {
+		t.Error("tile exceeding Tmax should error")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	sc := align.GACTEval()
+	if _, err := New(0, 2048, sc); err == nil {
+		t.Error("zero PEs should error")
+	}
+	if _, err := New(4, 0, sc); err == nil {
+		t.Error("zero bank should error")
+	}
+	bad := align.Scoring{}
+	if _, err := New(4, 64, bad); err == nil {
+		t.Error("invalid scoring should error")
+	}
+}
+
+func TestEmptyTile(t *testing.T) {
+	sc := align.GACTEval()
+	arr, err := New(4, 64, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, cyc, err := arr.AlignTile(nil, dna.NewSeq("ACGT"), true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 0 || cyc.Total() != 0 {
+		t.Errorf("empty tile: %+v %+v", res, cyc)
+	}
+}

@@ -1,0 +1,161 @@
+// Package genome generates synthetic genomes that stand in for the
+// paper's GRCh38 and C. elegans assemblies (Section 8). The generator
+// produces a random base composition with tunable GC content, plants
+// tandem and interspersed repeat families (the structures that stress
+// seed-filter precision), and can derive a diverged "sample" genome from
+// a reference by introducing SNPs, small indels, and structural variants
+// — the reference-vs-sequenced-genome divergence that reference-guided
+// assembly must tolerate.
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darwin/internal/dna"
+)
+
+// Config parameterizes synthetic genome generation.
+type Config struct {
+	// Length is the genome length in base pairs.
+	Length int
+	// GC is the GC content of the random background (0..1).
+	GC float64
+	// RepeatFraction is the approximate fraction of the genome occupied
+	// by planted repeat copies (0..1). Human is roughly 0.5; the paper's
+	// filtration challenges come largely from such repeats.
+	RepeatFraction float64
+	// RepeatFamilies is the number of distinct interspersed repeat
+	// consensus sequences (LINE/SINE stand-ins).
+	RepeatFamilies int
+	// RepeatUnitLen is the mean length of an interspersed repeat copy.
+	RepeatUnitLen int
+	// RepeatDivergence is the per-base substitution rate applied to each
+	// planted repeat copy, so copies are similar but not identical.
+	RepeatDivergence float64
+	// TandemFraction is the sub-fraction of RepeatFraction devoted to
+	// tandem (satellite) repeats with short periods.
+	TandemFraction float64
+	// Seed seeds the deterministic RNG.
+	Seed int64
+}
+
+// DefaultConfig returns a human-like composition scaled to length n.
+func DefaultConfig(n int) Config {
+	return Config{
+		Length:           n,
+		GC:               0.41, // human genome-wide GC
+		RepeatFraction:   0.30,
+		RepeatFamilies:   8,
+		RepeatUnitLen:    300,
+		RepeatDivergence: 0.10,
+		TandemFraction:   0.15,
+		Seed:             1,
+	}
+}
+
+// Genome is a generated synthetic genome.
+type Genome struct {
+	// Seq is the genome sequence.
+	Seq dna.Seq
+	// RepeatIntervals records where repeat copies were planted, as
+	// [start, end) intervals; useful for diagnostics.
+	RepeatIntervals []Interval
+}
+
+// Interval is a half-open [Start, End) span on the genome.
+type Interval struct {
+	Start, End int
+}
+
+// Len returns the interval length.
+func (iv Interval) Len() int { return iv.End - iv.Start }
+
+// Generate builds a synthetic genome per cfg.
+func Generate(cfg Config) (*Genome, error) {
+	if cfg.Length <= 0 {
+		return nil, fmt.Errorf("genome: non-positive length %d", cfg.Length)
+	}
+	if cfg.GC < 0 || cfg.GC > 1 {
+		return nil, fmt.Errorf("genome: GC content %v out of [0,1]", cfg.GC)
+	}
+	if cfg.RepeatFraction < 0 || cfg.RepeatFraction >= 1 {
+		return nil, fmt.Errorf("genome: repeat fraction %v out of [0,1)", cfg.RepeatFraction)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Genome{Seq: dna.Random(rng, cfg.Length, cfg.GC)}
+
+	repeatBudget := int(float64(cfg.Length) * cfg.RepeatFraction)
+	tandemBudget := int(float64(repeatBudget) * cfg.TandemFraction)
+	interspersedBudget := repeatBudget - tandemBudget
+
+	if cfg.RepeatFamilies > 0 && cfg.RepeatUnitLen > 0 && interspersedBudget > 0 {
+		plantInterspersed(rng, g, cfg, interspersedBudget)
+	}
+	if tandemBudget > 0 {
+		plantTandem(rng, g, tandemBudget)
+	}
+	return g, nil
+}
+
+// plantInterspersed overwrites random positions with diverged copies of a
+// small set of consensus repeat sequences.
+func plantInterspersed(rng *rand.Rand, g *Genome, cfg Config, budget int) {
+	families := make([]dna.Seq, cfg.RepeatFamilies)
+	for i := range families {
+		// Family lengths vary around the mean by ±50%.
+		ln := cfg.RepeatUnitLen/2 + rng.Intn(cfg.RepeatUnitLen)
+		if ln < 20 {
+			ln = 20
+		}
+		families[i] = dna.Random(rng, ln, cfg.GC)
+	}
+	planted := 0
+	for planted < budget {
+		fam := families[rng.Intn(len(families))]
+		copySeq := divergedCopy(rng, fam, cfg.RepeatDivergence)
+		if rng.Intn(2) == 0 {
+			copySeq = dna.RevComp(copySeq)
+		}
+		if len(copySeq) >= len(g.Seq) {
+			break
+		}
+		pos := rng.Intn(len(g.Seq) - len(copySeq))
+		copy(g.Seq[pos:], copySeq)
+		g.RepeatIntervals = append(g.RepeatIntervals, Interval{pos, pos + len(copySeq)})
+		planted += len(copySeq)
+	}
+}
+
+// plantTandem overwrites a few regions with short-period tandem arrays
+// (satellite DNA stand-ins) that generate extreme seed-hit multiplicity.
+func plantTandem(rng *rand.Rand, g *Genome, budget int) {
+	planted := 0
+	for planted < budget {
+		period := 2 + rng.Intn(30)
+		unit := dna.Random(rng, period, 0.5)
+		arrayLen := period * (10 + rng.Intn(100))
+		if arrayLen > budget-planted+period {
+			arrayLen = budget - planted + period
+		}
+		if arrayLen >= len(g.Seq) || arrayLen < period {
+			break
+		}
+		pos := rng.Intn(len(g.Seq) - arrayLen)
+		for i := 0; i < arrayLen; i++ {
+			g.Seq[pos+i] = unit[i%period]
+		}
+		g.RepeatIntervals = append(g.RepeatIntervals, Interval{pos, pos + arrayLen})
+		planted += arrayLen
+	}
+}
+
+func divergedCopy(rng *rand.Rand, s dna.Seq, rate float64) dna.Seq {
+	out := s.Clone()
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = dna.MutatePoint(rng, out[i])
+		}
+	}
+	return out
+}

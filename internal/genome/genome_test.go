@@ -1,0 +1,173 @@
+package genome
+
+import (
+	"math"
+	"testing"
+
+	"darwin/internal/dna"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	cfg := DefaultConfig(100000)
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(g.Seq) != cfg.Length {
+		t.Fatalf("length = %d, want %d", len(g.Seq), cfg.Length)
+	}
+	if err := dna.Validate(g.Seq); err != nil {
+		t.Fatalf("invalid bases: %v", err)
+	}
+	gc := dna.GCContent(g.Seq)
+	if math.Abs(gc-cfg.GC) > 0.05 {
+		t.Errorf("GC = %.3f, want near %.2f", gc, cfg.GC)
+	}
+	if len(g.RepeatIntervals) == 0 {
+		t.Error("expected planted repeat intervals")
+	}
+	total := 0
+	for _, iv := range g.RepeatIntervals {
+		if iv.Start < 0 || iv.End > len(g.Seq) || iv.Len() <= 0 {
+			t.Fatalf("bad repeat interval %+v", iv)
+		}
+		total += iv.Len()
+	}
+	// Budget is approximate (copies may overlap) but should be
+	// commensurate with the requested fraction.
+	want := float64(cfg.Length) * cfg.RepeatFraction
+	if float64(total) < 0.8*want {
+		t.Errorf("planted repeat bases %d, want ≥ %.0f", total, 0.8*want)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(20000)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seq.String() != b.Seq.String() {
+		t.Error("same seed produced different genomes")
+	}
+	cfg.Seed = 99
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seq.String() == c.Seq.String() {
+		t.Error("different seeds produced identical genomes")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Length: 0}); err == nil {
+		t.Error("zero length should error")
+	}
+	if _, err := Generate(Config{Length: 100, GC: 1.5}); err == nil {
+		t.Error("GC out of range should error")
+	}
+	if _, err := Generate(Config{Length: 100, GC: 0.5, RepeatFraction: 1.0}); err == nil {
+		t.Error("repeat fraction 1.0 should error")
+	}
+}
+
+func TestGenerateNoRepeats(t *testing.T) {
+	g, err := Generate(Config{Length: 5000, GC: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.RepeatIntervals) != 0 {
+		t.Errorf("expected no repeats, got %d intervals", len(g.RepeatIntervals))
+	}
+}
+
+func TestApplyVariantsSNPOnly(t *testing.T) {
+	g, err := Generate(Config{Length: 50000, GC: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, vars, err := ApplyVariants(g.Seq, VariantConfig{SNPRate: 0.01, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != len(g.Seq) {
+		t.Fatalf("SNP-only sample length changed: %d vs %d", len(sample), len(g.Seq))
+	}
+	diff := 0
+	for i := range sample {
+		if sample[i] != g.Seq[i] {
+			diff++
+		}
+	}
+	if diff != len(vars) {
+		t.Errorf("observed %d differing bases, recorded %d variants", diff, len(vars))
+	}
+	rate := float64(diff) / float64(len(sample))
+	if rate < 0.007 || rate > 0.013 {
+		t.Errorf("SNP rate %.4f, want near 0.01", rate)
+	}
+	for _, v := range vars {
+		if v.Kind != "snp" || v.Len != 1 {
+			t.Fatalf("unexpected variant %+v", v)
+		}
+	}
+}
+
+func TestApplyVariantsStructural(t *testing.T) {
+	g, err := Generate(Config{Length: 100000, GC: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := VariantConfig{SVCount: 4, SVMeanLen: 1000, Seed: 8}
+	sample, vars, err := ApplyVariants(g.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	insLen, delLen := 0, 0
+	for _, v := range vars {
+		kinds[v.Kind]++
+		switch v.Kind {
+		case "ins":
+			insLen += v.Len
+		case "del":
+			delLen += v.Len
+		}
+	}
+	if got := len(sample) - len(g.Seq); got != insLen-delLen {
+		t.Errorf("length delta %d, want ins-del = %d", got, insLen-delLen)
+	}
+	if kinds["snp"] != 0 {
+		t.Errorf("unexpected SNPs with zero SNP rate: %d", kinds["snp"])
+	}
+	if len(vars) == 0 {
+		t.Error("expected structural variants")
+	}
+}
+
+func TestApplyVariantsEmptyRef(t *testing.T) {
+	if _, _, err := ApplyVariants(nil, DefaultVariantConfig()); err == nil {
+		t.Error("empty reference should error")
+	}
+}
+
+func TestApplyVariantsDeterministic(t *testing.T) {
+	g, _ := Generate(Config{Length: 30000, GC: 0.5, Seed: 9})
+	cfg := DefaultVariantConfig()
+	a, _, err := ApplyVariants(g.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ApplyVariants(g.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different samples")
+	}
+}

@@ -1,0 +1,144 @@
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"darwin/internal/dna"
+)
+
+// VariantConfig parameterizes the divergence of a sequenced sample from
+// its reference — the source of reference bias the paper discusses in
+// Section 2 (reference-guided vs de novo assembly).
+type VariantConfig struct {
+	// SNPRate is the per-base probability of a point substitution.
+	SNPRate float64
+	// SmallIndelRate is the per-base probability of starting a small
+	// (1-10 bp) insertion or deletion.
+	SmallIndelRate float64
+	// SVCount is the number of large structural variants (insertions,
+	// deletions, inversions) to introduce.
+	SVCount int
+	// SVMeanLen is the mean structural-variant length in bp.
+	SVMeanLen int
+	// Seed seeds the deterministic RNG.
+	Seed int64
+}
+
+// DefaultVariantConfig mimics typical human germline divergence from the
+// reference (~0.1% SNPs) plus a handful of SVs.
+func DefaultVariantConfig() VariantConfig {
+	return VariantConfig{
+		SNPRate:        0.001,
+		SmallIndelRate: 0.0001,
+		SVCount:        4,
+		SVMeanLen:      2000,
+		Seed:           2,
+	}
+}
+
+// Variant records a single introduced difference, in reference coords.
+type Variant struct {
+	// Kind is one of "snp", "ins", "del", "inv".
+	Kind string
+	// RefPos is the 0-based reference position where the variant applies.
+	RefPos int
+	// Len is the affected length (1 for SNPs).
+	Len int
+}
+
+// ApplyVariants derives a sample genome from ref per cfg and returns the
+// sample sequence together with the list of variants introduced.
+func ApplyVariants(ref dna.Seq, cfg VariantConfig) (dna.Seq, []Variant, error) {
+	if len(ref) == 0 {
+		return nil, nil, fmt.Errorf("genome: empty reference")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var variants []Variant
+
+	// Plan structural variants first on disjoint reference intervals.
+	type sv struct {
+		pos, ln int
+		kind    string
+	}
+	var svs []sv
+	used := map[int]bool{}
+	for i := 0; i < cfg.SVCount; i++ {
+		ln := cfg.SVMeanLen/2 + rng.Intn(cfg.SVMeanLen+1)
+		if ln < 50 {
+			ln = 50
+		}
+		if ln >= len(ref)/(cfg.SVCount+1) {
+			ln = len(ref)/(cfg.SVCount+1) - 1
+		}
+		if ln < 50 {
+			continue
+		}
+		// Sample a position; crude disjointness via a coarse-grid lock.
+		var pos int
+		ok := false
+		for try := 0; try < 100; try++ {
+			pos = rng.Intn(len(ref) - ln)
+			cell := pos / (cfg.SVMeanLen * 4)
+			if !used[cell] && !used[cell+1] {
+				used[cell] = true
+				used[cell+1] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		kind := []string{"ins", "del", "inv"}[rng.Intn(3)]
+		svs = append(svs, sv{pos, ln, kind})
+	}
+	sort.Slice(svs, func(a, b int) bool { return svs[a].pos < svs[b].pos })
+
+	out := make(dna.Seq, 0, len(ref)+cfg.SVCount*cfg.SVMeanLen)
+	svIdx := 0
+	for i := 0; i < len(ref); {
+		if svIdx < len(svs) && svs[svIdx].pos == i {
+			v := svs[svIdx]
+			svIdx++
+			switch v.kind {
+			case "ins":
+				out = append(out, dna.Random(rng, v.ln, 0.5)...)
+				variants = append(variants, Variant{Kind: "ins", RefPos: i, Len: v.ln})
+			case "del":
+				variants = append(variants, Variant{Kind: "del", RefPos: i, Len: v.ln})
+				i += v.ln
+			case "inv":
+				out = append(out, dna.RevComp(ref[i:i+v.ln])...)
+				variants = append(variants, Variant{Kind: "inv", RefPos: i, Len: v.ln})
+				i += v.ln
+			}
+			continue
+		}
+		switch r := rng.Float64(); {
+		case r < cfg.SNPRate:
+			out = append(out, dna.MutatePoint(rng, ref[i]))
+			variants = append(variants, Variant{Kind: "snp", RefPos: i, Len: 1})
+			i++
+		case r < cfg.SNPRate+cfg.SmallIndelRate:
+			ln := 1 + rng.Intn(10)
+			if rng.Intn(2) == 0 {
+				out = append(out, dna.Random(rng, ln, 0.5)...)
+				out = append(out, ref[i])
+				variants = append(variants, Variant{Kind: "ins", RefPos: i, Len: ln})
+				i++
+			} else {
+				if i+ln > len(ref) {
+					ln = len(ref) - i
+				}
+				variants = append(variants, Variant{Kind: "del", RefPos: i, Len: ln})
+				i += ln
+			}
+		default:
+			out = append(out, ref[i])
+			i++
+		}
+	}
+	return out, variants, nil
+}

@@ -1,0 +1,128 @@
+// Package hw models the Darwin ASIC and FPGA implementations
+// analytically, reproducing the paper's performance methodology
+// (Section 8): hardware throughput is derived from cycle/bandwidth
+// models calibrated to the published design parameters, and assembly
+// performance combines those rates with software-measured workload
+// statistics, taking the slower of D-SOFT and GACT.
+//
+// In the paper these numbers came from Synopsys DC/ICC synthesis
+// (TSMC 40nm), Cacti, Ramulator and DRAMPower; here each component is
+// an explicit parametric model whose defaults reproduce Table 2, the
+// GACT throughputs of Figures 9b/10 and the D-SOFT throughputs of
+// Table 3. See DESIGN.md ("Substitutions") for the calibration notes.
+package hw
+
+import "fmt"
+
+// ChipConfig describes the accelerator configuration (Section 5).
+type ChipConfig struct {
+	// GACTArrays is the number of independent GACT arrays (64).
+	GACTArrays int
+	// PEsPerArray is the systolic array width Npe (64).
+	PEsPerArray int
+	// TBKBPerPE is the traceback SRAM per PE in KB (2 KB ⇒ Tmax=512).
+	TBKBPerPE int
+	// BinSRAMBanks and BinSRAMKBPerBank size the bin-count SRAM
+	// (16 × 4 MB = 64 MB ⇒ NB = 32M bins of 2 B).
+	BinSRAMBanks     int
+	BinSRAMKBPerBank int
+	// NZKBPerBank sizes the NZ queue SRAM per bank (256 KB).
+	NZKBPerBank int
+	// DRAMChannels is the number of LPDDR4 channels (4).
+	DRAMChannels int
+	// ClockHz is the ASIC operating frequency (847 MHz: the paper's
+	// 1.18 ns critical path).
+	ClockHz float64
+}
+
+// DefaultChip returns the configuration the paper evaluates.
+func DefaultChip() ChipConfig {
+	return ChipConfig{
+		GACTArrays:       64,
+		PEsPerArray:      64,
+		TBKBPerPE:        2,
+		BinSRAMBanks:     16,
+		BinSRAMKBPerBank: 4 * 1024,
+		NZKBPerBank:      256,
+		DRAMChannels:     4,
+		ClockHz:          847e6,
+	}
+}
+
+// TmaxSupported returns the largest tile size the traceback SRAM
+// supports: 4·T² bits must fit in PEsPerArray × TBKBPerPE KB.
+func (c ChipConfig) TmaxSupported() int {
+	bits := float64(c.PEsPerArray*c.TBKBPerPE) * 1024 * 8
+	t := 0
+	for (t+1)*(t+1)*4 <= int(bits) {
+		t++
+	}
+	return t
+}
+
+// MaxBins returns the number of bins the bin-count SRAM holds (2 bytes
+// per bin: 5 b saturating bp_count + 11 b last_hit_pos).
+func (c ChipConfig) MaxBins() int {
+	return c.BinSRAMBanks * c.BinSRAMKBPerBank * 1024 / 2
+}
+
+// Per-unit area/power constants for the TSMC 40nm process, calibrated
+// so DefaultChip reproduces Table 2 exactly. Area in mm², power in W.
+const (
+	areaPerPE        = 17.6 / (64.0 * 64.0) // GACT logic per PE
+	powerPerPE       = 1.04 / (64.0 * 64.0)
+	areaPerTBKB      = 68.0 / (64.0 * 64.0 * 2.0) // single-port TB SRAM
+	powerPerTBKB     = 3.36 / (64.0 * 64.0 * 2.0)
+	areaDSOFTLogic   = 6.2 // 2 SPL + NoC + 16 UBL, fixed block
+	powerDSOFTLogic  = 0.41
+	areaPerBinKB     = 300.8 / (16.0 * 4.0 * 1024.0) // bin-count SRAM
+	powerPerBinKB    = 7.84 / (16.0 * 4.0 * 1024.0)
+	areaPerNZKB      = 19.5 / (16.0 * 256.0)
+	powerPerNZKB     = 0.96 / (16.0 * 256.0)
+	powerPerDRAMChan = 1.64 / 4.0 // LPDDR4-2400 interface power
+	criticalPathNs   = 1.18
+)
+
+// AreaPowerRow is one line of the Table 2 breakdown.
+type AreaPowerRow struct {
+	Component string
+	Config    string
+	AreaMM2   float64
+	PowerW    float64
+}
+
+// AreaPower returns the component breakdown of Table 2 for the
+// configuration, plus the totals row.
+func (c ChipConfig) AreaPower() []AreaPowerRow {
+	pes := float64(c.GACTArrays * c.PEsPerArray)
+	tbKB := float64(c.GACTArrays * c.PEsPerArray * c.TBKBPerPE)
+	binKB := float64(c.BinSRAMBanks * c.BinSRAMKBPerBank)
+	nzKB := float64(c.BinSRAMBanks * c.NZKBPerBank)
+	rows := []AreaPowerRow{
+		{"GACT Logic", fmt.Sprintf("%d × (%dPE array)", c.GACTArrays, c.PEsPerArray), pes * areaPerPE, pes * powerPerPE},
+		{"GACT TB memory", fmt.Sprintf("%d × (%d × %dKB)", c.GACTArrays, c.PEsPerArray, c.TBKBPerPE), tbKB * areaPerTBKB, tbKB * powerPerTBKB},
+		{"D-SOFT Logic", "2SPL + NoC + 16UBL", areaDSOFTLogic, powerDSOFTLogic},
+		{"Bin-count SRAM", fmt.Sprintf("%d × %dMB", c.BinSRAMBanks, c.BinSRAMKBPerBank/1024), binKB * areaPerBinKB, binKB * powerPerBinKB},
+		{"NZ-bin SRAM", fmt.Sprintf("%d × %dKB", c.BinSRAMBanks, c.NZKBPerBank), nzKB * areaPerNZKB, nzKB * powerPerNZKB},
+		{"DRAM", fmt.Sprintf("LPDDR4-2400 %d × 32GB", c.DRAMChannels), 0, float64(c.DRAMChannels) * powerPerDRAMChan},
+	}
+	var ta, tp float64
+	for _, r := range rows {
+		ta += r.AreaMM2
+		tp += r.PowerW
+	}
+	rows = append(rows, AreaPowerRow{"Total", fmt.Sprintf("critical path %.2fns", criticalPathNs), ta, tp})
+	return rows
+}
+
+// Scaled14nm returns (area mm², power W) projected to a 14nm process,
+// matching the paper's "about 50mm² and about 6.4W" remark. Area
+// scales with the square of the feature-size ratio; the paper's power
+// figure implies a ~2.4× reduction (voltage and capacitance scaling).
+func (c ChipConfig) Scaled14nm() (float64, float64) {
+	rows := c.AreaPower()
+	total := rows[len(rows)-1]
+	areaScale := (40.0 / 14.0) * (40.0 / 14.0)
+	const powerScale = 2.4
+	return total.AreaMM2 / areaScale, total.PowerW / powerScale
+}

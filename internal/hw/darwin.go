@@ -1,0 +1,100 @@
+package hw
+
+// Darwin is the full-accelerator performance estimator, composing the
+// GACT array model and the D-SOFT memory model exactly as Section 8
+// describes: "assembly time for Darwin was estimated using the slower
+// of the two algorithms", with workload statistics (seeds per read,
+// hits per seed, tiles per read) measured from a software run.
+type Darwin struct {
+	Chip  ChipConfig
+	GACT  GACTModel
+	DSOFT DSOFTModel
+}
+
+// NewDarwin returns the estimator for the default ASIC.
+func NewDarwin() *Darwin {
+	c := DefaultChip()
+	return &Darwin{Chip: c, GACT: NewGACTModel(c), DSOFT: NewDSOFTModel(c)}
+}
+
+// Workload summarizes a read-mapping workload, measured by running the
+// software pipeline (core package) over a read set.
+type Workload struct {
+	// SeedsPerRead is the average number of D-SOFT seed lookups per
+	// read (N, counting both strands if both were queried).
+	SeedsPerRead float64
+	// HitsPerSeed is the average position-table hits per seed.
+	HitsPerSeed float64
+	// TilesPerRead is the average number of GACT tiles per read
+	// (candidate first tiles plus extension tiles).
+	TilesPerRead float64
+	// TileT and TileO are the GACT parameters in effect.
+	TileT, TileO int
+}
+
+// Estimate is the modeled accelerator performance on a workload.
+type Estimate struct {
+	// ReadsPerSec is the end-to-end throughput.
+	ReadsPerSec float64
+	// DSOFTSecPerRead and GACTSecPerRead are the per-stage times; the
+	// pipeline runs at the slower of the two.
+	DSOFTSecPerRead float64
+	GACTSecPerRead  float64
+	// Bottleneck names the limiting stage ("D-SOFT" or "GACT").
+	Bottleneck string
+	// EnergyPerReadJ is the chip energy per read (total power × read
+	// time), for the iso-power comparison of Section 8: the paper
+	// compares against a single Xeon thread at ~10 W, "the best
+	// iso-power comparison point to ASIC" (Darwin: 15.25 W).
+	EnergyPerReadJ float64
+}
+
+// CPUPowerW is the paper's measured single-thread Xeon power.
+const CPUPowerW = 10.0
+
+// EnergyRatio returns how many times less energy Darwin spends per
+// read than a software baseline achieving baselineReadsPerSec on one
+// ~10 W CPU thread.
+func (e Estimate) EnergyRatio(baselineReadsPerSec float64) float64 {
+	if baselineReadsPerSec <= 0 || e.EnergyPerReadJ <= 0 {
+		return 0
+	}
+	cpuEnergy := CPUPowerW / baselineReadsPerSec
+	return cpuEnergy / e.EnergyPerReadJ
+}
+
+// Estimate returns modeled Darwin throughput for a workload.
+func (d *Darwin) Estimate(w Workload) Estimate {
+	var e Estimate
+	if w.SeedsPerRead > 0 {
+		e.DSOFTSecPerRead = w.SeedsPerRead / d.DSOFT.SeedsPerSecond(w.HitsPerSeed)
+	}
+	if w.TilesPerRead > 0 {
+		total := float64(d.Chip.GACTArrays) * d.GACT.TilesPerSecond(w.TileT, w.TileO)
+		e.GACTSecPerRead = w.TilesPerRead / total
+	}
+	slower := e.DSOFTSecPerRead
+	e.Bottleneck = "D-SOFT"
+	if e.GACTSecPerRead > slower {
+		slower = e.GACTSecPerRead
+		e.Bottleneck = "GACT"
+	}
+	if slower > 0 {
+		e.ReadsPerSec = 1 / slower
+		rows := d.Chip.AreaPower()
+		e.EnergyPerReadJ = rows[len(rows)-1].PowerW * slower
+	}
+	return e
+}
+
+// PeakTilesPerSecond is the aggregate GACT tile rate of all arrays
+// (the paper's 20.8 M tiles/s at T=320, O=128).
+func (d *Darwin) PeakTilesPerSecond(T, O int) float64 {
+	return float64(d.Chip.GACTArrays) * d.GACT.TilesPerSecond(T, O)
+}
+
+// AlignmentsPerSecond is the aggregate pairwise-alignment rate for
+// sequences of the given length (Figure 10's "GACT (Darwin)" series).
+func (d *Darwin) AlignmentsPerSecond(length, T, O int) float64 {
+	return float64(d.Chip.GACTArrays) * d.GACT.AlignmentsPerSecond(length, T, O)
+}

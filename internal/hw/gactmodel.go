@@ -1,0 +1,102 @@
+package hw
+
+import "fmt"
+
+// GACTModel is the cycle model of one GACT systolic array (Section 7):
+// the DP matrix of a T×T tile is processed in ⌈T/Npe⌉ query blocks,
+// each streaming the reference through the array in a wavefront
+// (T + Npe cycles), and traceback takes 3 cycles per step (address
+// computation, SRAM read, pointer computation).
+type GACTModel struct {
+	// Npe is the number of processing elements in the array.
+	Npe int
+	// ClockHz is the array clock.
+	ClockHz float64
+	// OverheadCycles covers per-tile configuration, score drain and
+	// pipeline fill between query blocks.
+	OverheadCycles int
+}
+
+// NewGACTModel returns the model for one array of the configuration.
+func NewGACTModel(c ChipConfig) GACTModel {
+	return GACTModel{Npe: c.PEsPerArray, ClockHz: c.ClockHz, OverheadCycles: 64}
+}
+
+// CyclesPerTile returns the cycles one array spends on a tile with the
+// given reference/query extents and traceback steps.
+func (m GACTModel) CyclesPerTile(rLen, qLen, tbSteps int) float64 {
+	if rLen <= 0 || qLen <= 0 {
+		return 0
+	}
+	blocks := (qLen + m.Npe - 1) / m.Npe
+	fill := float64(blocks) * float64(rLen+m.Npe)
+	tb := 3 * float64(tbSteps)
+	return fill + tb + float64(m.OverheadCycles)
+}
+
+// TilesPerSecond returns one array's steady-state tile throughput for
+// square T×T tiles with traceback clipped at T−O.
+func (m GACTModel) TilesPerSecond(T, O int) float64 {
+	cyc := m.CyclesPerTile(T, T, T-O)
+	if cyc == 0 {
+		return 0
+	}
+	return m.ClockHz / cyc
+}
+
+// TilesPerAlignment returns the expected number of GACT tiles to align
+// two sequences of the given length with parameters (T, O): traceback
+// advances ~T−O bases per tile, plus the first tile.
+func TilesPerAlignment(length, T, O int) float64 {
+	if length <= 0 || T <= O {
+		return 0
+	}
+	return 1 + float64(length)/float64(T-O)
+}
+
+// AlignmentsPerSecond returns one array's throughput aligning pairs of
+// sequences of the given length (Figures 9b and 10). Throughput varies
+// as (T−O)/T² — the trade the paper calls out: larger T means fewer
+// but quadratically costlier tiles.
+func (m GACTModel) AlignmentsPerSecond(length, T, O int) float64 {
+	tiles := TilesPerAlignment(length, T, O)
+	if tiles == 0 {
+		return 0
+	}
+	return m.TilesPerSecond(T, O) / tiles
+}
+
+// GACTDRAMBytesPerTile is the DRAM traffic of one tile: two 320 B
+// sequential reads (R_tile, Q_tile) and one 64 B traceback write
+// (Section 9, "Performance and Throughput").
+func GACTDRAMBytesPerTile(T int) float64 {
+	return float64(2*T + 64)
+}
+
+// FPGAConfig is the Arria 10 prototype operating point (Section 9):
+// 40 arrays of 32 PEs at 150 MHz, of which 4 have traceback memory
+// (the rest run single-tile GACT filtering only).
+type FPGAConfig struct {
+	Arrays          int
+	TracebackArrays int
+	PEsPerArray     int
+	ClockHz         float64
+}
+
+// DefaultFPGA returns the paper's FPGA prototype configuration.
+func DefaultFPGA() FPGAConfig {
+	return FPGAConfig{Arrays: 40, TracebackArrays: 4, PEsPerArray: 32, ClockHz: 150e6}
+}
+
+// TilesPerSecond returns the FPGA prototype's aggregate GACT tile
+// throughput across all arrays, ~1.3 M tiles/s at T=320 (16× slower
+// than the ASIC's 20.8 M, Section 9).
+func (f FPGAConfig) TilesPerSecond(T, O int) float64 {
+	m := GACTModel{Npe: f.PEsPerArray, ClockHz: f.ClockHz, OverheadCycles: 64}
+	return float64(f.Arrays) * m.TilesPerSecond(T, O)
+}
+
+func (f FPGAConfig) String() string {
+	return fmt.Sprintf("%d×%dPE arrays (%d with traceback) @ %.0f MHz",
+		f.Arrays, f.PEsPerArray, f.TracebackArrays, f.ClockHz/1e6)
+}

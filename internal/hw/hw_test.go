@@ -1,0 +1,218 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if r := math.Abs(got-want) / math.Abs(want); r > relTol {
+		t.Errorf("%s = %.4g, want %.4g (±%.0f%%)", name, got, want, relTol*100)
+	}
+}
+
+// TestTable2AreaPower verifies the component model reproduces the
+// paper's Table 2 breakdown.
+func TestTable2AreaPower(t *testing.T) {
+	rows := DefaultChip().AreaPower()
+	wantArea := map[string]float64{
+		"GACT Logic":     17.6,
+		"GACT TB memory": 68.0,
+		"D-SOFT Logic":   6.2,
+		"Bin-count SRAM": 300.8,
+		"NZ-bin SRAM":    19.5,
+		"DRAM":           0,
+		"Total":          412.1,
+	}
+	wantPower := map[string]float64{
+		"GACT Logic":     1.04,
+		"GACT TB memory": 3.36,
+		"D-SOFT Logic":   0.41,
+		"Bin-count SRAM": 7.84,
+		"NZ-bin SRAM":    0.96,
+		"DRAM":           1.64,
+		"Total":          15.25,
+	}
+	for _, r := range rows {
+		within(t, r.Component+" area", r.AreaMM2, wantArea[r.Component], 0.01)
+		within(t, r.Component+" power", r.PowerW, wantPower[r.Component], 0.01)
+	}
+}
+
+func TestScaled14nm(t *testing.T) {
+	area, power := DefaultChip().Scaled14nm()
+	within(t, "14nm area", area, 50, 0.05)    // paper: "about 50mm²"
+	within(t, "14nm power", power, 6.4, 0.05) // paper: "about 6.4W"
+}
+
+func TestChipDerivedLimits(t *testing.T) {
+	c := DefaultChip()
+	if got := c.TmaxSupported(); got < 512 {
+		t.Errorf("Tmax supported = %d, want ≥ 512 (128KB per array)", got)
+	}
+	if got := c.MaxBins(); got != 32*1024*1024 {
+		t.Errorf("max bins = %d, want 32M (64MB / 2B)", got)
+	}
+}
+
+// TestGACTTilesPerSecond checks the cycle model against the paper's
+// anchor: 64 arrays process 20.8M tiles/s at (T=320, O=128).
+func TestGACTTilesPerSecond(t *testing.T) {
+	d := NewDarwin()
+	within(t, "peak tiles/s", d.PeakTilesPerSecond(320, 128), 20.8e6, 0.10)
+}
+
+// TestFig10Anchors checks modeled alignment throughput against the
+// two Figure 10 anchors: 4,297,672 alignments/s at 1 kbp and 401,040
+// at 10 kbp (64 arrays).
+func TestFig10Anchors(t *testing.T) {
+	d := NewDarwin()
+	within(t, "1kbp alignments/s", d.AlignmentsPerSecond(1000, 320, 128), 4.30e6, 0.25)
+	within(t, "10kbp alignments/s", d.AlignmentsPerSecond(10000, 320, 128), 4.01e5, 0.25)
+	// Throughput must scale ~inversely with length (paper: 10×
+	// length ⇒ ~10.7× lower throughput).
+	ratio := d.AlignmentsPerSecond(1000, 320, 128) / d.AlignmentsPerSecond(10000, 320, 128)
+	if ratio < 8 || ratio > 13 {
+		t.Errorf("1k/10k throughput ratio = %.1f, want ≈ 10.7", ratio)
+	}
+}
+
+// TestFig9bShape: array throughput varies as (T−O)/T².
+func TestFig9bShape(t *testing.T) {
+	m := NewGACTModel(DefaultChip())
+	type pt struct{ T, O int }
+	pts := []pt{{128, 32}, {192, 64}, {256, 64}, {320, 128}, {384, 128}, {512, 128}}
+	for a := 0; a < len(pts); a++ {
+		for b := a + 1; b < len(pts); b++ {
+			ra := m.AlignmentsPerSecond(10000, pts[a].T, pts[a].O)
+			rb := m.AlignmentsPerSecond(10000, pts[b].T, pts[b].O)
+			wa := float64(pts[a].T-pts[a].O) / float64(pts[a].T*pts[a].T)
+			wb := float64(pts[b].T-pts[b].O) / float64(pts[b].T*pts[b].T)
+			if (wa > wb) != (ra > rb) {
+				t.Errorf("(T,O)=%v vs %v: throughput ordering %v/%v contradicts (T−O)/T² ordering",
+					pts[a], pts[b], ra, rb)
+			}
+		}
+	}
+}
+
+// TestTable3DSOFTThroughput checks the memory model against Table 3's
+// Darwin columns (Kseeds/s at each k's hits/seed on GRCh38).
+func TestTable3DSOFTThroughput(t *testing.T) {
+	m := NewDSOFTModel(DefaultChip())
+	rows := []struct {
+		k           int
+		hitsPerSeed float64
+		wantKseeds  float64
+	}{
+		{11, 1866.1, 1426.9},
+		{12, 491.6, 5422.6},
+		{13, 127.3, 19081.7},
+		{14, 33.4, 55189.2},
+		{15, 8.7, 91138.7},
+	}
+	for _, r := range rows {
+		got := m.SeedsPerSecond(r.hitsPerSeed) / 1e3
+		within(t, "k="+string(rune('0'+r.k/10))+string(rune('0'+r.k%10))+" Kseeds/s", got, r.wantKseeds, 0.30)
+		if !m.MemoryLimited(r.hitsPerSeed) {
+			t.Errorf("k=%d: model says bin updates limit, paper says memory-limited", r.k)
+		}
+	}
+	// Monotonicity: fewer hits/seed ⇒ higher seed throughput.
+	prev := 0.0
+	for _, r := range rows {
+		got := m.SeedsPerSecond(r.hitsPerSeed)
+		if got <= prev {
+			t.Errorf("k=%d: throughput %.0f not increasing", r.k, got)
+		}
+		prev = got
+	}
+}
+
+// TestGACTMemoryShare checks the paper's claim that peak GACT traffic
+// consumes 44.4% of memory cycles.
+func TestGACTMemoryShare(t *testing.T) {
+	d := NewDarwin()
+	share := d.DSOFT.GACTMemoryShare(20.8e6, 320)
+	within(t, "GACT memory share", share, 0.444, 0.15)
+}
+
+// TestFPGAOperatingPoint checks the prototype anchor: ~1.3M tiles/s at
+// T=320, about 16× below the ASIC.
+func TestFPGAOperatingPoint(t *testing.T) {
+	f := DefaultFPGA()
+	got := f.TilesPerSecond(320, 128)
+	within(t, "FPGA tiles/s", got, 1.3e6, 0.15)
+	d := NewDarwin()
+	ratio := d.PeakTilesPerSecond(320, 128) / got
+	if ratio < 12 || ratio > 20 {
+		t.Errorf("ASIC/FPGA ratio = %.1f, want ≈ 16", ratio)
+	}
+}
+
+func TestEstimateSlowerOfTwo(t *testing.T) {
+	d := NewDarwin()
+	// GACT-bound workload: few seeds, many tiles.
+	wGACT := Workload{SeedsPerRead: 10, HitsPerSeed: 10, TilesPerRead: 1e6, TileT: 320, TileO: 128}
+	eG := d.Estimate(wGACT)
+	if eG.Bottleneck != "GACT" {
+		t.Errorf("bottleneck = %s, want GACT", eG.Bottleneck)
+	}
+	// D-SOFT-bound workload: many heavy seeds, one tile.
+	wD := Workload{SeedsPerRead: 1e6, HitsPerSeed: 2000, TilesPerRead: 1, TileT: 320, TileO: 128}
+	eD := d.Estimate(wD)
+	if eD.Bottleneck != "D-SOFT" {
+		t.Errorf("bottleneck = %s, want D-SOFT", eD.Bottleneck)
+	}
+	// Reads/s must equal the reciprocal of the slower stage.
+	if got, want := eD.ReadsPerSec, 1/eD.DSOFTSecPerRead; math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("reads/s = %v, want %v", got, want)
+	}
+	// Zero workload.
+	if e := d.Estimate(Workload{}); e.ReadsPerSec != 0 {
+		t.Errorf("empty workload reads/s = %v, want 0", e.ReadsPerSec)
+	}
+}
+
+// TestEnergyAccounting: the iso-power framing of Section 8 — at a
+// given modeled speedup S over a 10 W CPU thread, Darwin's energy
+// advantage is S × 10/15.25.
+func TestEnergyAccounting(t *testing.T) {
+	d := NewDarwin()
+	w := Workload{SeedsPerRead: 1500, HitsPerSeed: 30, TilesPerRead: 120, TileT: 320, TileO: 128}
+	e := d.Estimate(w)
+	if e.EnergyPerReadJ <= 0 {
+		t.Fatal("no energy estimate")
+	}
+	within(t, "energy per read", e.EnergyPerReadJ, 15.25/e.ReadsPerSec, 1e-9)
+	const baseline = 2.0 // reads/s in software
+	ratio := e.EnergyRatio(baseline)
+	want := (e.ReadsPerSec / baseline) * CPUPowerW / 15.25
+	within(t, "energy ratio", ratio, want, 1e-9)
+	if e.EnergyRatio(0) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestCyclesPerTileEdges(t *testing.T) {
+	m := NewGACTModel(DefaultChip())
+	if m.CyclesPerTile(0, 100, 10) != 0 || m.CyclesPerTile(100, 0, 10) != 0 {
+		t.Error("degenerate tiles should cost 0 cycles")
+	}
+	// Cost grows with T² for square tiles (fixed traceback).
+	c1 := m.CyclesPerTile(128, 128, 0)
+	c2 := m.CyclesPerTile(256, 256, 0)
+	if c2 < 3*c1 {
+		t.Errorf("tile cost not superlinear: %v vs %v", c1, c2)
+	}
+	if TilesPerAlignment(1000, 100, 100) != 0 {
+		t.Error("T ≤ O should yield 0 tiles")
+	}
+}

@@ -1,0 +1,238 @@
+// Package readsim simulates long reads from a genome, standing in for
+// PBSIM in the paper's methodology (Section 8). It samples read
+// positions to a target coverage, injects substitution/insertion/
+// deletion errors at the per-class rates of Table 1, and records the
+// ground-truth interval and strand of every read so that downstream
+// sensitivity/precision evaluation can use the same 50 bp criterion as
+// the paper.
+package readsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"darwin/internal/dna"
+)
+
+// Profile is an error profile for one sequencing technology class.
+// Rates are expressed as errors per emitted... more precisely, as the
+// fraction of read bases involved in each error type, matching how the
+// paper's Table 1 reports PBSIM profiles.
+type Profile struct {
+	// Name identifies the read class ("PacBio", "ONT_2D", "ONT_1D").
+	Name string
+	// Sub, Ins, Del are the substitution/insertion/deletion fractions.
+	Sub, Ins, Del float64
+}
+
+// Total returns the total error rate of the profile.
+func (p Profile) Total() float64 { return p.Sub + p.Ins + p.Del }
+
+// The three read classes evaluated in the paper (Table 1).
+var (
+	// PacBio matches P6-C4 chemistry continuous long reads: 15% total.
+	PacBio = Profile{Name: "PacBio", Sub: 0.0150, Ins: 0.0902, Del: 0.0449}
+	// ONT2D matches Oxford Nanopore R7.3 2D reads: 30% total.
+	ONT2D = Profile{Name: "ONT_2D", Sub: 0.1650, Ins: 0.0510, Del: 0.0840}
+	// ONT1D matches Oxford Nanopore R7.3 1D reads: 40% total.
+	ONT1D = Profile{Name: "ONT_1D", Sub: 0.2039, Ins: 0.0439, Del: 0.1520}
+)
+
+// Profiles lists the paper's three read classes in Table 1 order.
+var Profiles = []Profile{PacBio, ONT2D, ONT1D}
+
+// Config parameterizes read simulation.
+type Config struct {
+	// Profile is the error profile to apply.
+	Profile Profile
+	// MeanLen is the mean read length (paper: 10 kbp).
+	MeanLen int
+	// LenSpread is the half-width of the uniform read-length jitter as a
+	// fraction of MeanLen. 0 produces fixed-length reads.
+	LenSpread float64
+	// Coverage is the target coverage C = N*L/G; used by Simulate to
+	// derive the read count.
+	Coverage float64
+	// Seed seeds the deterministic RNG.
+	Seed int64
+}
+
+// Read is a simulated read with its ground truth.
+type Read struct {
+	// Name is a unique identifier.
+	Name string
+	// Seq is the read sequence (already reverse-complemented for
+	// reverse-strand reads — what a sequencer reports).
+	Seq dna.Seq
+	// Qual holds Phred+33 per-base qualities sampled around the
+	// class's error rate (as PBSIM assigns model-driven qualities,
+	// uncorrelated with the true error positions).
+	Qual []byte
+	// RefStart, RefEnd delimit the template interval [RefStart, RefEnd)
+	// on the forward reference.
+	RefStart, RefEnd int
+	// Reverse is true if the read was sampled from the reverse strand.
+	Reverse bool
+	// Errors counts the errors injected into this read.
+	Errors ErrorCounts
+}
+
+// ErrorCounts tallies injected errors by type.
+type ErrorCounts struct {
+	Sub, Ins, Del int
+}
+
+// TemplateLen returns the reference span covered by the read.
+func (r *Read) TemplateLen() int { return r.RefEnd - r.RefStart }
+
+// Simulate draws reads from ref to the target coverage in cfg.
+func Simulate(ref dna.Seq, cfg Config) ([]Read, error) {
+	if cfg.MeanLen <= 0 {
+		return nil, fmt.Errorf("readsim: non-positive mean length %d", cfg.MeanLen)
+	}
+	if cfg.Coverage <= 0 {
+		return nil, fmt.Errorf("readsim: non-positive coverage %v", cfg.Coverage)
+	}
+	n := int(cfg.Coverage * float64(len(ref)) / float64(cfg.MeanLen))
+	if n < 1 {
+		n = 1
+	}
+	return SimulateN(ref, n, cfg)
+}
+
+// SimulateN draws exactly n reads from ref.
+func SimulateN(ref dna.Seq, n int, cfg Config) ([]Read, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("readsim: empty reference")
+	}
+	if cfg.MeanLen <= 0 {
+		return nil, fmt.Errorf("readsim: non-positive mean length %d", cfg.MeanLen)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Qualities come from a separate stream so adding them does not
+	// perturb the sequences a given seed produces.
+	qrng := rand.New(rand.NewSource(cfg.Seed ^ 0x517))
+	reads := make([]Read, 0, n)
+	for i := 0; i < n; i++ {
+		ln := cfg.MeanLen
+		if cfg.LenSpread > 0 {
+			jitter := int(float64(cfg.MeanLen) * cfg.LenSpread)
+			ln = cfg.MeanLen - jitter + rng.Intn(2*jitter+1)
+		}
+		if ln > len(ref) {
+			ln = len(ref)
+		}
+		if ln < 1 {
+			ln = 1
+		}
+		start := 0
+		if len(ref) > ln {
+			start = rng.Intn(len(ref) - ln + 1)
+		}
+		template := ref[start : start+ln]
+		rev := rng.Intn(2) == 1
+		if rev {
+			template = dna.RevComp(template)
+		}
+		seq, counts := injectErrors(rng, template, cfg.Profile)
+		reads = append(reads, Read{
+			Name:     fmt.Sprintf("%s_read_%d", cfg.Profile.Name, i),
+			Seq:      seq,
+			Qual:     sampleQualities(qrng, len(seq), cfg.Profile),
+			RefStart: start,
+			RefEnd:   start + ln,
+			Reverse:  rev,
+			Errors:   counts,
+		})
+	}
+	return reads, nil
+}
+
+// injectErrors applies the profile to a template. The event model walks
+// the template; at each step it may insert a random base (without
+// consuming the template), delete the next template base, substitute it,
+// or copy it. Event probabilities are normalized so the expected
+// fractions of read bases affected match the profile, the same
+// convention PBSIM's Table 1 profiles use.
+func injectErrors(rng *rand.Rand, template dna.Seq, p Profile) (dna.Seq, ErrorCounts) {
+	var counts ErrorCounts
+	out := make(dna.Seq, 0, len(template)+len(template)/8)
+	// Insertion trials do not consume the template, so the per-trial
+	// probabilities must be deflated for the per-template-base expected
+	// rates to equal the profile: with per-trial insertion probability
+	// pi, a consumed base takes 1/(1-pi) trials, giving pi/(1-pi)
+	// insertions per consumed base.
+	pIns := p.Ins / (1 + p.Ins)
+	pDel := p.Del * (1 - pIns)
+	pSub := p.Sub * (1 - pIns)
+	for i := 0; i < len(template); {
+		r := rng.Float64()
+		switch {
+		case r < pIns:
+			out = append(out, randBase(rng))
+			counts.Ins++
+			// Template position not consumed.
+		case r < pIns+pDel:
+			counts.Del++
+			i++
+		case r < pIns+pDel+pSub:
+			out = append(out, dna.MutatePoint(rng, template[i]))
+			counts.Sub++
+			i++
+		default:
+			out = append(out, template[i])
+			i++
+		}
+	}
+	return out, counts
+}
+
+func randBase(rng *rand.Rand) byte { return dna.Base(byte(rng.Intn(dna.NumBases))) }
+
+// sampleQualities draws Phred+33 quality bytes around the class's
+// nominal quality Q = −10·log10(total error rate), jittered ±3.
+func sampleQualities(rng *rand.Rand, n int, p Profile) []byte {
+	base := 20
+	if t := p.Total(); t > 0 {
+		base = int(-10 * math.Log10(t))
+	}
+	if base < 2 {
+		base = 2
+	}
+	qual := make([]byte, n)
+	for i := range qual {
+		q := base + rng.Intn(7) - 3
+		if q < 2 {
+			q = 2
+		}
+		if q > 40 {
+			q = 40
+		}
+		qual[i] = byte(33 + q)
+	}
+	return qual
+}
+
+// MeasuredProfile computes the aggregate injected error rates over a set
+// of reads, expressed relative to total template bases consumed — the
+// quantity Table 1 reports.
+func MeasuredProfile(reads []Read) Profile {
+	var sub, ins, del, tmpl int
+	for i := range reads {
+		sub += reads[i].Errors.Sub
+		ins += reads[i].Errors.Ins
+		del += reads[i].Errors.Del
+		tmpl += reads[i].TemplateLen()
+	}
+	if tmpl == 0 {
+		return Profile{Name: "empty"}
+	}
+	t := float64(tmpl)
+	return Profile{
+		Name: "measured",
+		Sub:  float64(sub) / t,
+		Ins:  float64(ins) / t,
+		Del:  float64(del) / t,
+	}
+}

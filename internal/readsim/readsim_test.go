@@ -1,0 +1,194 @@
+package readsim
+
+import (
+	"math"
+	"testing"
+
+	"darwin/internal/dna"
+	"darwin/internal/genome"
+)
+
+func testRef(t *testing.T, n int) dna.Seq {
+	t.Helper()
+	g, err := genome.Generate(genome.Config{Length: n, GC: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatalf("genome: %v", err)
+	}
+	return g.Seq
+}
+
+func TestSimulateCoverage(t *testing.T) {
+	ref := testRef(t, 100000)
+	cfg := Config{Profile: PacBio, MeanLen: 1000, Coverage: 5, Seed: 1}
+	reads, err := Simulate(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(reads), 500; got != want {
+		t.Fatalf("read count = %d, want %d", got, want)
+	}
+	total := 0
+	for i := range reads {
+		total += reads[i].TemplateLen()
+	}
+	cov := float64(total) / float64(len(ref))
+	if math.Abs(cov-5) > 0.1 {
+		t.Errorf("coverage = %.2f, want ~5", cov)
+	}
+}
+
+func TestGroundTruthBounds(t *testing.T) {
+	ref := testRef(t, 50000)
+	reads, err := SimulateN(ref, 200, Config{Profile: ONT2D, MeanLen: 2000, LenSpread: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reads {
+		r := &reads[i]
+		if r.RefStart < 0 || r.RefEnd > len(ref) || r.RefStart >= r.RefEnd {
+			t.Fatalf("read %d bad interval [%d,%d)", i, r.RefStart, r.RefEnd)
+		}
+		want := r.TemplateLen()
+		if want < 1600 || want > 2400 {
+			t.Errorf("read %d template length %d outside jitter range", i, want)
+		}
+		if err := dna.Validate(r.Seq); err != nil {
+			t.Fatalf("read %d invalid seq: %v", i, err)
+		}
+	}
+}
+
+// TestErrorRatesMatchTable1 verifies the injected error rates reproduce
+// the paper's Table 1 profiles within tolerance.
+func TestErrorRatesMatchTable1(t *testing.T) {
+	ref := testRef(t, 200000)
+	for _, p := range Profiles {
+		reads, err := SimulateN(ref, 100, Config{Profile: p, MeanLen: 5000, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := MeasuredProfile(reads)
+		const tol = 0.01
+		if math.Abs(m.Sub-p.Sub) > tol {
+			t.Errorf("%s: sub rate %.4f, want %.4f", p.Name, m.Sub, p.Sub)
+		}
+		if math.Abs(m.Ins-p.Ins) > tol {
+			t.Errorf("%s: ins rate %.4f, want %.4f", p.Name, m.Ins, p.Ins)
+		}
+		if math.Abs(m.Del-p.Del) > tol {
+			t.Errorf("%s: del rate %.4f, want %.4f", p.Name, m.Del, p.Del)
+		}
+	}
+}
+
+func TestProfileTotals(t *testing.T) {
+	// The three classes must total ~15%, ~30%, ~40% as in Table 1.
+	wants := []float64{0.1501, 0.30, 0.3998}
+	for i, p := range Profiles {
+		if math.Abs(p.Total()-wants[i]) > 0.0005 {
+			t.Errorf("%s total = %.4f, want %.4f", p.Name, p.Total(), wants[i])
+		}
+	}
+}
+
+func TestReverseReads(t *testing.T) {
+	ref := testRef(t, 20000)
+	reads, err := SimulateN(ref, 300, Config{Profile: Profile{Name: "perfect"}, MeanLen: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, rev := 0, 0
+	for i := range reads {
+		r := &reads[i]
+		template := ref[r.RefStart:r.RefEnd]
+		if r.Reverse {
+			rev++
+			if r.Seq.String() != dna.RevComp(template).String() {
+				t.Fatalf("read %d: reverse read is not revcomp of template", i)
+			}
+		} else {
+			fwd++
+			if r.Seq.String() != template.String() {
+				t.Fatalf("read %d: forward read differs from template", i)
+			}
+		}
+	}
+	if fwd == 0 || rev == 0 {
+		t.Errorf("strand mix fwd=%d rev=%d, want both > 0", fwd, rev)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	ref := testRef(t, 1000)
+	if _, err := Simulate(nil, Config{Profile: PacBio, MeanLen: 100, Coverage: 1}); err == nil {
+		t.Error("empty ref should error")
+	}
+	if _, err := Simulate(ref, Config{Profile: PacBio, MeanLen: 0, Coverage: 1}); err == nil {
+		t.Error("zero mean length should error")
+	}
+	if _, err := Simulate(ref, Config{Profile: PacBio, MeanLen: 100}); err == nil {
+		t.Error("zero coverage should error")
+	}
+}
+
+func TestReadLongerThanRef(t *testing.T) {
+	ref := testRef(t, 100)
+	reads, err := SimulateN(ref, 3, Config{Profile: Profile{Name: "perfect"}, MeanLen: 5000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reads {
+		if reads[i].TemplateLen() != len(ref) {
+			t.Errorf("read %d template %d, want clamped to %d", i, reads[i].TemplateLen(), len(ref))
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ref := testRef(t, 30000)
+	cfg := Config{Profile: ONT1D, MeanLen: 1000, Coverage: 2, Seed: 6}
+	a, err := Simulate(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("counts differ")
+	}
+	for i := range a {
+		if a[i].Seq.String() != b[i].Seq.String() || a[i].RefStart != b[i].RefStart {
+			t.Fatalf("read %d differs between runs", i)
+		}
+	}
+}
+
+func TestQualities(t *testing.T) {
+	ref := testRef(t, 20000)
+	for _, p := range Profiles {
+		reads, err := SimulateN(ref, 5, Config{Profile: p, MeanLen: 1000, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reads {
+			r := &reads[i]
+			if len(r.Qual) != len(r.Seq) {
+				t.Fatalf("%s read %d: qual length %d != seq length %d", p.Name, i, len(r.Qual), len(r.Seq))
+			}
+			sum := 0
+			for _, q := range r.Qual {
+				if q < 33 || q > 33+41 {
+					t.Fatalf("%s: quality byte %d out of Phred+33 range", p.Name, q)
+				}
+				sum += int(q - 33)
+			}
+			mean := float64(sum) / float64(len(r.Qual))
+			want := -10 * math.Log10(p.Total())
+			if math.Abs(mean-want) > 2.5 {
+				t.Errorf("%s: mean quality %.1f, want near %.1f", p.Name, mean, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package sam writes read alignments in the SAM format (the standard
+// interchange format of reference-guided assembly pipelines like
+// BWA-MEM's, which Darwin replaces). Only the subset needed to emit
+// Darwin's alignments is implemented: header @HD/@SQ/@PG lines and
+// single-segment records with soft-clipped CIGARs.
+package sam
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"darwin/internal/align"
+	"darwin/internal/dna"
+)
+
+// Flag bits used by this writer.
+const (
+	FlagReverse  = 0x10
+	FlagUnmapped = 0x4
+)
+
+// Record is one SAM alignment line.
+type Record struct {
+	QName string
+	Flag  int
+	RName string
+	// Pos is the 0-based reference start (written 1-based).
+	Pos   int
+	MapQ  int
+	Cigar string
+	Seq   dna.Seq
+	Tags  []string
+}
+
+// Writer emits a SAM stream.
+type Writer struct {
+	w      *bufio.Writer
+	wrote  bool
+	refs   []RefSeq
+	pgLine string
+}
+
+// RefSeq names one reference sequence for the @SQ header.
+type RefSeq struct {
+	Name string
+	Len  int
+}
+
+// NewWriter creates a writer that will emit a header for the given
+// references on the first record.
+func NewWriter(w io.Writer, refs []RefSeq, program string) *Writer {
+	return &Writer{w: bufio.NewWriter(w), refs: refs, pgLine: program}
+}
+
+func (s *Writer) writeHeader() error {
+	if _, err := fmt.Fprintf(s.w, "@HD\tVN:1.6\tSO:unknown\n"); err != nil {
+		return err
+	}
+	for _, r := range s.refs {
+		if _, err := fmt.Fprintf(s.w, "@SQ\tSN:%s\tLN:%d\n", r.Name, r.Len); err != nil {
+			return err
+		}
+	}
+	if s.pgLine != "" {
+		if _, err := fmt.Fprintf(s.w, "@PG\tID:%s\tPN:%s\n", s.pgLine, s.pgLine); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write emits one record (and the header first, once).
+func (s *Writer) Write(r Record) error {
+	if !s.wrote {
+		if err := s.writeHeader(); err != nil {
+			return fmt.Errorf("sam: writing header: %w", err)
+		}
+		s.wrote = true
+	}
+	rname, cigar := r.RName, r.Cigar
+	pos := r.Pos + 1
+	if r.Flag&FlagUnmapped != 0 {
+		rname, cigar, pos = "*", "*", 0
+	}
+	seq := "*"
+	if len(r.Seq) > 0 {
+		seq = string(r.Seq)
+	}
+	line := strings.Join([]string{
+		r.QName, strconv.Itoa(r.Flag), rname, strconv.Itoa(pos),
+		strconv.Itoa(r.MapQ), cigar, "*", "0", "0", seq, "*",
+	}, "\t")
+	if len(r.Tags) > 0 {
+		line += "\t" + strings.Join(r.Tags, "\t")
+	}
+	if _, err := fmt.Fprintln(s.w, line); err != nil {
+		return fmt.Errorf("sam: writing record: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered output (writing the header if no records
+// were emitted).
+func (s *Writer) Flush() error {
+	if !s.wrote {
+		if err := s.writeHeader(); err != nil {
+			return err
+		}
+		s.wrote = true
+	}
+	return s.w.Flush()
+}
+
+// CigarWithClips renders an alignment path as a SAM CIGAR with soft
+// clips for the unaligned query prefix/suffix.
+func CigarWithClips(c align.Cigar, queryStart, queryEnd, queryLen int) string {
+	var b strings.Builder
+	if queryStart > 0 {
+		fmt.Fprintf(&b, "%dS", queryStart)
+	}
+	b.WriteString(c.String())
+	if tail := queryLen - queryEnd; tail > 0 {
+		fmt.Fprintf(&b, "%dS", tail)
+	}
+	return b.String()
+}

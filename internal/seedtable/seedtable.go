@@ -1,0 +1,373 @@
+// Package seedtable implements the seed position table of Section 3
+// (Figure 3): for each of the 4^k possible seeds, a pointer table gives
+// the span of a position table holding every occurrence of that seed in
+// the reference, stored sequentially. Sequential hit storage is the
+// property Darwin's D-SOFT accelerator exploits for long DRAM bursts
+// (versus suffix trees / BWT-FM indexes, whose lookups are pointer
+// chases); the companion fmindex package implements that alternative
+// for comparison.
+//
+// Darwin masks high-frequency seeds — those occurring more than
+// 32·|R|/4^k times (Section 5) — to bound worst-case hit lists from
+// repeat regions.
+package seedtable
+
+import (
+	"fmt"
+	"sort"
+
+	"darwin/internal/dna"
+)
+
+// directLimit is the largest k for which a dense 4^k-entry pointer table
+// is allocated (4^12 entries ≈ 67 MB of uint32). Larger k fall back to a
+// sorted sparse representation; lookups behave identically.
+const directLimit = 12
+
+// Options configures table construction.
+type Options struct {
+	// MaskMultiplier is the high-frequency masking factor: seeds with
+	// more than MaskMultiplier·|R|/4^k occurrences are masked (their
+	// hit lists emptied). Darwin uses 32. Zero applies the default.
+	MaskMultiplier int
+	// MaskFloor is the minimum mask threshold, needed when |R| ≪ 4^k
+	// (scaled-down genomes) where the raw formula would mask every seed.
+	// Zero applies a default of 8.
+	MaskFloor int
+	// NoMask disables masking entirely.
+	NoMask bool
+	// MinimizerWindow, when ≥ 2, stores only minimizer positions: the
+	// lowest-hashed seed of every window of that many consecutive
+	// seeds (Roberts et al., cited in Section 10 as the standard way
+	// to shrink seed storage). Every window of MinimizerWindow
+	// consecutive seed positions retains at least one entry. Zero or
+	// one stores every position.
+	MinimizerWindow int
+}
+
+// DefaultOptions returns the paper's masking configuration.
+func DefaultOptions() Options { return Options{MaskMultiplier: 32, MaskFloor: 8} }
+
+// Table is a seed position table over one reference sequence.
+type Table struct {
+	k       int
+	refLen  int
+	maskMax int
+	sample  func(emit func(code uint32, pos int)) func(code uint32, pos int)
+	pattern *SpacedPattern // non-nil for spaced-seed tables
+
+	// Dense mode (k ≤ directLimit): ptr has 4^k+1 entries; the hits for
+	// seed code c occupy pos[ptr[c]:ptr[c+1]].
+	ptr []uint32
+
+	// Sparse mode (k > directLimit): codes lists the distinct seed codes
+	// in ascending order and spans[i] delimits pos for codes[i].
+	codes []uint32
+	spans [][2]uint32
+
+	// pos is the position table: reference offsets grouped by seed code,
+	// ascending within each group.
+	pos []uint32
+
+	maskedSeeds int
+	maskedHits  int
+}
+
+// Build constructs the table for all k-mers of ref.
+func Build(ref dna.Seq, k int, opts Options) (*Table, error) {
+	if k < 1 || k > dna.MaxSeedSize {
+		return nil, fmt.Errorf("seedtable: seed size %d out of range [1,%d]", k, dna.MaxSeedSize)
+	}
+	if len(ref) < k {
+		return nil, fmt.Errorf("seedtable: reference length %d shorter than seed size %d", len(ref), k)
+	}
+	if opts.MaskMultiplier == 0 {
+		opts.MaskMultiplier = 32
+	}
+	if opts.MaskFloor == 0 {
+		opts.MaskFloor = 8
+	}
+	t := &Table{k: k, refLen: len(ref)}
+	if !opts.NoMask {
+		t.maskMax = opts.MaskMultiplier * len(ref) / dna.NumSeeds(k)
+		if t.maskMax < opts.MaskFloor {
+			t.maskMax = opts.MaskFloor
+		}
+	}
+	t.sample = minimizerSampler(opts.MinimizerWindow)
+	if k <= directLimit {
+		t.buildDense(ref)
+	} else {
+		t.buildSparse(ref)
+	}
+	return t, nil
+}
+
+// minimizerSampler returns a filter over (code, pos) seed streams that
+// keeps only per-window minimizers, or nil when sampling is disabled.
+// It is stateful and must be consumed in position order, which the
+// build passes guarantee.
+func minimizerSampler(w int) func(emit func(code uint32, pos int)) func(code uint32, pos int) {
+	if w < 2 {
+		return nil
+	}
+	return func(emit func(code uint32, pos int)) func(code uint32, pos int) {
+		type entry struct {
+			code uint32
+			pos  int
+			h    uint32
+		}
+		var window []entry // monotone deque of window minima candidates
+		lastEmitted := -1
+		expect := -1 // next contiguous position (N gaps reset the window)
+		fill := 0    // consecutive seeds since the last reset
+		return func(code uint32, pos int) {
+			if pos != expect {
+				window = window[:0]
+				fill = 0
+			}
+			expect = pos + 1
+			fill++
+			h := hashSeed(code)
+			for len(window) > 0 && window[len(window)-1].h >= h {
+				window = window[:len(window)-1]
+			}
+			window = append(window, entry{code, pos, h})
+			if window[0].pos <= pos-w {
+				window = window[1:]
+			}
+			if fill >= w && window[0].pos != lastEmitted {
+				emit(window[0].code, window[0].pos)
+				lastEmitted = window[0].pos
+			}
+		}
+	}
+}
+
+// hashSeed mixes a seed code so minimizer selection is not biased
+// toward poly-A (the lexicographically smallest seeds).
+func hashSeed(code uint32) uint32 {
+	x := code
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// forEachStored visits every seed occurrence the table stores —
+// all positions, or only minimizers when sampling is enabled.
+func (t *Table) forEachStored(ref dna.Seq, fn func(code uint32, pos int)) {
+	if t.sample != nil {
+		fn = t.sample(fn)
+	}
+	if t.pattern != nil {
+		forEachSeedSpaced(ref, t.pattern, fn)
+		return
+	}
+	forEachSeed(ref, t.k, fn)
+}
+
+// buildDense uses a two-pass counting sort into a 4^k+1 pointer table.
+func (t *Table) buildDense(ref dna.Seq) {
+	n := dna.NumSeeds(t.k)
+	counts := make([]uint32, n+1)
+	t.forEachStored(ref, func(code uint32, _ int) {
+		counts[code+1]++
+	})
+	// Mask high-frequency seeds by zeroing their counts.
+	if t.maskMax > 0 {
+		for c := 1; c <= n; c++ {
+			if int(counts[c]) > t.maskMax {
+				t.maskedSeeds++
+				t.maskedHits += int(counts[c])
+				counts[c] = 0
+			}
+		}
+	}
+	for c := 1; c <= n; c++ {
+		counts[c] += counts[c-1]
+	}
+	t.ptr = counts
+	t.pos = make([]uint32, t.ptr[n])
+	fill := make([]uint32, n)
+	copy(fill, t.ptr[:n])
+	t.forEachStored(ref, func(code uint32, i int) {
+		if t.ptr[code+1] == t.ptr[code] {
+			return // masked (or impossible) seed
+		}
+		t.pos[fill[code]] = uint32(i)
+		fill[code]++
+	})
+}
+
+// buildSparse sorts (code, position) pairs packed into uint64s and
+// derives per-code spans; memory is O(occurrences) instead of O(4^k).
+func (t *Table) buildSparse(ref dna.Seq) {
+	pairs := make([]uint64, 0, len(ref))
+	t.forEachStored(ref, func(code uint32, i int) {
+		pairs = append(pairs, uint64(code)<<32|uint64(uint32(i)))
+	})
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a] < pairs[b] })
+	t.pos = make([]uint32, 0, len(pairs))
+	for i := 0; i < len(pairs); {
+		code := uint32(pairs[i] >> 32)
+		j := i
+		for j < len(pairs) && uint32(pairs[j]>>32) == code {
+			j++
+		}
+		if t.maskMax > 0 && j-i > t.maskMax {
+			t.maskedSeeds++
+			t.maskedHits += j - i
+			i = j
+			continue
+		}
+		start := uint32(len(t.pos))
+		for ; i < j; i++ {
+			t.pos = append(t.pos, uint32(pairs[i]))
+		}
+		t.codes = append(t.codes, code)
+		t.spans = append(t.spans, [2]uint32{start, uint32(len(t.pos))})
+	}
+}
+
+func forEachSeed(ref dna.Seq, k int, fn func(code uint32, pos int)) {
+	// Incremental rolling pack: maintain the 2k-bit window, resetting
+	// after an N. This is O(|ref|) rather than O(|ref|·k).
+	mask := uint32(dna.NumSeeds(k) - 1)
+	var code uint32
+	valid := 0
+	for i := 0; i < len(ref); i++ {
+		c := dna.Code(ref[i])
+		if c == dna.CodeN {
+			valid = 0
+			code = 0
+			continue
+		}
+		code = (code<<2 | uint32(c)) & mask
+		valid++
+		if valid >= k {
+			fn(code, i-k+1)
+		}
+	}
+}
+
+// K returns the seed size.
+func (t *Table) K() int { return t.k }
+
+// RefLen returns the indexed reference length.
+func (t *Table) RefLen() int { return t.refLen }
+
+// MaskThreshold returns the occurrence count above which seeds were
+// masked (0 if masking was disabled).
+func (t *Table) MaskThreshold() int { return t.maskMax }
+
+// MaskedSeeds returns how many distinct seeds were masked.
+func (t *Table) MaskedSeeds() int { return t.maskedSeeds }
+
+// MaskedHits returns how many reference positions the masked seeds had.
+func (t *Table) MaskedHits() int { return t.maskedHits }
+
+// Positions returns the total number of stored (unmasked) positions.
+func (t *Table) Positions() int { return len(t.pos) }
+
+// Lookup returns the reference positions of the seed with the given
+// packed code, in ascending order. The returned slice aliases internal
+// storage and must not be modified. Masked and absent seeds return nil.
+func (t *Table) Lookup(code uint32) []uint32 {
+	if t.ptr != nil {
+		if int(code) >= len(t.ptr)-1 {
+			return nil
+		}
+		s, e := t.ptr[code], t.ptr[code+1]
+		if s == e {
+			return nil
+		}
+		return t.pos[s:e]
+	}
+	i := sort.Search(len(t.codes), func(i int) bool { return t.codes[i] >= code })
+	if i == len(t.codes) || t.codes[i] != code {
+		return nil
+	}
+	sp := t.spans[i]
+	return t.pos[sp[0]:sp[1]]
+}
+
+// LookupSeq packs the seed of q starting at pos (contiguous k bases,
+// or the table's spaced pattern) and looks it up. Seeds with N in a
+// care position return nil (they are skipped, as in hardware).
+func (t *Table) LookupSeq(q dna.Seq, pos int) []uint32 {
+	var code uint32
+	var ok bool
+	if t.pattern != nil {
+		code, ok = t.pattern.Pack(q, pos)
+	} else {
+		code, ok = dna.PackSeed(q, pos, t.k)
+	}
+	if !ok {
+		return nil
+	}
+	return t.Lookup(code)
+}
+
+// PackQuery extracts the seed code at q[pos] using the table's scheme
+// (contiguous k-mer or spaced pattern) — the packing D-SOFT must use
+// when drawing query seeds against this table.
+func (t *Table) PackQuery(q dna.Seq, pos int) (uint32, bool) {
+	if t.pattern != nil {
+		return t.pattern.Pack(q, pos)
+	}
+	return dna.PackSeed(q, pos, t.k)
+}
+
+// Stats summarizes the table for reporting and for the DRAM model.
+type Stats struct {
+	K            int
+	RefLen       int
+	Positions    int
+	MaskedSeeds  int
+	MaskedHits   int
+	HitsPerSeed  float64 // mean hits per possible seed value (paper Table 3 column)
+	PointerBytes int64
+	PositionByte int64
+}
+
+// Stats computes summary statistics. HitsPerSeed is the expected hit
+// count for a uniformly random seed drawn from the reference itself,
+// i.e. Σ count(s)² / Σ count(s), matching how "hits/seed" behaves for
+// query seeds that come from the same genome (Table 3).
+func (t *Table) Stats() Stats {
+	st := Stats{
+		K:           t.k,
+		RefLen:      t.refLen,
+		Positions:   len(t.pos),
+		MaskedSeeds: t.maskedSeeds,
+		MaskedHits:  t.maskedHits,
+	}
+	if t.ptr != nil {
+		st.PointerBytes = int64(len(t.ptr)) * 4
+		var sumSq, sum float64
+		for c := 0; c+1 < len(t.ptr); c++ {
+			n := float64(t.ptr[c+1] - t.ptr[c])
+			sumSq += n * n
+			sum += n
+		}
+		if sum > 0 {
+			st.HitsPerSeed = sumSq / sum
+		}
+	} else {
+		st.PointerBytes = int64(len(t.codes)) * 12 // code + span
+		var sumSq, sum float64
+		for _, sp := range t.spans {
+			n := float64(sp[1] - sp[0])
+			sumSq += n * n
+			sum += n
+		}
+		if sum > 0 {
+			st.HitsPerSeed = sumSq / sum
+		}
+	}
+	st.PositionByte = int64(len(t.pos)) * 4
+	return st
+}

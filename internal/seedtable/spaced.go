@@ -1,0 +1,145 @@
+package seedtable
+
+import (
+	"fmt"
+	"strings"
+
+	"darwin/internal/dna"
+)
+
+// SpacedPattern is a spaced-seed template (Keich et al., cited in
+// Section 10 as a way to improve seeding sensitivity): '1' marks care
+// positions that enter the seed code, '0' marks don't-care positions
+// that tolerate mismatches. The classic result is that a spaced seed
+// of weight w is more sensitive to substitution errors than a
+// contiguous w-mer, because neighbouring seed hits share fewer
+// positions and thus fail more independently.
+type SpacedPattern struct {
+	mask   []bool
+	weight int
+}
+
+// ParsePattern builds a pattern from a "1101..." string. The pattern
+// must start and end with '1' and have weight ≤ dna.MaxSeedSize.
+func ParsePattern(s string) (*SpacedPattern, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("seedtable: empty spaced-seed pattern")
+	}
+	if s[0] != '1' || s[len(s)-1] != '1' {
+		return nil, fmt.Errorf("seedtable: pattern %q must start and end with '1'", s)
+	}
+	p := &SpacedPattern{mask: make([]bool, len(s))}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			p.mask[i] = true
+			p.weight++
+		case '0':
+		default:
+			return nil, fmt.Errorf("seedtable: pattern %q has invalid byte %q", s, s[i])
+		}
+	}
+	if p.weight > dna.MaxSeedSize {
+		return nil, fmt.Errorf("seedtable: pattern weight %d exceeds %d", p.weight, dna.MaxSeedSize)
+	}
+	return p, nil
+}
+
+// Contiguous returns the weight-k pattern "111…1" (an ordinary k-mer).
+func Contiguous(k int) *SpacedPattern {
+	p, err := ParsePattern(strings.Repeat("1", k))
+	if err != nil {
+		panic(err) // k out of range is a programming error
+	}
+	return p
+}
+
+// Span is the pattern length (bases consumed per seed).
+func (p *SpacedPattern) Span() int { return len(p.mask) }
+
+// Weight is the number of care positions (code bits / 2).
+func (p *SpacedPattern) Weight() int { return p.weight }
+
+// String renders the pattern.
+func (p *SpacedPattern) String() string {
+	var b strings.Builder
+	for _, m := range p.mask {
+		if m {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Pack extracts the spaced-seed code at s[pos]. ok is false if the
+// window leaves the sequence or a care position holds an N
+// (don't-care Ns are tolerated).
+func (p *SpacedPattern) Pack(s dna.Seq, pos int) (code uint32, ok bool) {
+	if pos < 0 || pos+len(p.mask) > len(s) {
+		return 0, false
+	}
+	for i, care := range p.mask {
+		if !care {
+			continue
+		}
+		c := dna.Code(s[pos+i])
+		if c == dna.CodeN {
+			return 0, false
+		}
+		code = code<<2 | uint32(c)
+	}
+	return code, true
+}
+
+// BuildSpaced constructs a seed table over the spaced-seed codes of
+// ref. Lookup keys must be produced with the same pattern's Pack (or
+// LookupSpaced). Masking semantics match Build, applied to the
+// pattern's weight.
+func BuildSpaced(ref dna.Seq, pattern *SpacedPattern, opts Options) (*Table, error) {
+	if pattern == nil {
+		return nil, fmt.Errorf("seedtable: nil pattern")
+	}
+	if len(ref) < pattern.Span() {
+		return nil, fmt.Errorf("seedtable: reference length %d shorter than pattern span %d", len(ref), pattern.Span())
+	}
+	if opts.MaskMultiplier == 0 {
+		opts.MaskMultiplier = 32
+	}
+	if opts.MaskFloor == 0 {
+		opts.MaskFloor = 8
+	}
+	t := &Table{k: pattern.weight, refLen: len(ref), pattern: pattern}
+	if !opts.NoMask {
+		t.maskMax = opts.MaskMultiplier * len(ref) / dna.NumSeeds(pattern.weight)
+		if t.maskMax < opts.MaskFloor {
+			t.maskMax = opts.MaskFloor
+		}
+	}
+	t.sample = minimizerSampler(opts.MinimizerWindow)
+	if pattern.weight <= directLimit {
+		t.buildDense(ref)
+	} else {
+		t.buildSparse(ref)
+	}
+	return t, nil
+}
+
+// Pattern returns the table's spaced pattern (a contiguous pattern of
+// weight k for ordinary tables).
+func (t *Table) Pattern() *SpacedPattern {
+	if t.pattern != nil {
+		return t.pattern
+	}
+	return Contiguous(t.k)
+}
+
+// forEachSeedSpaced visits spaced-seed codes in position order.
+func forEachSeedSpaced(ref dna.Seq, p *SpacedPattern, fn func(code uint32, pos int)) {
+	for i := 0; i+p.Span() <= len(ref); i++ {
+		if code, ok := p.Pack(ref, i); ok {
+			fn(code, i)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package seedtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"darwin/internal/dna"
+)
+
+func TestParsePattern(t *testing.T) {
+	p, err := ParsePattern("1101011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Span() != 7 || p.Weight() != 5 {
+		t.Errorf("span=%d weight=%d, want 7/5", p.Span(), p.Weight())
+	}
+	if p.String() != "1101011" {
+		t.Errorf("String = %s", p)
+	}
+	for _, bad := range []string{"", "011", "110", "1121", "0"} {
+		if _, err := ParsePattern(bad); err == nil {
+			t.Errorf("ParsePattern(%q) should fail", bad)
+		}
+	}
+	if Contiguous(4).String() != "1111" {
+		t.Error("Contiguous(4) wrong")
+	}
+}
+
+func TestSpacedPackIgnoresDontCare(t *testing.T) {
+	p, err := ParsePattern("101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok1 := p.Pack(dna.NewSeq("ACG"), 0)
+	b, ok2 := p.Pack(dna.NewSeq("ATG"), 0) // middle base differs
+	if !ok1 || !ok2 || a != b {
+		t.Errorf("don't-care mismatch changed code: %d vs %d", a, b)
+	}
+	c, _ := p.Pack(dna.NewSeq("TCG"), 0) // care base differs
+	if c == a {
+		t.Error("care mismatch did not change code")
+	}
+	// N at don't-care is tolerated; N at care is not.
+	if _, ok := p.Pack(dna.NewSeq("ANG"), 0); !ok {
+		t.Error("N at don't-care position should be tolerated")
+	}
+	if _, ok := p.Pack(dna.NewSeq("NCG"), 0); ok {
+		t.Error("N at care position should be rejected")
+	}
+	if _, ok := p.Pack(dna.NewSeq("AC"), 0); ok {
+		t.Error("window off the end should be rejected")
+	}
+}
+
+func TestBuildSpacedLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	ref := dna.Random(rng, 3000, 0.5)
+	p, err := ParsePattern("110101101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := BuildSpaced(ref, p, Options{NoMask: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Pattern().String() != p.String() {
+		t.Error("pattern not recorded")
+	}
+	// Oracle: every returned position's spaced code equals the query's.
+	for trial := 0; trial < 100; trial++ {
+		pos := rng.Intn(len(ref) - p.Span())
+		code, ok := p.Pack(ref, pos)
+		if !ok {
+			continue
+		}
+		hits := tab.Lookup(code)
+		foundSelf := false
+		for _, h := range hits {
+			got, ok := p.Pack(ref, int(h))
+			if !ok || got != code {
+				t.Fatalf("hit %d has different spaced code", h)
+			}
+			if int(h) == pos {
+				foundSelf = true
+			}
+		}
+		if !foundSelf {
+			t.Fatalf("position %d missing from its own hit list", pos)
+		}
+	}
+	// PackQuery must use the pattern.
+	code1, _ := tab.PackQuery(ref, 10)
+	code2, _ := p.Pack(ref, 10)
+	if code1 != code2 {
+		t.Error("PackQuery ignores the pattern")
+	}
+}
+
+// TestSpacedSeedSensitivity verifies the classic spaced-seed claim
+// (Keich et al., cited in Section 10): the per-position hit
+// probability of a weight-w spaced seed equals a contiguous w-mer's,
+// but its hits are less correlated across neighbouring positions, so
+// the probability that a similarity *region* contains at least one
+// hit is higher. Measured here as the fraction of 25%-substituted
+// windows with ≥ 1 true-diagonal hit.
+func TestSpacedSeedSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	ref := dna.Random(rng, 200000, 0.5)
+	spaced, err := ParsePattern("1110100110010101111") // weight 12, PatternHunter-like
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spaced.Weight() != 12 {
+		t.Fatalf("test pattern weight = %d, want 12", spaced.Weight())
+	}
+	contTab, err := Build(ref, 12, Options{NoMask: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spacedTab, err := BuildSpaced(ref, spaced, Options{NoMask: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		windows = 400
+		winLen  = 70
+		subRate = 0.25
+	)
+	contFound, spacedFound := 0, 0
+	for w := 0; w < windows; w++ {
+		start := rng.Intn(len(ref) - winLen)
+		q := ref[start : start+winLen].Clone()
+		for i := range q {
+			if rng.Float64() < subRate {
+				q[i] = dna.MutatePoint(rng, q[i])
+			}
+		}
+		check := func(tab *Table) bool {
+			for j := 0; j+spaced.Span() <= len(q); j++ {
+				for _, h := range tab.LookupSeq(q, j) {
+					if int(h) == start+j {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if check(contTab) {
+			contFound++
+		}
+		if check(spacedTab) {
+			spacedFound++
+		}
+	}
+	t.Logf("region sensitivity: contiguous %d/%d, spaced %d/%d", contFound, windows, spacedFound, windows)
+	if spacedFound <= contFound {
+		t.Errorf("spaced seed region sensitivity %d not above contiguous %d at %.0f%% substitutions",
+			spacedFound, contFound, subRate*100)
+	}
+}
+
+func TestBuildSpacedErrors(t *testing.T) {
+	if _, err := BuildSpaced(dna.NewSeq("ACGT"), nil, Options{}); err == nil {
+		t.Error("nil pattern should error")
+	}
+	p, _ := ParsePattern("10101")
+	if _, err := BuildSpaced(dna.NewSeq("ACG"), p, Options{}); err == nil {
+		t.Error("ref shorter than span should error")
+	}
+}

@@ -1,0 +1,125 @@
+package wga
+
+import "sort"
+
+// Chain is an ordered set of collinear blocks — the "chains and nets"
+// representation genome browsers consume from LASTZ-class pipelines.
+// Blocks in a chain are same-strand, non-overlapping, and strictly
+// increasing in both reference and query coordinates.
+type Chain struct {
+	// Blocks is ordered by reference start.
+	Blocks []Block
+	// Score is the sum of member block scores minus gap penalties.
+	Score int
+	// QueryRev is the chain's strand.
+	QueryRev bool
+}
+
+// RefSpan returns the chain's [start, end) extent on the reference.
+func (c *Chain) RefSpan() (int, int) {
+	return c.Blocks[0].Result.RefStart, c.Blocks[len(c.Blocks)-1].Result.RefEnd
+}
+
+// ChainConfig parameterizes block chaining.
+type ChainConfig struct {
+	// MaxGap is the largest reference/query gap bridged between
+	// consecutive blocks.
+	MaxGap int
+	// GapCost is the per-base penalty applied to the larger of the two
+	// gaps when linking blocks.
+	GapCost float64
+}
+
+// DefaultChainConfig returns gap settings suited to megabase genomes.
+func DefaultChainConfig() ChainConfig { return ChainConfig{MaxGap: 50_000, GapCost: 0.05} }
+
+// BuildChains links collinear blocks greedily by dynamic programming
+// over blocks sorted by reference start (the classical sparse chaining
+// recurrence): chain score = block score + best predecessor score −
+// gap cost. Each block joins exactly one chain; chains are returned by
+// descending score.
+func BuildChains(blocks []Block, cfg ChainConfig) []Chain {
+	if cfg.MaxGap <= 0 {
+		cfg.MaxGap = 50_000
+	}
+	idx := make([]int, len(blocks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return blocks[idx[a]].Result.RefStart < blocks[idx[b]].Result.RefStart
+	})
+	// DP over sorted order.
+	score := make([]float64, len(blocks))
+	prev := make([]int, len(blocks))
+	for i := range prev {
+		prev[i] = -1
+	}
+	for ai, a := range idx {
+		ba := &blocks[a]
+		score[a] = float64(ba.Result.Score)
+		for bi := 0; bi < ai; bi++ {
+			b := idx[bi]
+			bb := &blocks[b]
+			if bb.QueryRev != ba.QueryRev {
+				continue
+			}
+			refGap := ba.Result.RefStart - bb.Result.RefEnd
+			qGap := ba.Result.QueryStart - bb.Result.QueryEnd
+			if refGap < 0 || qGap < 0 || refGap > cfg.MaxGap || qGap > cfg.MaxGap {
+				continue
+			}
+			gap := refGap
+			if qGap > gap {
+				gap = qGap
+			}
+			cand := score[b] + float64(ba.Result.Score) - cfg.GapCost*float64(gap)
+			if cand > score[a] {
+				score[a] = cand
+				prev[a] = b
+			}
+		}
+	}
+	// Extract chains: repeatedly take the best unused terminal block
+	// and walk its predecessor links.
+	used := make([]bool, len(blocks))
+	order := make([]int, len(blocks))
+	copy(order, idx)
+	sort.Slice(order, func(a, b int) bool { return score[order[a]] > score[order[b]] })
+	var chains []Chain
+	for _, end := range order {
+		if used[end] {
+			continue
+		}
+		var members []int
+		ok := true
+		for at := end; at != -1; at = prev[at] {
+			if used[at] {
+				ok = false // tail already claimed by a stronger chain
+				break
+			}
+			members = append(members, at)
+		}
+		if !ok {
+			// Truncate at the claimed prefix instead of dropping.
+			var trimmed []int
+			for at := end; at != -1 && !used[at]; at = prev[at] {
+				trimmed = append(trimmed, at)
+			}
+			members = trimmed
+		}
+		if len(members) == 0 {
+			continue
+		}
+		ch := Chain{QueryRev: blocks[end].QueryRev}
+		for i := len(members) - 1; i >= 0; i-- {
+			m := members[i]
+			used[m] = true
+			ch.Blocks = append(ch.Blocks, blocks[m])
+			ch.Score += blocks[m].Result.Score
+		}
+		chains = append(chains, ch)
+	}
+	sort.Slice(chains, func(a, b int) bool { return chains[a].Score > chains[b].Score })
+	return chains
+}

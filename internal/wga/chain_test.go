@@ -1,0 +1,115 @@
+package wga
+
+import (
+	"testing"
+
+	"darwin/internal/align"
+	"darwin/internal/dna"
+	"darwin/internal/genome"
+)
+
+func mkBlock(refLo, refHi, qLo, qHi, score int, rev bool) Block {
+	var b Block
+	b.Result = align.Result{RefStart: refLo, RefEnd: refHi, QueryStart: qLo, QueryEnd: qHi, Score: score}
+	b.QueryRev = rev
+	return b
+}
+
+func TestBuildChainsCollinear(t *testing.T) {
+	blocks := []Block{
+		mkBlock(0, 1000, 0, 1000, 900, false),
+		mkBlock(1200, 2000, 1150, 1950, 700, false),
+		mkBlock(2100, 3000, 2050, 2950, 800, false),
+		// An off-diagonal distractor that cannot chain (query goes
+		// backwards).
+		mkBlock(1500, 1800, 200, 500, 300, false),
+	}
+	chains := BuildChains(blocks, DefaultChainConfig())
+	if len(chains) < 2 {
+		t.Fatalf("chains = %d, want ≥ 2", len(chains))
+	}
+	main := chains[0]
+	if len(main.Blocks) != 3 {
+		t.Fatalf("main chain has %d blocks, want 3", len(main.Blocks))
+	}
+	lo, hi := main.RefSpan()
+	if lo != 0 || hi != 3000 {
+		t.Errorf("main chain span [%d,%d), want [0,3000)", lo, hi)
+	}
+	for i := 1; i < len(main.Blocks); i++ {
+		if main.Blocks[i].Result.RefStart < main.Blocks[i-1].Result.RefEnd ||
+			main.Blocks[i].Result.QueryStart < main.Blocks[i-1].Result.QueryEnd {
+			t.Errorf("chain blocks not collinear at %d", i)
+		}
+	}
+}
+
+func TestBuildChainsStrandSeparation(t *testing.T) {
+	blocks := []Block{
+		mkBlock(0, 1000, 0, 1000, 900, false),
+		mkBlock(1100, 2000, 1100, 2000, 800, true), // reverse strand
+		mkBlock(2100, 3000, 2100, 3000, 850, false),
+	}
+	chains := BuildChains(blocks, DefaultChainConfig())
+	for _, c := range chains {
+		for _, b := range c.Blocks {
+			if b.QueryRev != c.QueryRev {
+				t.Fatalf("mixed strands inside a chain")
+			}
+		}
+	}
+}
+
+func TestBuildChainsGapLimit(t *testing.T) {
+	blocks := []Block{
+		mkBlock(0, 1000, 0, 1000, 900, false),
+		mkBlock(200_000, 201_000, 200_000, 201_000, 900, false), // too far
+	}
+	chains := BuildChains(blocks, ChainConfig{MaxGap: 10_000, GapCost: 0.05})
+	if len(chains) != 2 {
+		t.Fatalf("chains = %d, want 2 (gap exceeds MaxGap)", len(chains))
+	}
+}
+
+func TestBuildChainsEmpty(t *testing.T) {
+	if got := BuildChains(nil, DefaultChainConfig()); len(got) != 0 {
+		t.Errorf("chains of nothing = %d", len(got))
+	}
+}
+
+// TestChainsOnRealAlignment: chaining the blocks of an SV-bearing
+// genome pair must produce one dominant forward chain spanning most of
+// the reference (the inversion stays its own reverse chain).
+func TestChainsOnRealAlignment(t *testing.T) {
+	g, err := genome.Generate(genome.Config{Length: 80000, GC: 0.45, Seed: 201})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := g.Seq.Clone()
+	copy(sample[30000:40000], dna.RevComp(g.Seq[30000:40000]))
+	blocks, _, err := Align(g.Seq, sample, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := BuildChains(blocks, DefaultChainConfig())
+	if len(chains) == 0 {
+		t.Fatal("no chains")
+	}
+	var fwdSpan int
+	var haveRev bool
+	for _, c := range chains {
+		lo, hi := c.RefSpan()
+		if !c.QueryRev && hi-lo > fwdSpan {
+			fwdSpan = hi - lo
+		}
+		if c.QueryRev {
+			haveRev = true
+		}
+	}
+	if fwdSpan < 60000 {
+		t.Errorf("dominant forward chain spans %d, want ≥ 60000", fwdSpan)
+	}
+	if !haveRev {
+		t.Error("inversion did not produce a reverse chain")
+	}
+}

@@ -1,0 +1,122 @@
+package wga
+
+import (
+	"testing"
+
+	"darwin/internal/dna"
+	"darwin/internal/genome"
+)
+
+func TestAlignDivergedGenomes(t *testing.T) {
+	g, err := genome.Generate(genome.Config{Length: 100000, GC: 0.45, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, _, err := genome.ApplyVariants(g.Seq, genome.VariantConfig{
+		SNPRate: 0.02, SmallIndelRate: 0.002, Seed: 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, stats, err := Align(g.Seq, sample, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) == 0 {
+		t.Fatal("no alignment blocks")
+	}
+	if stats.Candidates == 0 || stats.Tiles == 0 {
+		t.Errorf("stats not recorded: %+v", stats)
+	}
+	cov := Coverage(len(g.Seq), blocks)
+	if cov < 0.95 {
+		t.Errorf("reference coverage = %.3f, want ≥ 0.95", cov)
+	}
+	for i := range blocks {
+		q := sample
+		if blocks[i].QueryRev {
+			q = dna.RevComp(sample)
+		}
+		if err := blocks[i].Result.Check(g.Seq, q); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if blocks[i].QueryRev {
+			t.Errorf("unexpected reverse block with no inversions: %+v", blocks[i].Result)
+		}
+	}
+}
+
+// TestAlignDetectsInversion plants a large inversion and requires a
+// reverse-strand block covering it — the structural-variant use case
+// the paper motivates for long reads.
+func TestAlignDetectsInversion(t *testing.T) {
+	g, err := genome.Generate(genome.Config{Length: 80000, GC: 0.45, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := g.Seq.Clone()
+	const invLo, invHi = 30000, 42000
+	copy(sample[invLo:invHi], dna.RevComp(g.Seq[invLo:invHi]))
+
+	blocks, _, err := Align(g.Seq, sample, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRev := false
+	for i := range blocks {
+		b := &blocks[i]
+		if b.QueryRev && b.Result.RefStart < invHi && b.Result.RefEnd > invLo &&
+			b.Result.RefEnd-b.Result.RefStart > (invHi-invLo)/2 {
+			foundRev = true
+		}
+	}
+	if !foundRev {
+		t.Errorf("no reverse-strand block covering the inversion; %d blocks", len(blocks))
+		for i := range blocks {
+			t.Logf("block %d: ref[%d,%d) rev=%v score=%d", i,
+				blocks[i].Result.RefStart, blocks[i].Result.RefEnd, blocks[i].QueryRev, blocks[i].Result.Score)
+		}
+	}
+	if cov := Coverage(len(g.Seq), blocks); cov < 0.9 {
+		t.Errorf("coverage with inversion = %.3f, want ≥ 0.9", cov)
+	}
+}
+
+func TestAlignIdenticalGenomes(t *testing.T) {
+	g, err := genome.Generate(genome.Config{Length: 50000, GC: 0.5, Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, _, err := Align(g.Seq, g.Seq, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := Coverage(len(g.Seq), blocks); cov < 0.99 {
+		t.Errorf("self-alignment coverage = %.3f, want ≈ 1", cov)
+	}
+}
+
+func TestAlignErrors(t *testing.T) {
+	if _, _, err := Align(nil, dna.NewSeq("ACGT"), DefaultConfig()); err == nil {
+		t.Error("empty ref should error")
+	}
+	g, _ := genome.Generate(genome.Config{Length: 1000, GC: 0.5, Seed: 65})
+	if _, _, err := Align(g.Seq, nil, DefaultConfig()); err == nil {
+		t.Error("empty query should error")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	mk := func(lo, hi int) Block {
+		var b Block
+		b.Result.RefStart, b.Result.RefEnd = lo, hi
+		return b
+	}
+	blocks := []Block{mk(0, 100), mk(50, 150), mk(300, 400)}
+	if got := Coverage(1000, blocks); got != 0.25 {
+		t.Errorf("coverage = %v, want 0.25", got)
+	}
+	if got := Coverage(1000, nil); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+}
