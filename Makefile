@@ -1,0 +1,33 @@
+# Developer workflow targets. `make check` is the gate perf and
+# refactor PRs must keep green (vet + full test suite under the race
+# detector); `make bench` regenerates the perf trajectory, including
+# the BENCH_core.json run report written by BenchmarkCorePipeline.
+
+GO ?= go
+
+.PHONY: build test check race vet bench bench-core clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Just the core-pipeline benchmark and its machine-readable report.
+bench-core:
+	$(GO) test -bench=BenchmarkCorePipeline -run '^$$' .
+	@echo "report: BENCH_core.json"
+
+clean:
+	rm -f BENCH_core.json

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"darwin/internal/align"
+	"darwin/internal/core"
 	"darwin/internal/dna"
 	"darwin/internal/dsoft"
 	"darwin/internal/dsoftsim"
@@ -21,6 +22,7 @@ import (
 	"darwin/internal/gactsim"
 	"darwin/internal/genome"
 	"darwin/internal/hw"
+	"darwin/internal/obs"
 	"darwin/internal/readsim"
 	"darwin/internal/seedtable"
 )
@@ -103,6 +105,47 @@ func BenchmarkFig13Waterfall(b *testing.B) {
 	benchExperiment(b, "fig13", map[string]string{
 		"line1/total_ms": "graphmap_ms", "line6/total_ms": "darwin_ms",
 	})
+}
+
+// BenchmarkCorePipeline measures the full software engine (D-SOFT +
+// GACT read mapping) on a fixed synthetic workload and writes the obs
+// run report to BENCH_core.json — the machine-readable trajectory
+// point every perf PR diffs against its predecessor.
+func BenchmarkCorePipeline(b *testing.B) {
+	g, err := genome.Generate(genome.Config{Length: 300_000, GC: 0.45, Seed: 81})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.New(g.Seq, core.DefaultConfig(11, 600, 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := readsim.SimulateN(g.Seq, 16, readsim.Config{Profile: readsim.PacBio, MeanLen: 3000, Seed: 82})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs := make([]dna.Seq, len(reads))
+	for i := range reads {
+		seqs[i] = reads[i].Seq
+	}
+	run := obs.NewRun("bench_core")
+	b.ResetTimer()
+	var cells int64
+	for i := 0; i < b.N; i++ {
+		results, err := engine.MapAll(seqs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			cells += r.Stats.Cells
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+	b.ReportMetric(float64(len(seqs)*b.N)/b.Elapsed().Seconds(), "reads/s")
+	if err := run.Report().WriteJSON("BENCH_core.json"); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // --- Kernel micro-benchmarks ---------------------------------------

@@ -17,6 +17,7 @@ import (
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/obs"
 	"darwin/internal/olc"
 )
 
@@ -37,11 +38,18 @@ func run() error {
 	polishRounds := flag.Int("polish", 2, "consensus polishing rounds (0 disables)")
 	minContig := flag.Int("min-contig", 0, "discard contigs shorter than this")
 	out := flag.String("out", "", "output FASTA path (default stdout)")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *readsPath == "" {
 		return fmt.Errorf("-reads is required")
 	}
+	session, err := obsFlags.Start("darwin-assemble")
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
 	f, err := os.Open(*readsPath)
 	if err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/obs"
 	"darwin/internal/varcall"
 )
 
@@ -36,11 +37,18 @@ func run() error {
 	minDepth := flag.Int("min-depth", 5, "minimum coverage to call")
 	minFrac := flag.Float64("min-frac", 0.5, "minimum supporting-read fraction")
 	out := flag.String("out", "", "output VCF path (default stdout)")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *refPath == "" || *readsPath == "" {
 		return fmt.Errorf("-ref and -reads are required")
 	}
+	session, err := obsFlags.Start("darwin-call")
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
 	rf, err := os.Open(*refPath)
 	if err != nil {
 		return err

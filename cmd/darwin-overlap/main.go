@@ -17,6 +17,7 @@ import (
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/obs"
 )
 
 func main() {
@@ -34,11 +35,19 @@ func run() error {
 	stride := flag.Int("stride", 4, "D-SOFT seed stride (spread N seeds across the whole read)")
 	minOverlap := flag.Int("min-overlap", 1000, "minimum reported overlap length")
 	out := flag.String("out", "", "output TSV path (default stdout)")
+	progressEvery := flag.Int("progress", 0, "print overlap throughput and ETA to stderr every N reads (0 disables)")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *readsPath == "" {
 		return fmt.Errorf("-reads is required")
 	}
+	session, err := obsFlags.Start("darwin-overlap")
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
 	f, err := os.Open(*readsPath)
 	if err != nil {
 		return err
@@ -63,6 +72,11 @@ func run() error {
 	ov, err := core.NewOverlapper(seqs, cfg)
 	if err != nil {
 		return err
+	}
+	if *progressEvery > 0 {
+		p := obs.StartProgress(os.Stderr, "darwin-overlap", "reads",
+			obs.Default.Counter("overlap/reads_done"), int64(len(seqs)), int64(*progressEvery))
+		defer p.Stop()
 	}
 	overlaps, stats := ov.FindOverlaps(*minOverlap)
 	fmt.Fprintf(os.Stderr, "darwin-overlap: table build %s, %d overlaps among %d reads\n",

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"darwin/internal/dna"
+	"darwin/internal/obs"
 	"darwin/internal/wga"
 )
 
@@ -33,11 +34,18 @@ func run() error {
 	h := flag.Int("h", 24, "D-SOFT threshold")
 	minBlock := flag.Int("min-block", 300, "minimum block length")
 	out := flag.String("out", "", "output TSV path (default stdout)")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *refPath == "" || *queryPath == "" {
 		return fmt.Errorf("-ref and -query are required")
 	}
+	session, err := obsFlags.Start("darwin-wga")
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
 	ref, err := firstSeq(*refPath)
 	if err != nil {
 		return err

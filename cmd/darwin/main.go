@@ -16,6 +16,7 @@ import (
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/obs"
 	"darwin/internal/sam"
 )
 
@@ -37,17 +38,32 @@ func run() error {
 	tileO := flag.Int("O", 128, "GACT tile overlap O")
 	out := flag.String("out", "", "output SAM path (default stdout)")
 	allAlignments := flag.Bool("all", false, "report all alignments, not just the best")
+	workers := flag.Int("workers", 1, "mapping worker goroutines")
+	progressEvery := flag.Int("progress", 0, "print mapping throughput and ETA to stderr every N reads (0 disables)")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *refPath == "" || *readsPath == "" {
 		return fmt.Errorf("-ref and -reads are required")
 	}
+	session, err := obsFlags.Start("darwin")
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	tLoad := obs.Default.Timer("stage/load_input").Time()
 	refRecs, err := readSeqFile(*refPath)
 	if err != nil {
 		return err
 	}
 	if len(refRecs) == 0 {
 		return fmt.Errorf("no sequences in %s", *refPath)
+	}
+	reads, err := readSeqFile(*readsPath)
+	tLoad()
+	if err != nil {
+		return err
 	}
 
 	cfg := core.DefaultConfig(*k, *n, *h)
@@ -60,11 +76,6 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "darwin: indexed %d sequences, %d bp (k=%d) in %s\n",
 		ref.NumSeqs(), len(ref.Seq()), *k, engine.TableBuildTime)
-
-	reads, err := readSeqFile(*readsPath)
-	if err != nil {
-		return err
-	}
 
 	sqs := make([]sam.RefSeq, ref.NumSeqs())
 	for i := range sqs {
@@ -82,11 +93,32 @@ func run() error {
 		w = sam.NewWriter(f, sqs, "darwin")
 	}
 
+	// Map (optionally in parallel), then emit in input order. The
+	// -progress watcher reads the registry's core/reads counter — no
+	// extra bookkeeping in the mapping loop.
+	if *progressEvery > 0 {
+		p := obs.StartProgress(os.Stderr, "darwin", "reads",
+			obs.Default.Counter("core/reads"), int64(len(reads)), int64(*progressEvery))
+		defer p.Stop()
+	}
+	seqs := make([]dna.Seq, len(reads))
+	for i := range reads {
+		seqs[i] = reads[i].Seq
+	}
+	results, err := engine.MapAll(seqs, *workers)
+	if err != nil {
+		return err
+	}
+
+	tEmit := obs.Default.Timer("stage/emit")
 	mapped := 0
-	for _, rec := range reads {
-		alns, _ := engine.MapRead(rec.Seq)
+	for ri, rec := range reads {
+		alns := results[ri].Alignments
+		stopEmit := tEmit.Time()
 		if len(alns) == 0 {
-			if err := w.Write(sam.Record{QName: rec.Name, Flag: sam.FlagUnmapped, Seq: rec.Seq}); err != nil {
+			err := w.Write(sam.Record{QName: rec.Name, Flag: sam.FlagUnmapped, Seq: rec.Seq})
+			stopEmit()
+			if err != nil {
 				return err
 			}
 			continue
@@ -117,9 +149,11 @@ func run() error {
 				Seq:   seq,
 				Tags:  []string{fmt.Sprintf("AS:i:%d", a.Result.Score), fmt.Sprintf("ft:i:%d", a.FirstTileScore)},
 			}); err != nil {
+				stopEmit()
 				return err
 			}
 		}
+		stopEmit()
 	}
 	if err := w.Flush(); err != nil {
 		return err

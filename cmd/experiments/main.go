@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"darwin/internal/experiments"
+	"darwin/internal/obs"
 )
 
 func main() {
@@ -31,7 +32,14 @@ func run() error {
 	seed := flag.Int64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "shrink workloads")
 	values := flag.Bool("values", false, "also print machine-readable headline values")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	session, err := obsFlags.Start("experiments")
+	if err != nil {
+		return err
+	}
+	defer session.Close()
 
 	o := experiments.Options{
 		GenomeLen: *genomeLen,

@@ -22,7 +22,22 @@ import (
 	"darwin/internal/dna"
 	"darwin/internal/dsoft"
 	"darwin/internal/gact"
+	"darwin/internal/obs"
 	"darwin/internal/seedtable"
+)
+
+// Pipeline observability (package obs): per-read roll-ups on top of
+// the dsoft/gact package counters. Seed-table construction is the
+// stage/index timer (the dominant software cost in the paper's de novo
+// accounting); filter and align stage time is recorded by the
+// dsoft/gact packages themselves so it is never double-counted here.
+var (
+	cReads      = obs.Default.Counter("core/reads")
+	cAlignments = obs.Default.Counter("core/alignments")
+	cUnmapped   = obs.Default.Counter("core/unmapped")
+	tIndex      = obs.Default.Timer("stage/index")
+	hMapLatency = obs.Default.Histogram("core/map_latency_ms", 0, 2000, 50)
+	hCandidates = obs.Default.Histogram("core/candidates_per_read", 0, 512, 64)
 )
 
 // Config holds the full Darwin parameter set.
@@ -90,11 +105,14 @@ func New(ref dna.Seq, cfg Config) (*Darwin, error) {
 		return nil, fmt.Errorf("core: empty reference")
 	}
 	start := time.Now()
+	endSpan := obs.Trace.Start("core.index")
 	table, err := seedtable.Build(ref, cfg.SeedK, cfg.TableOptions)
+	endSpan()
 	if err != nil {
 		return nil, fmt.Errorf("core: building seed table: %w", err)
 	}
 	buildTime := time.Since(start)
+	tIndex.Observe(buildTime)
 	stride := cfg.SeedStride
 	if stride < 1 {
 		stride = 1
@@ -156,11 +174,7 @@ type MapStats struct {
 }
 
 func (s *MapStats) add(o MapStats) {
-	s.DSOFT.SeedsIssued += o.DSOFT.SeedsIssued
-	s.DSOFT.SeedsSkipped += o.DSOFT.SeedsSkipped
-	s.DSOFT.Hits += o.DSOFT.Hits
-	s.DSOFT.BinsTouched += o.DSOFT.BinsTouched
-	s.DSOFT.Candidates += o.DSOFT.Candidates
+	s.DSOFT.Add(o.DSOFT)
 	s.Candidates += o.Candidates
 	s.PassedHTile += o.PassedHTile
 	s.Tiles += o.Tiles
@@ -170,10 +184,16 @@ func (s *MapStats) add(o MapStats) {
 	s.AlignmentTime += o.AlignmentTime
 }
 
+// Add accumulates another call's statistics (exported aggregation so
+// callers never hand-sum fields; see the reflection test).
+func (s *MapStats) Add(o MapStats) { s.add(o) }
+
 // MapRead maps a read against the reference, querying both strands
 // (Figure 6: "the forward and reverse-complement of P reads are used
 // as queries"). Alignments are sorted by descending score.
 func (d *Darwin) MapRead(q dna.Seq) ([]ReadAlignment, MapStats) {
+	endSpan := obs.Trace.Start("core.map_read")
+	start := time.Now()
 	var out []ReadAlignment
 	var stats MapStats
 	for _, rev := range []bool{false, true} {
@@ -186,6 +206,14 @@ func (d *Darwin) MapRead(q dna.Seq) ([]ReadAlignment, MapStats) {
 		stats.add(st)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Result.Score > out[b].Result.Score })
+	cReads.Inc()
+	cAlignments.Add(int64(len(out)))
+	if len(out) == 0 {
+		cUnmapped.Inc()
+	}
+	hCandidates.Observe(float64(stats.Candidates))
+	hMapLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	endSpan()
 	return out, stats
 }
 

@@ -6,6 +6,16 @@ import (
 	"time"
 
 	"darwin/internal/dna"
+	"darwin/internal/obs"
+)
+
+// Overlap-step observability: overlap/reads_done advances once per
+// queried read (both strands), which is what drives -progress in
+// cmd/darwin-overlap; filter/align time lands in the shared stage
+// timers via the dsoft/gact packages.
+var (
+	cOverlapReads = obs.Default.Counter("overlap/reads_done")
+	cOverlapsOut  = obs.Default.Counter("overlap/overlaps_found")
 )
 
 // Overlap is a detected pairwise overlap between two reads in the
@@ -111,6 +121,7 @@ func (o *Overlapper) FindOverlaps(minOverlap int) ([]Overlap, OverlapStats) {
 	}
 	best := map[key]Overlap{}
 	for q := range o.reads {
+		endSpan := obs.Trace.Start("overlap.read")
 		for _, rev := range []bool{false, true} {
 			query := o.reads[q]
 			if rev {
@@ -145,6 +156,8 @@ func (o *Overlapper) FindOverlaps(minOverlap int) ([]Overlap, OverlapStats) {
 				}
 			}
 		}
+		endSpan()
+		cOverlapReads.Inc()
 	}
 	out := make([]Overlap, 0, len(best))
 	for _, ov := range best {
@@ -161,5 +174,6 @@ func (o *Overlapper) FindOverlaps(minOverlap int) ([]Overlap, OverlapStats) {
 		}
 		return !out[a].QueryRev && out[b].QueryRev
 	})
+	cOverlapsOut.Add(int64(len(out)))
 	return out, stats
 }

@@ -3,9 +3,19 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"darwin/internal/dna"
 	"darwin/internal/dsoft"
+	"darwin/internal/obs"
+)
+
+// MapAll observability: the worker gauge plus a busy-time timer, so
+// utilization = core/worker_busy seconds / (wall × core/workers) is
+// derivable from any run report.
+var (
+	gWorkers    = obs.Default.Gauge("core/workers")
+	tWorkerBusy = obs.Default.Timer("core/worker_busy")
 )
 
 // Clone returns an engine sharing this one's (immutable) seed table
@@ -48,8 +58,11 @@ type MapResult struct {
 func (d *Darwin) MapAll(reads []dna.Seq, workers int) ([]MapResult, error) {
 	out := make([]MapResult, len(reads))
 	if workers <= 1 || len(reads) <= 1 {
+		gWorkers.Set(1)
 		for i, r := range reads {
+			busy := time.Now()
 			alns, st := d.MapRead(r)
+			tWorkerBusy.Observe(time.Since(busy))
 			out[i] = MapResult{Index: i, Alignments: alns, Stats: st}
 		}
 		return out, nil
@@ -57,6 +70,7 @@ func (d *Darwin) MapAll(reads []dna.Seq, workers int) ([]MapResult, error) {
 	if workers > len(reads) {
 		workers = len(reads)
 	}
+	gWorkers.Set(int64(workers))
 	engines := make([]*Darwin, workers)
 	for w := range engines {
 		e, err := d.Clone()
@@ -69,13 +83,17 @@ func (d *Darwin) MapAll(reads []dna.Seq, workers int) ([]MapResult, error) {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(e *Darwin) {
+		go func(e *Darwin, tid int) {
 			defer wg.Done()
 			for i := range next {
+				endSpan := obs.Trace.StartTID("core.map_read.worker", tid)
+				busy := time.Now()
 				alns, st := e.MapRead(reads[i])
+				tWorkerBusy.Observe(time.Since(busy))
+				endSpan()
 				out[i] = MapResult{Index: i, Alignments: alns, Stats: st}
 			}
-		}(engines[w])
+		}(engines[w], w+1)
 	}
 	for i := range reads {
 		next <- i

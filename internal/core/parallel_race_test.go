@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"darwin/internal/dna"
+	"darwin/internal/readsim"
+)
+
+// stripTimes zeroes the wall-clock fields so stats compare on work
+// counts alone (timings are nondeterministic by nature).
+func stripTimes(s MapStats) MapStats {
+	s.FiltrationTime, s.AlignmentTime = 0, 0
+	return s
+}
+
+// TestMapAllWorkerCountInvariance maps one read set with 1 and 8
+// workers and asserts bit-identical alignments and per-read stats —
+// under `go test -race` this also exercises the cloned-engine and
+// registry instrumentation paths for data races.
+func TestMapAllWorkerCountInvariance(t *testing.T) {
+	ref := testGenome(t, 120000, 227)
+	d, err := New(ref, DefaultConfig(11, 500, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := readsim.SimulateN(ref, 16, readsim.Config{Profile: readsim.PacBio, MeanLen: 1500, Seed: 228})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([]dna.Seq, len(reads))
+	for i := range reads {
+		seqs[i] = reads[i].Seq
+	}
+
+	serial, err := d.MapAll(seqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := d.MapAll(seqs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+
+	var aggSerial, aggParallel MapStats
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Alignments, parallel[i].Alignments) {
+			t.Errorf("read %d: alignments differ between 1 and 8 workers", i)
+		}
+		if !reflect.DeepEqual(stripTimes(serial[i].Stats), stripTimes(parallel[i].Stats)) {
+			t.Errorf("read %d: stats differ between 1 and 8 workers:\n  %+v\nvs\n  %+v",
+				i, stripTimes(serial[i].Stats), stripTimes(parallel[i].Stats))
+		}
+		aggSerial.Add(serial[i].Stats)
+		aggParallel.Add(parallel[i].Stats)
+	}
+	if !reflect.DeepEqual(stripTimes(aggSerial), stripTimes(aggParallel)) {
+		t.Errorf("aggregated stats differ:\n  %+v\nvs\n  %+v", stripTimes(aggSerial), stripTimes(aggParallel))
+	}
+	if aggSerial.Tiles == 0 || aggSerial.Cells == 0 {
+		t.Error("aggregated stats empty — instrumentation lost")
+	}
+}

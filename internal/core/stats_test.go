@@ -1,0 +1,82 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fillStats assigns a distinct value derived from base to every field,
+// recursing into nested structs (dsoft.Stats) and seeding slices.
+// It returns the next unused ordinal so nested fields stay distinct.
+func fillStats(v reflect.Value, base int64, t *testing.T) int64 {
+	t.Helper()
+	typ := v.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Struct:
+			base = fillStats(f, base, t)
+		case reflect.Int, reflect.Int32, reflect.Int64:
+			f.SetInt(base)
+			base++
+		case reflect.Slice:
+			if f.Type().Elem().Kind() != reflect.Int {
+				t.Fatalf("%s.%s: unsupported slice kind", typ.Name(), typ.Field(i).Name)
+			}
+			f.Set(reflect.ValueOf([]int{int(base)}))
+			base++
+		default:
+			t.Fatalf("%s.%s has kind %s: extend this test and MapStats.Add together",
+				typ.Name(), typ.Field(i).Name, f.Kind())
+		}
+	}
+	return base
+}
+
+// checkSummed verifies every numeric field of got equals a+b and every
+// slice field is the concatenation, recursing like fillStats.
+func checkSummed(got, a, b reflect.Value, path string, t *testing.T) {
+	t.Helper()
+	typ := got.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		name := path + typ.Field(i).Name
+		g, x, y := got.Field(i), a.Field(i), b.Field(i)
+		switch g.Kind() {
+		case reflect.Struct:
+			checkSummed(g, x, y, name+".", t)
+		case reflect.Int, reflect.Int32, reflect.Int64:
+			if g.Int() != x.Int()+y.Int() {
+				t.Errorf("%s not aggregated by Add: got %d, want %d", name, g.Int(), x.Int()+y.Int())
+			}
+		case reflect.Slice:
+			if g.Len() != x.Len()+y.Len() {
+				t.Errorf("%s not concatenated by Add: len %d, want %d", name, g.Len(), x.Len()+y.Len())
+			}
+		}
+	}
+}
+
+// TestMapStatsAddAggregatesEveryField is the aggregation safety net:
+// a stats field added to MapStats (or nested dsoft.Stats) but dropped
+// from Add fails here instead of silently reporting zeros.
+func TestMapStatsAddAggregatesEveryField(t *testing.T) {
+	var a, b MapStats
+	next := fillStats(reflect.ValueOf(&a).Elem(), 1, t)
+	fillStats(reflect.ValueOf(&b).Elem(), next, t)
+	aCopy := a
+	got := a
+	got.Add(b)
+	checkSummed(reflect.ValueOf(&got).Elem(), reflect.ValueOf(&aCopy).Elem(), reflect.ValueOf(&b).Elem(), "MapStats.", t)
+}
+
+// Duration fields are ints to reflect; make sure they're actually
+// time.Durations being summed, not dropped (guards the field list
+// above staying in sync with reality).
+func TestMapStatsAddDurations(t *testing.T) {
+	a := MapStats{FiltrationTime: time.Second, AlignmentTime: 2 * time.Second}
+	a.Add(MapStats{FiltrationTime: 3 * time.Second, AlignmentTime: 5 * time.Second})
+	if a.FiltrationTime != 4*time.Second || a.AlignmentTime != 7*time.Second {
+		t.Errorf("durations not summed: %v %v", a.FiltrationTime, a.AlignmentTime)
+	}
+}

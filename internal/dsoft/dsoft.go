@@ -19,7 +19,22 @@ import (
 	"fmt"
 
 	"darwin/internal/dna"
+	"darwin/internal/obs"
 	"darwin/internal/seedtable"
+)
+
+// Pipeline observability (package obs): filter work counters are
+// aggregated once per Query from the returned Stats, and the whole
+// query is timed under the disjoint stage/filter timer — the
+// "filtration" half of the paper's Figure 13 runtime split.
+var (
+	cSeedsIssued  = obs.Default.Counter("dsoft/seeds_issued")
+	cSeedsSkipped = obs.Default.Counter("dsoft/seeds_skipped")
+	cHits         = obs.Default.Counter("dsoft/hits")
+	cBinsTouched  = obs.Default.Counter("dsoft/bins_touched")
+	cCandidates   = obs.Default.Counter("dsoft/candidates")
+	cQueries      = obs.Default.Counter("dsoft/queries")
+	tFilter       = obs.Default.Timer("stage/filter")
 )
 
 // Config holds D-SOFT parameters. The paper's defaults are B=128,
@@ -91,6 +106,28 @@ type Stats struct {
 	Candidates int
 }
 
+// Add accumulates another query's work counts. Aggregation lives here
+// (not field-by-field at call sites) so a new Stats field can't be
+// silently dropped from roll-ups; a reflection test enforces that
+// every numeric field is summed.
+func (s *Stats) Add(o Stats) {
+	s.SeedsIssued += o.SeedsIssued
+	s.SeedsSkipped += o.SeedsSkipped
+	s.Hits += o.Hits
+	s.BinsTouched += o.BinsTouched
+	s.Candidates += o.Candidates
+}
+
+// publish folds the query's counts into the process-wide registry.
+func (s *Stats) publish() {
+	cQueries.Inc()
+	cSeedsIssued.Add(int64(s.SeedsIssued))
+	cSeedsSkipped.Add(int64(s.SeedsSkipped))
+	cHits.Add(int64(s.Hits))
+	cBinsTouched.Add(int64(s.BinsTouched))
+	cCandidates.Add(int64(s.Candidates))
+}
+
 // Filter runs D-SOFT queries against one reference's seed table.
 // It is not safe for concurrent use; create one per goroutine.
 type Filter struct {
@@ -157,6 +194,8 @@ func (f *Filter) ensureBins(qLen int) {
 // positions and work statistics. Bin state is cleared (via the NZ
 // list) before returning, so calls are independent.
 func (f *Filter) Query(q dna.Seq) ([]Candidate, Stats) {
+	defer tFilter.Time()()
+	defer obs.Trace.Start("dsoft.query")()
 	k := f.table.K()
 	B := f.cfg.BinSize
 	f.ensureBins(len(q))
@@ -212,6 +251,7 @@ func (f *Filter) Query(q dna.Seq) ([]Candidate, Stats) {
 			}
 		}
 	}
+	st.publish()
 	return out, st
 }
 

@@ -1,0 +1,36 @@
+package dsoft
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsAddAggregatesEveryField fills every Stats field with a
+// distinct value via reflection and checks Add sums each one — so a
+// newly added field that Add forgets fails this test instead of being
+// silently dropped from roll-ups.
+func TestStatsAddAggregatesEveryField(t *testing.T) {
+	var a, b Stats
+	av, bv := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	typ := av.Type()
+	if typ.NumField() == 0 {
+		t.Fatal("Stats has no fields")
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Int, reflect.Int32, reflect.Int64:
+			av.Field(i).SetInt(int64(i + 1))
+			bv.Field(i).SetInt(int64(100 * (i + 1)))
+		default:
+			t.Fatalf("Stats.%s has kind %s: extend this test and Stats.Add together", f.Name, f.Type.Kind())
+		}
+	}
+	a.Add(b)
+	for i := 0; i < typ.NumField(); i++ {
+		want := int64(i+1) + int64(100*(i+1))
+		if got := av.Field(i).Int(); got != want {
+			t.Errorf("Stats.%s not aggregated by Add: got %d, want %d", typ.Field(i).Name, got, want)
+		}
+	}
+}

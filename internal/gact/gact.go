@@ -13,9 +13,27 @@ package gact
 
 import (
 	"fmt"
+	"time"
 
 	"darwin/internal/align"
 	"darwin/internal/dna"
+	"darwin/internal/obs"
+)
+
+// Pipeline observability (package obs): every Extend publishes its
+// tile/cell counts — the "alignment" half of the paper's Figure 13
+// split — under the disjoint stage/align timer, with the first-tile
+// filter (Figure 12) broken out as a sub-timer, score histogram, and
+// reject counter. Per-tile spans go to the tracer when enabled.
+var (
+	cExtensions   = obs.Default.Counter("gact/extensions")
+	cTiles        = obs.Default.Counter("gact/tiles")
+	cCells        = obs.Default.Counter("gact/cells")
+	cHTileRejects = obs.Default.Counter("gact/htile_rejects")
+	tAlign        = obs.Default.Timer("stage/align")
+	tFirstTile    = obs.Default.Timer("gact/first_tile")
+	hFirstScore   = obs.Default.Histogram("gact/first_tile_score", 0, 384, 48)
+	hTilesPerExt  = obs.Default.Histogram("gact/tiles_per_extension", 0, 128, 32)
 )
 
 // Config holds GACT parameters. The paper's operating point for all
@@ -88,6 +106,18 @@ func (s *Stats) add(rLen, qLen int) {
 	s.Cells += int64(rLen) * int64(qLen)
 }
 
+// publish folds one extension's counts into the process-wide registry.
+func (s *Stats) publish(rejected bool) {
+	cExtensions.Inc()
+	cTiles.Add(int64(s.Tiles))
+	cCells.Add(s.Cells)
+	hFirstScore.Observe(float64(s.FirstTileScore))
+	hTilesPerExt.Observe(float64(s.Tiles))
+	if rejected {
+		cHTileRejects.Inc()
+	}
+}
+
 // Extend aligns Q against R around the D-SOFT candidate position
 // (iSeed, jSeed) — the seed-hit position of a candidate bin. The first
 // tile (size FirstTileT, default T) spans forward from the candidate,
@@ -108,16 +138,22 @@ func Extend(R, Q dna.Seq, iSeed, jSeed int, cfg *Config) (*align.Result, *Stats,
 	if iSeed < 0 || iSeed >= len(R) || jSeed < 0 || jSeed >= len(Q) {
 		return nil, nil, fmt.Errorf("gact: seed position (%d,%d) outside R[0,%d) × Q[0,%d)", iSeed, jSeed, len(R), len(Q))
 	}
+	defer tAlign.Time()()
 	stats := &Stats{}
 
 	// First tile, spanning forward from the candidate. Traceback
 	// starts at the highest-scoring cell.
 	fT := cfg.firstT()
 	iEnd, jEnd := min(len(R), iSeed+fT), min(len(Q), jSeed+fT)
+	ftStart := time.Now()
+	endSpan := obs.Trace.Start("gact.first_tile")
 	first := align.AlignTile(R[iSeed:iEnd], Q[jSeed:jEnd], true, fT-cfg.O, &cfg.Scoring)
+	endSpan()
+	tFirstTile.Observe(time.Since(ftStart))
 	stats.add(iEnd-iSeed, jEnd-jSeed)
 	stats.FirstTileScore = first.Score
 	if first.Score <= 0 || len(first.Cigar) == 0 || first.Score < cfg.MinFirstTile {
+		stats.publish(true)
 		return nil, stats, nil
 	}
 
@@ -149,6 +185,7 @@ func Extend(R, Q dna.Seq, iSeed, jSeed int, cfg *Config) (*align.Result, *Stats,
 		Cigar:      cigar,
 	}
 	res.Score = res.Rescore(R, Q, &cfg.Scoring)
+	stats.publish(false)
 	return res, stats, nil
 }
 
@@ -166,7 +203,9 @@ func extendLeft(R, Q dna.Seq, iCurr, jCurr int, cfg *Config, stats *Stats) (alig
 	cum, bestCum, bestIdx := 0, 0, -1
 	for iCurr > 0 && jCurr > 0 {
 		iStart, jStart := max(0, iCurr-cfg.T), max(0, jCurr-cfg.T)
+		endSpan := obs.Trace.Start("gact.tile")
 		res := align.AlignTile(R[iStart:iCurr], Q[jStart:jCurr], false, cfg.T-cfg.O, &cfg.Scoring)
+		endSpan()
 		stats.add(iCurr-iStart, jCurr-jStart)
 		if res.IOff == 0 && res.JOff == 0 {
 			break
@@ -226,6 +265,7 @@ func ExtendLeftOnly(R, Q dna.Seq, iSeed, jSeed int, cfg *Config) (*align.Result,
 	if iSeed <= 0 || iSeed > len(R) || jSeed <= 0 || jSeed > len(Q) {
 		return nil, nil, fmt.Errorf("gact: seed position (%d,%d) outside R[0,%d] × Q[0,%d]", iSeed, jSeed, len(R), len(Q))
 	}
+	defer tAlign.Time()()
 	stats := &Stats{}
 	fT := cfg.firstT()
 	iStart, jStart := max(0, iSeed-fT), max(0, jSeed-fT)
@@ -233,6 +273,7 @@ func ExtendLeftOnly(R, Q dna.Seq, iSeed, jSeed int, cfg *Config) (*align.Result,
 	stats.add(iSeed-iStart, jSeed-jStart)
 	stats.FirstTileScore = first.Score
 	if first.Score <= 0 || len(first.Cigar) == 0 {
+		stats.publish(true)
 		return nil, stats, nil
 	}
 	rightI := iStart + first.MaxI
@@ -249,5 +290,6 @@ func ExtendLeftOnly(R, Q dna.Seq, iSeed, jSeed int, cfg *Config) (*align.Result,
 		Cigar:      cigar,
 	}
 	res.Score = res.Rescore(R, Q, &cfg.Scoring)
+	stats.publish(false)
 	return res, stats, nil
 }

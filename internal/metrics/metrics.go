@@ -61,21 +61,49 @@ type Histogram struct {
 	total    int
 }
 
-// NewHistogram creates a histogram with the given bin count.
+// NewHistogram creates a histogram with the given bin count. Invalid
+// configurations are clamped rather than deferred to Add: bins is
+// raised to at least 1, and a range with Max ≤ Min (or NaN bounds)
+// becomes [Min, Min+1) so bin indexing never divides by zero.
 func NewHistogram(minV, maxV float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if !(maxV > minV) { // also catches NaN bounds
+		maxV = minV + 1
+	}
 	return &Histogram{Min: minV, Max: maxV, Counts: make([]int, bins)}
 }
 
-// Add records one observation.
+// RestoreHistogram reconstructs a histogram from externally recorded
+// counts (e.g. package obs's atomic snapshots) so the renderers here
+// can be reused on them.
+func RestoreHistogram(minV, maxV float64, counts []int, under, over int) *Histogram {
+	h := NewHistogram(minV, maxV, len(counts))
+	copy(h.Counts, counts)
+	h.under, h.over = under, over
+	h.total = under + over
+	for _, c := range counts {
+		h.total += c
+	}
+	return h
+}
+
+// Add records one observation. Degenerate histograms (no bins, or a
+// hand-built value with Max ≤ Min) tally out-of-range rather than
+// indexing with a NaN.
 func (h *Histogram) Add(v float64) {
 	h.total++
 	switch {
 	case v < h.Min:
 		h.under++
-	case v >= h.Max:
+	case v >= h.Max || len(h.Counts) == 0 || h.Max <= h.Min:
 		h.over++
 	default:
 		i := int((v - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+		if i < 0 {
+			i = 0
+		}
 		if i >= len(h.Counts) {
 			i = len(h.Counts) - 1
 		}

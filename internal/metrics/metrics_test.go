@@ -88,3 +88,69 @@ func TestRenderSeries(t *testing.T) {
 		t.Errorf("missing values:\n%s", out)
 	}
 }
+
+// Regression: NewHistogram with bins <= 0 or Max <= Min used to yield
+// divide-by-zero/NaN bin indexing (and a panic on empty Counts) in Add.
+func TestHistogramDegenerateConfig(t *testing.T) {
+	cases := []struct {
+		name      string
+		min, max  float64
+		bins      int
+	}{
+		{"zero bins", 0, 10, 0},
+		{"negative bins", 0, 10, -3},
+		{"max equals min", 5, 5, 4},
+		{"max below min", 10, 2, 4},
+		{"nan max", 0, math.NaN(), 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHistogram(c.min, c.max, c.bins)
+			if len(h.Counts) < 1 {
+				t.Fatalf("bins clamped to %d, want >= 1", len(h.Counts))
+			}
+			if !(h.Max > h.Min) {
+				t.Fatalf("range [%g, %g) not clamped to Max > Min", h.Min, h.Max)
+			}
+			for _, v := range []float64{-1e9, c.min - 1, c.min, c.min + 0.5, c.max, 1e9} {
+				h.Add(v) // must not panic or index with NaN
+			}
+			total := h.under + h.over
+			for _, n := range h.Counts {
+				total += n
+			}
+			if total != h.Total() {
+				t.Errorf("observations lost: binned %d, Total() %d", total, h.Total())
+			}
+			if out := h.Render(10); out == "" {
+				t.Error("Render returned nothing")
+			}
+		})
+	}
+}
+
+// A hand-built degenerate Histogram value (bypassing the constructor)
+// must still tally in Add instead of panicking.
+func TestHistogramHandBuiltDegenerate(t *testing.T) {
+	h := &Histogram{Min: 3, Max: 3}
+	h.Add(2)
+	h.Add(3)
+	h.Add(4)
+	if h.Total() != 3 || h.under != 1 || h.over != 2 {
+		t.Errorf("under=%d over=%d total=%d, want 1/2/3", h.under, h.over, h.Total())
+	}
+}
+
+func TestRestoreHistogram(t *testing.T) {
+	h := RestoreHistogram(0, 10, []int{1, 2, 3}, 4, 5)
+	if h.Total() != 15 {
+		t.Errorf("total = %d, want 15", h.Total())
+	}
+	out := h.Render(10)
+	if !strings.Contains(out, "below range") || !strings.Contains(out, "above range") {
+		t.Errorf("render missing out-of-range lines:\n%s", out)
+	}
+	if h.FractionBelow(10) <= 0 {
+		t.Error("FractionBelow broken on restored histogram")
+	}
+}

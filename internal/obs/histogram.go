@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+
+	"darwin/internal/metrics"
+)
+
+// Histogram is a fixed-width bin histogram safe for concurrent
+// observation: an atomic wrapper over the binning scheme of
+// internal/metrics.Histogram. Out-of-range observations are tallied
+// in under/over buckets, as the metrics renderer expects.
+type Histogram struct {
+	min, max float64
+	bins     []atomic.Int64
+	under    atomic.Int64
+	over     atomic.Int64
+	count    atomic.Int64
+	sumBits  atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// newHistogram validates and clamps the configuration the same way
+// metrics.NewHistogram does: at least one bin, max strictly above min.
+func newHistogram(minV, maxV float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if !(maxV > minV) { // also catches NaN bounds
+		maxV = minV + 1
+	}
+	return &Histogram{min: minV, max: maxV, bins: make([]atomic.Int64, bins)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	switch {
+	case v < h.min:
+		h.under.Add(1)
+	case v >= h.max:
+		h.over.Add(1)
+	default:
+		i := int((v - h.min) / (h.max - h.min) * float64(len(h.bins)))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(h.bins) {
+			i = len(h.bins) - 1
+		}
+		h.bins[i].Add(1)
+	}
+}
+
+// HistogramSnapshot is a histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Counts []int64 `json:"counts"`
+	Under  int64   `json:"under,omitempty"`
+	Over   int64   `json:"over,omitempty"`
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Min:    h.min,
+		Max:    h.max,
+		Counts: make([]int64, len(h.bins)),
+		Under:  h.under.Load(),
+		Over:   h.over.Load(),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.bins {
+		s.Counts[i] = h.bins[i].Load()
+	}
+	return s
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Sub returns the change since prev. Snapshots with different bin
+// layouts (a renamed or re-bucketed histogram) diff as s itself.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Counts) != len(s.Counts) || prev.Min != s.Min || prev.Max != s.Max {
+		return s
+	}
+	out := s
+	out.Counts = make([]int64, len(s.Counts))
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	out.Under -= prev.Under
+	out.Over -= prev.Over
+	out.Count -= prev.Count
+	out.Sum -= prev.Sum
+	return out
+}
+
+// Render draws the snapshot as an ASCII bar chart via the
+// internal/metrics renderer.
+func (s HistogramSnapshot) Render(width int) string {
+	counts := make([]int, len(s.Counts))
+	for i, c := range s.Counts {
+		counts[i] = int(c)
+	}
+	return metrics.RestoreHistogram(s.Min, s.Max, counts, int(s.Under), int(s.Over)).Render(width)
+}

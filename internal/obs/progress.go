@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress watches a registry counter from a background goroutine and
+// prints throughput and ETA lines whenever it advances by at least
+// `every` units — so the hot loop pays nothing beyond the counter
+// increments it already performs.
+type Progress struct {
+	w     io.Writer
+	label string
+	unit  string
+	c     *Counter
+	total int64
+	every int64
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// StartProgress begins watching counter c. total is the expected final
+// count (0 disables the ETA); every is the print granularity in
+// counter units. Call Stop when the run finishes.
+func StartProgress(w io.Writer, label, unit string, c *Counter, total, every int64) *Progress {
+	if every < 1 {
+		every = 1
+	}
+	p := &Progress{
+		w: w, label: label, unit: unit, c: c, total: total, every: every,
+		start: time.Now(), stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer close(p.done)
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	var lastPrinted int64
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			v := p.c.Value()
+			if v-lastPrinted < p.every {
+				continue
+			}
+			lastPrinted = v - v%p.every
+			p.print(v)
+		}
+	}
+}
+
+func (p *Progress) print(v int64) {
+	elapsed := time.Since(p.start).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	rate := float64(v) / elapsed
+	if p.total > 0 && rate > 0 {
+		eta := time.Duration(float64(p.total-v) / rate * float64(time.Second)).Round(time.Second)
+		fmt.Fprintf(p.w, "%s: %d/%d %s (%.1f %s/s, ETA %s)\n", p.label, v, p.total, p.unit, rate, p.unit, eta)
+	} else {
+		fmt.Fprintf(p.w, "%s: %d %s (%.1f %s/s)\n", p.label, v, p.unit, rate, p.unit)
+	}
+}
+
+// Stop halts the watcher goroutine. It does not print a final line;
+// tools already emit their own completion summary.
+func (p *Progress) Stop() {
+	close(p.stop)
+	<-p.done
+}

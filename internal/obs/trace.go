@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records pipeline spans — one per stage execution (seed
+// lookup, D-SOFT query, first-tile filter, per-GACT-tile extension,
+// SAM emit, ...) — and can dump them as Chrome trace_event JSON for
+// chrome://tracing / Perfetto. Disabled tracers are near-free: Start
+// is one atomic load and returns a shared no-op closure.
+//
+// Span storage is bounded; once the cap is reached further spans are
+// counted as dropped rather than grown without bound (a mapping run
+// can produce millions of per-tile spans).
+type Tracer struct {
+	enabled atomic.Bool
+	dropped atomic.Int64
+
+	mu    sync.Mutex
+	base  time.Time
+	spans []span
+	max   int
+}
+
+type span struct {
+	name  string
+	tid   int32
+	start time.Duration // offset from base
+	dur   time.Duration
+}
+
+// Trace is the process-wide tracer the pipeline packages record into.
+// It starts disabled; CLIs enable it when span output is requested.
+var Trace = NewTracer(1 << 18)
+
+// NewTracer returns a disabled tracer storing at most maxSpans spans.
+func NewTracer(maxSpans int) *Tracer {
+	if maxSpans < 1 {
+		maxSpans = 1
+	}
+	return &Tracer{max: maxSpans}
+}
+
+// Enable turns span recording on.
+func (t *Tracer) Enable() {
+	t.mu.Lock()
+	if t.base.IsZero() {
+		t.base = time.Now()
+	}
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+var noopEnd = func() {}
+
+// Start opens a span on thread-track 0; the returned func closes it.
+func (t *Tracer) Start(name string) func() { return t.StartTID(name, 0) }
+
+// StartTID opens a span on the given thread track (e.g. a worker
+// index, so per-worker lanes separate in the trace viewer).
+func (t *Tracer) StartTID(name string, tid int) func() {
+	if !t.enabled.Load() {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() {
+		dur := time.Since(start)
+		t.mu.Lock()
+		if len(t.spans) >= t.max {
+			t.mu.Unlock()
+			t.dropped.Add(1)
+			return
+		}
+		t.spans = append(t.spans, span{name: name, tid: int32(tid), start: start.Sub(t.base), dur: dur})
+		t.mu.Unlock()
+	}
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns the number of spans discarded at the storage cap.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// Reset discards all recorded spans and the drop count.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.base = time.Now()
+	t.mu.Unlock()
+	t.dropped.Store(0)
+}
+
+// chromeEvent is one trace_event entry ("X" = complete event,
+// timestamps in microseconds).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	PID  int     `json:"pid"`
+	TID  int32   `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+// WriteChromeTrace dumps the recorded spans as a Chrome trace_event
+// JSON array, loadable in chrome://tracing or ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]chromeEvent, len(t.spans))
+	for i, s := range t.spans {
+		events[i] = chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			PID:  1,
+			TID:  s.tid,
+			Ts:   float64(s.start) / float64(time.Microsecond),
+			Dur:  float64(s.dur) / float64(time.Microsecond),
+		}
+	}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -19,6 +19,16 @@ import (
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/obs"
+)
+
+// Layout is a disjoint pipeline stage; polishing re-runs the engine's
+// filter and align stages internally, so its timer deliberately lives
+// outside the stage/ namespace (see package obs) to keep stage sums
+// honest.
+var (
+	tLayout  = obs.Default.Timer("stage/layout")
+	cContigs = obs.Default.Counter("olc/contigs")
 )
 
 // Placement positions one read inside a contig frame.
@@ -66,6 +76,8 @@ func (f *fragment) span(readLens []int) (int, int) {
 // BuildLayout constructs contigs from overlaps. readLens gives each
 // read's length.
 func BuildLayout(readLens []int, overlaps []core.Overlap) *Layout {
+	defer tLayout.Time()()
+	defer obs.Trace.Start("olc.layout")()
 	ovs := append([]core.Overlap(nil), overlaps...)
 	sort.Slice(ovs, func(x, y int) bool { return ovs[x].Score > ovs[y].Score })
 
@@ -170,6 +182,7 @@ func BuildLayout(readLens []int, overlaps []core.Overlap) *Layout {
 		}
 		return layout.Contigs[a].Placements[0].Read < layout.Contigs[b].Placements[0].Read
 	})
+	cContigs.Add(int64(len(layout.Contigs)))
 	return layout
 }
 

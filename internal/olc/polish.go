@@ -5,7 +5,13 @@ import (
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/obs"
 )
+
+// tPolish is outside the stage/ namespace: polishing internally
+// re-enters the filter/align stage timers, so counting it as its own
+// stage would double-book that time.
+var tPolish = obs.Default.Timer("olc/polish")
 
 // Polish performs the consensus phase of OLC assembly (Section 2:
 // "the final DNA sequence is derived by taking a consensus of reads,
@@ -18,6 +24,8 @@ import (
 // raw read rate (~15% for PacBio) to well under 1%, mirroring the
 // consensus-accuracy argument of Section 2.
 func Polish(draft dna.Seq, reads []dna.Seq, cfg core.Config) (dna.Seq, error) {
+	defer tPolish.Time()()
+	defer obs.Trace.Start("olc.polish")()
 	engine, err := core.New(draft, cfg)
 	if err != nil {
 		return nil, err
