@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet bench bench-core clean
+.PHONY: build test check race vet bench bench-core serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,12 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: vet race serve-smoke
+
+# End-to-end serving check: darwind on a synthetic genome, load from
+# darwin-client, non-empty SAM back, clean drain on SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

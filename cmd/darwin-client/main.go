@@ -1,0 +1,302 @@
+// Command darwin-client is the load driver for darwind: it replays a
+// read set against the service in closed-loop (fixed concurrency) or
+// open-loop (fixed arrival rate) mode and prints a throughput and
+// latency summary. With -report it writes a darwin-run-report/v1 so
+// served-throughput runs (BENCH_server.json) join the bench
+// trajectory next to the batch CLIs.
+//
+// Usage:
+//
+//	darwin-client -addr 127.0.0.1:8844 -reads reads.fq -requests 200 -concurrency 8 -batch 4
+//	darwin-client -addr 127.0.0.1:8844 -reads reads.fq -rate 50 -duration 10s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darwin/internal/dna"
+	"darwin/internal/obs"
+)
+
+// Client-side metrics: mirrored into the obs registry so -report
+// emits a machine-readable run summary with derived throughput.
+var (
+	cReqOK       = obs.Default.Counter("client/requests_ok")
+	cReqRejected = obs.Default.Counter("client/requests_rejected") // 429s
+	cReqFailed   = obs.Default.Counter("client/requests_failed")
+	cReadsSent   = obs.Default.Counter("client/reads_sent")
+	cReadsOK     = obs.Default.Counter("client/reads_ok")
+	cReadsMapped = obs.Default.Counter("client/reads_mapped")
+	cRecords     = obs.Default.Counter("client/records")
+	hLatency     = obs.Default.Histogram("client/request_latency_ms", 0, 10000, 100)
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-client:", err)
+		os.Exit(1)
+	}
+}
+
+type result struct {
+	status  int
+	latency time.Duration
+	err     error
+}
+
+func run() error {
+	addr := flag.String("addr", "", "darwind address host:port (required)")
+	readsPath := flag.String("reads", "", "reads FASTA/FASTQ to replay (required)")
+	requests := flag.Int("requests", 100, "closed-loop: total requests to send")
+	concurrency := flag.Int("concurrency", 4, "closed-loop: in-flight requests")
+	rate := flag.Float64("rate", 0, "open-loop: request arrival rate per second (0 = closed loop)")
+	duration := flag.Duration("duration", 10*time.Second, "open-loop: how long to offer load")
+	batch := flag.Int("batch", 4, "reads per request")
+	all := flag.Bool("all", false, "request all alignments per read")
+	timeoutMS := flag.Int("timeout-ms", 0, "per-request timeout_ms field (0 = server default)")
+	outPath := flag.String("out", "", "append response SAM text to this file (requests ?format=sam)")
+	obsFlags := obs.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	if *addr == "" || *readsPath == "" {
+		return fmt.Errorf("-addr and -reads are required")
+	}
+	session, err := obsFlags.Start("darwin-client")
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	reads, err := readSeqFile(*readsPath)
+	if err != nil {
+		return err
+	}
+	if len(reads) == 0 {
+		return fmt.Errorf("no reads in %s", *readsPath)
+	}
+	if *batch < 1 {
+		*batch = 1
+	}
+
+	url := "http://" + *addr + "/v1/map"
+	var out *os.File
+	if *outPath != "" {
+		url += "?format=sam"
+		out, err = os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+	}
+	var outMu sync.Mutex
+
+	// Pre-encode request bodies round-robin over the read set so the
+	// hot loop measures the service, not client-side JSON encoding.
+	type wireRead struct {
+		Name string `json:"name"`
+		Seq  string `json:"seq"`
+	}
+	type wireReq struct {
+		Reads     []wireRead `json:"reads"`
+		All       bool       `json:"all,omitempty"`
+		TimeoutMS int        `json:"timeout_ms,omitempty"`
+	}
+	nBodies := (len(reads) + *batch - 1) / *batch
+	bodies := make([][]byte, nBodies)
+	readsPerBody := make([]int, nBodies)
+	for b := 0; b < nBodies; b++ {
+		var wr wireReq
+		wr.All = *all
+		wr.TimeoutMS = *timeoutMS
+		for i := b * (*batch); i < (b+1)*(*batch) && i < len(reads); i++ {
+			wr.Reads = append(wr.Reads, wireRead{Name: reads[i].Name, Seq: string(reads[i].Seq)})
+		}
+		readsPerBody[b] = len(wr.Reads)
+		if bodies[b], err = json.Marshal(wr); err != nil {
+			return err
+		}
+	}
+
+	client := &http.Client{}
+	var seq atomic.Int64
+	fire := func() result {
+		b := int(seq.Add(1)-1) % nBodies
+		cReadsSent.Add(int64(readsPerBody[b]))
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[b]))
+		if err != nil {
+			cReqFailed.Inc()
+			return result{err: err}
+		}
+		defer resp.Body.Close()
+		var body []byte
+		body, err = io.ReadAll(resp.Body)
+		lat := time.Since(start)
+		r := result{status: resp.StatusCode, latency: lat, err: err}
+		switch {
+		case err != nil || resp.StatusCode >= 500:
+			cReqFailed.Inc()
+		case resp.StatusCode == http.StatusTooManyRequests:
+			cReqRejected.Inc()
+		case resp.StatusCode == http.StatusOK:
+			cReqOK.Inc()
+			hLatency.Observe(float64(lat) / float64(time.Millisecond))
+			tally(body, out != nil)
+			if out != nil {
+				outMu.Lock()
+				out.Write(body)
+				outMu.Unlock()
+			}
+		default:
+			cReqFailed.Inc()
+		}
+		return r
+	}
+
+	fmt.Fprintf(os.Stderr, "darwin-client: %d reads in %d request bodies of ≤%d reads against %s\n",
+		len(reads), nBodies, *batch, url)
+
+	var results []result
+	var mu sync.Mutex
+	record := func(r result) {
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
+	}
+	wallStart := time.Now()
+	if *rate > 0 {
+		// Open loop: fire at the configured arrival rate regardless of
+		// completions — offered load, the regime where admission
+		// control and 429s appear.
+		interval := time.Duration(float64(time.Second) / *rate)
+		deadline := time.Now().Add(*duration)
+		var wg sync.WaitGroup
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for now := range tick.C {
+			if now.After(deadline) {
+				break
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				record(fire())
+			}()
+		}
+		wg.Wait()
+	} else {
+		// Closed loop: fixed concurrency, next request on completion.
+		var wg sync.WaitGroup
+		var issued atomic.Int64
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for issued.Add(1) <= int64(*requests) {
+					record(fire())
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	wall := time.Since(wallStart)
+
+	summarize(os.Stdout, results, wall)
+	return nil
+}
+
+// tally counts mapped reads and records from a 200 response body.
+func tally(body []byte, isSAM bool) {
+	if isSAM {
+		for _, line := range strings.Split(string(body), "\n") {
+			if line == "" || strings.HasPrefix(line, "@") {
+				continue
+			}
+			cRecords.Inc()
+			cReadsOK.Inc()
+			fields := strings.SplitN(line, "\t", 3)
+			if len(fields) >= 2 && fields[1] != "4" {
+				cReadsMapped.Inc()
+			}
+		}
+		return
+	}
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var parsed struct {
+			Mapped  bool              `json:"mapped"`
+			Records []json.RawMessage `json:"records"`
+		}
+		if json.Unmarshal(line, &parsed) != nil {
+			continue
+		}
+		cRecords.Add(int64(len(parsed.Records)))
+		cReadsOK.Inc()
+		if parsed.Mapped {
+			cReadsMapped.Inc()
+		}
+	}
+}
+
+// summarize prints the throughput/latency digest. Percentiles come
+// from the raw latency samples, not histogram bins.
+func summarize(w io.Writer, results []result, wall time.Duration) {
+	var ok, rejected, failed int
+	var lats []time.Duration
+	for _, r := range results {
+		switch {
+		case r.err != nil || r.status >= 500:
+			failed++
+		case r.status == http.StatusTooManyRequests:
+			rejected++
+		case r.status == http.StatusOK:
+			ok++
+			lats = append(lats, r.latency)
+		default:
+			failed++
+		}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	fmt.Fprintf(w, "requests: %d ok, %d rejected (429), %d failed in %.2fs\n",
+		ok, rejected, failed, wall.Seconds())
+	fmt.Fprintf(w, "throughput: %.1f req/s, %.1f reads/s (%d records, %d/%d reads mapped)\n",
+		float64(ok)/wall.Seconds(), float64(cReadsOK.Value())/wall.Seconds(),
+		cRecords.Value(), cReadsMapped.Value(), cReadsOK.Value())
+	if len(lats) > 0 {
+		fmt.Fprintf(w, "latency: p50=%s p90=%s p99=%s max=%s\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+}
+
+func readSeqFile(path string) ([]dna.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".fq") || strings.HasSuffix(path, ".fastq") {
+		return dna.ReadFASTQ(f)
+	}
+	return dna.ReadFASTA(f)
+}

@@ -1,0 +1,140 @@
+// Command darwind is the long-running alignment service: it loads the
+// reference index once (the cost the paper's Table 3 amortizes away),
+// keeps it resident in an LRU cache, and maps reads arriving over
+// HTTP/JSON through a micro-batcher with admission control and
+// graceful drain.
+//
+// Usage:
+//
+//	darwind -addr :8844 -ref ref.fa -k 12 -n 750 -h 24
+//
+// Endpoints:
+//
+//	POST /v1/map     {"reads":[{"name":"r1","seq":"ACGT..."}]} → NDJSON
+//	                 (?format=sam streams SAM text instead)
+//	GET  /healthz    liveness (200 while the process runs)
+//	GET  /readyz     readiness (200 once the default index is warm)
+//	GET  /v1/indexes resident index metadata
+//
+// SIGTERM/SIGINT starts a graceful drain: /readyz flips to 503, new
+// requests are rejected, in-flight batches flush, and the final
+// darwin-run-report/v1 is written if -report was given.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"darwin/internal/core"
+	"darwin/internal/obs"
+	"darwin/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "darwind:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8844", "listen address (use :0 for an ephemeral port)")
+	refPath := flag.String("ref", "", "default reference FASTA, indexed at startup (required)")
+	k := flag.Int("k", 12, "D-SOFT seed size k")
+	n := flag.Int("n", 750, "D-SOFT seeds per query strand N")
+	h := flag.Int("h", 24, "D-SOFT base-count threshold h")
+	hTile := flag.Int("htile", 90, "first GACT tile score threshold (0 disables)")
+	tileT := flag.Int("T", 320, "GACT tile size T")
+	tileO := flag.Int("O", 128, "GACT tile overlap O")
+	cacheSize := flag.Int("cache", 4, "max resident indexes (LRU)")
+	allowRefLoad := flag.Bool("allow-ref-load", false, "let requests name reference FASTA paths to load on demand")
+	batchReads := flag.Int("batch-reads", 64, "flush a micro-batch at this many reads")
+	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max time a partial batch waits for company")
+	queueBound := flag.Int("queue", 256, "admission queue bound (overflow → 429)")
+	executors := flag.Int("executors", 0, "concurrent batch executors (0 = NumCPU)")
+	batchWorkers := flag.Int("batch-workers", 1, "MapAll workers within one batch")
+	reqTimeout := flag.Duration("req-timeout", 60*time.Second, "per-request deadline cap")
+	maxReads := flag.Int("max-reads", 1024, "max reads per request")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to flush in-flight work on shutdown")
+	obsFlags := obs.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	if *refPath == "" {
+		return fmt.Errorf("-ref is required")
+	}
+	session, err := obsFlags.Start("darwind")
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	cfg := core.DefaultConfig(*k, *n, *h)
+	cfg.HTile = *hTile
+	cfg.GACT.T = *tileT
+	cfg.GACT.O = *tileO
+	srv := server.New(server.Config{
+		DefaultRef: *refPath,
+		Core:       cfg,
+		CacheSize:  *cacheSize,
+		Batch: server.BatcherConfig{
+			MaxBatchReads:   *batchReads,
+			MaxWait:         *batchWait,
+			QueueBound:      *queueBound,
+			Executors:       *executors,
+			WorkersPerBatch: *batchWorkers,
+		},
+		RequestTimeout:     *reqTimeout,
+		MaxReadsPerRequest: *maxReads,
+		AllowRefLoad:       *allowRefLoad,
+	})
+
+	warmStart := time.Now()
+	if err := srv.Warm(context.Background()); err != nil {
+		return fmt.Errorf("warming default index: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "darwind: default index warm (k=%d) in %s\n", *k, time.Since(warmStart).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "darwind: serving on http://%s/ (POST /v1/map, /healthz, /readyz)\n", ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "darwind: %s received, draining (stop accepting, flush in-flight)\n", sig)
+	}
+
+	// Drain sequence: stop admitting (readyz → 503, map → 503), let
+	// in-flight handlers finish via HTTP shutdown, then flush any
+	// batches still pending in the micro-batcher.
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		return fmt.Errorf("batcher drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "darwind: drain complete, all in-flight work flushed")
+	return nil
+}

@@ -6,7 +6,8 @@
 // substrates), seedtable, dsoft, align, gact, fmindex (the algorithms),
 // hw (the calibrated ASIC/FPGA performance model), baseline (GraphMap/
 // BWA-MEM/DALIGNER-class comparisons), core (the Darwin engine),
-// assembly, olc, wga, metrics, experiments. Executables are in cmd/,
+// assembly, olc, wga, metrics, experiments, obs, sam, and server (the
+// darwind serving layer). Executables are in cmd/,
 // runnable examples in examples/, and bench_test.go regenerates each
 // paper table and figure as a benchmark. See README.md, DESIGN.md and
 // EXPERIMENTS.md.

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -53,22 +55,45 @@ type MapResult struct {
 }
 
 // MapAll maps every read using the given number of worker goroutines
-// (≤ 1 runs inline). Results are returned in input order; workers use
-// cloned engines so bin state never races.
+// (1 runs inline; <= 0 defaults to runtime.NumCPU()). Results are
+// returned in input order; workers use cloned engines so bin state
+// never races.
 func (d *Darwin) MapAll(reads []dna.Seq, workers int) ([]MapResult, error) {
+	return d.MapAllContext(context.Background(), reads, workers)
+}
+
+// MapAllContext is MapAll with cancellation: it stops dispatching new
+// reads once ctx is cancelled or its deadline passes, waits for
+// in-flight reads to finish, and returns ctx.Err(). A read that has
+// already entered the pipeline always completes — cancellation is
+// checked between reads, the granularity a served request can be
+// abandoned at without corrupting shared engine state.
+func (d *Darwin) MapAllContext(ctx context.Context, reads []dna.Seq, workers int) ([]MapResult, error) {
+	if workers <= 0 {
+		// A zero or negative worker count is a configuration accident,
+		// not a request for zero concurrency: default to one worker per
+		// CPU rather than silently running single-threaded.
+		workers = runtime.NumCPU()
+	}
+	if workers > len(reads) {
+		workers = len(reads)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]MapResult, len(reads))
 	if workers <= 1 || len(reads) <= 1 {
 		gWorkers.Set(1)
 		for i, r := range reads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			busy := time.Now()
 			alns, st := d.MapRead(r)
 			tWorkerBusy.Observe(time.Since(busy))
 			out[i] = MapResult{Index: i, Alignments: alns, Stats: st}
 		}
 		return out, nil
-	}
-	if workers > len(reads) {
-		workers = len(reads)
 	}
 	gWorkers.Set(int64(workers))
 	engines := make([]*Darwin, workers)
@@ -86,6 +111,9 @@ func (d *Darwin) MapAll(reads []dna.Seq, workers int) ([]MapResult, error) {
 		go func(e *Darwin, tid int) {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain remaining indices without mapping
+				}
 				endSpan := obs.Trace.StartTID("core.map_read.worker", tid)
 				busy := time.Now()
 				alns, st := e.MapRead(reads[i])
@@ -95,10 +123,18 @@ func (d *Darwin) MapAll(reads []dna.Seq, workers int) ([]MapResult, error) {
 			}
 		}(engines[w], w+1)
 	}
+feed:
 	for i := range reads {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

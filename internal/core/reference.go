@@ -21,7 +21,9 @@ type Reference struct {
 }
 
 // NewReference concatenates records with N padding to multiples of
-// pad (use the D-SOFT bin size, as the de novo pipeline does).
+// pad (use the D-SOFT bin size, as the de novo pipeline does). A
+// sequence already a multiple of pad gets no padding, keeping
+// concatenated coordinates minimal.
 func NewReference(recs []dna.Record, pad int) (*Reference, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("core: no reference sequences")
@@ -38,8 +40,10 @@ func NewReference(recs []dna.Record, pad int) (*Reference, error) {
 		r.offsets = append(r.offsets, len(r.seq))
 		r.lengths = append(r.lengths, len(rec.Seq))
 		r.seq = append(r.seq, rec.Seq...)
-		for p := pad - len(rec.Seq)%pad; p > 0; p-- {
-			r.seq = append(r.seq, 'N')
+		if rem := len(rec.Seq) % pad; rem != 0 {
+			for p := pad - rem; p > 0; p-- {
+				r.seq = append(r.seq, 'N')
+			}
 		}
 	}
 	return r, nil

@@ -44,6 +44,44 @@ func TestReferenceCoordinates(t *testing.T) {
 	}
 }
 
+// TestReferenceExactBinBoundary: a sequence whose length is already a
+// multiple of pad must get no padding block, so concatenated
+// coordinates stay minimal and the next sequence starts immediately.
+func TestReferenceExactBinBoundary(t *testing.T) {
+	exact := dna.NewSeq("ACGTACGTACGTACGT") // len 16 == pad
+	ref, err := NewReference([]dna.Record{{Name: "chr1", Seq: exact}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ref.Seq()); got != 16 {
+		t.Fatalf("single exact-bin sequence: concatenated length %d, want 16 (no padding)", got)
+	}
+	if i, p := ref.Locate(15); i != 0 || p != 15 {
+		t.Errorf("Locate(15) = (%d,%d), want (0,15)", i, p)
+	}
+
+	recs := []dna.Record{
+		{Name: "chr1", Seq: exact},
+		{Name: "chr2", Seq: dna.NewSeq("GGGGCCCC")}, // len 8, padded to 16
+	}
+	ref, err = NewReference(recs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ref.Seq()); got != 32 {
+		t.Fatalf("concatenated length %d, want 32 (16 unpadded + 8 padded to 16)", got)
+	}
+	if i, p := ref.Locate(15); i != 0 || p != 15 {
+		t.Errorf("Locate(15) = (%d,%d), want (0,15)", i, p)
+	}
+	if i, p := ref.Locate(16); i != 1 || p != 0 {
+		t.Errorf("Locate(16) = (%d,%d), want (1,0) — chr2 must start right at the bin boundary", i, p)
+	}
+	if _, ls, le, err := ref.LocateSpan(16, 24); err != nil || ls != 0 || le != 8 {
+		t.Errorf("LocateSpan(chr2) = %d %d %v", ls, le, err)
+	}
+}
+
 func TestReferenceErrors(t *testing.T) {
 	if _, err := NewReference(nil, 16); err == nil {
 		t.Error("empty record list should error")

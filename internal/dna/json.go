@@ -1,0 +1,24 @@
+package dna
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the sequence as a JSON string of bases rather
+// than the base64 default for []byte, so wire formats (the darwind
+// service, run reports) stay human-readable and greppable.
+func (s Seq) MarshalJSON() ([]byte, error) {
+	return json.Marshal(string(s))
+}
+
+// UnmarshalJSON decodes a JSON string into a normalized sequence
+// (upper-case ACGTN, like NewSeq).
+func (s *Seq) UnmarshalJSON(data []byte) error {
+	var str string
+	if err := json.Unmarshal(data, &str); err != nil {
+		return fmt.Errorf("dna: sequence must be a JSON string: %w", err)
+	}
+	*s = NewSeq(str)
+	return nil
+}

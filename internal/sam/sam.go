@@ -22,17 +22,49 @@ const (
 	FlagUnmapped = 0x4
 )
 
-// Record is one SAM alignment line.
+// Record is one SAM alignment line. The JSON tags define the wire
+// schema the darwind service streams as NDJSON — one Record object
+// per alignment, field-for-field the SAM columns.
 type Record struct {
-	QName string
-	Flag  int
-	RName string
+	QName string `json:"qname"`
+	Flag  int    `json:"flag"`
+	RName string `json:"rname,omitempty"`
 	// Pos is the 0-based reference start (written 1-based).
-	Pos   int
-	MapQ  int
-	Cigar string
-	Seq   dna.Seq
-	Tags  []string
+	Pos   int      `json:"pos"`
+	MapQ  int      `json:"mapq"`
+	Cigar string   `json:"cigar,omitempty"`
+	Seq   dna.Seq  `json:"seq,omitempty"`
+	Tags  []string `json:"tags,omitempty"`
+}
+
+// Line renders the record as one tab-separated SAM line (no trailing
+// newline), applying the unmapped-record column conventions. Writer
+// uses it for files; the darwind service uses it to stream records
+// without buffering a whole response.
+func (r Record) Line() string {
+	rname, cigar := r.RName, r.Cigar
+	pos := r.Pos + 1
+	if r.Flag&FlagUnmapped != 0 {
+		rname, cigar, pos = "*", "*", 0
+	}
+	if rname == "" {
+		rname = "*"
+	}
+	if cigar == "" {
+		cigar = "*"
+	}
+	seq := "*"
+	if len(r.Seq) > 0 {
+		seq = string(r.Seq)
+	}
+	line := strings.Join([]string{
+		r.QName, strconv.Itoa(r.Flag), rname, strconv.Itoa(pos),
+		strconv.Itoa(r.MapQ), cigar, "*", "0", "0", seq, "*",
+	}, "\t")
+	if len(r.Tags) > 0 {
+		line += "\t" + strings.Join(r.Tags, "\t")
+	}
+	return line
 }
 
 // Writer emits a SAM stream.
@@ -80,26 +112,24 @@ func (s *Writer) Write(r Record) error {
 		}
 		s.wrote = true
 	}
-	rname, cigar := r.RName, r.Cigar
-	pos := r.Pos + 1
-	if r.Flag&FlagUnmapped != 0 {
-		rname, cigar, pos = "*", "*", 0
-	}
-	seq := "*"
-	if len(r.Seq) > 0 {
-		seq = string(r.Seq)
-	}
-	line := strings.Join([]string{
-		r.QName, strconv.Itoa(r.Flag), rname, strconv.Itoa(pos),
-		strconv.Itoa(r.MapQ), cigar, "*", "0", "0", seq, "*",
-	}, "\t")
-	if len(r.Tags) > 0 {
-		line += "\t" + strings.Join(r.Tags, "\t")
-	}
-	if _, err := fmt.Fprintln(s.w, line); err != nil {
+	if _, err := fmt.Fprintln(s.w, r.Line()); err != nil {
 		return fmt.Errorf("sam: writing record: %w", err)
 	}
 	return nil
+}
+
+// HeaderLines renders the @HD/@SQ/@PG header for the given references
+// (no trailing newline on the last line), for streamers that bypass
+// Writer.
+func HeaderLines(refs []RefSeq, program string) []string {
+	lines := []string{"@HD\tVN:1.6\tSO:unknown"}
+	for _, r := range refs {
+		lines = append(lines, fmt.Sprintf("@SQ\tSN:%s\tLN:%d", r.Name, r.Len))
+	}
+	if program != "" {
+		lines = append(lines, fmt.Sprintf("@PG\tID:%s\tPN:%s", program, program))
+	}
+	return lines
 }
 
 // Flush flushes buffered output (writing the header if no records

@@ -2,6 +2,8 @@ package sam
 
 import (
 	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -106,5 +108,80 @@ func TestCigarWithClips(t *testing.T) {
 	}
 	if got := CigarWithClips(c, 0, 10, 10); got != "8M2I" {
 		t.Errorf("cigar = %s, want 8M2I", got)
+	}
+}
+
+func TestRecordLine(t *testing.T) {
+	r := Record{
+		QName: "read1", Flag: FlagReverse, RName: "chr1", Pos: 99, MapQ: 60,
+		Cigar: "4M", Seq: dna.NewSeq("ACGT"), Tags: []string{"AS:i:4"},
+	}
+	want := "read1\t16\tchr1\t100\t60\t4M\t*\t0\t0\tACGT\t*\tAS:i:4"
+	if got := r.Line(); got != want {
+		t.Errorf("Line() = %q, want %q", got, want)
+	}
+	// Line and Writer.Write must agree byte-for-byte.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, nil, "")
+	if err := w.Write(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if got := lines[len(lines)-1]; got != want {
+		t.Errorf("Writer line %q != Line() %q", got, want)
+	}
+	// Zero-value columns render as SAM missing markers.
+	u := Record{QName: "r", Flag: FlagUnmapped, Seq: dna.NewSeq("AC")}
+	fields := strings.Split(u.Line(), "\t")
+	if fields[2] != "*" || fields[3] != "0" || fields[5] != "*" {
+		t.Errorf("unmapped Line fields: %v", fields)
+	}
+}
+
+func TestRecordJSONRoundTrip(t *testing.T) {
+	r := Record{
+		QName: "read1", Flag: 16, RName: "chr1", Pos: 42, MapQ: 60,
+		Cigar: "5M", Seq: dna.NewSeq("ACGTN"), Tags: []string{"AS:i:5", "ft:i:99"},
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dna.Seq must serialize as a readable base string, not base64.
+	if !strings.Contains(string(data), `"seq":"ACGTN"`) {
+		t.Errorf("sequence not encoded as a base string: %s", data)
+	}
+	var back Record
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Errorf("round trip mismatch:\n  %+v\nvs\n  %+v", r, back)
+	}
+}
+
+func TestHeaderLines(t *testing.T) {
+	lines := HeaderLines([]RefSeq{{Name: "chr1", Len: 100}, {Name: "chr2", Len: 50}}, "darwind")
+	want := []string{
+		"@HD\tVN:1.6\tSO:unknown",
+		"@SQ\tSN:chr1\tLN:100",
+		"@SQ\tSN:chr2\tLN:50",
+		"@PG\tID:darwind\tPN:darwind",
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("HeaderLines = %q, want %q", lines, want)
+	}
+	// Writer's header must be exactly these lines.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []RefSeq{{Name: "chr1", Len: 100}, {Name: "chr2", Len: 50}}, "darwind")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Writer header %q != HeaderLines %q", got, want)
 	}
 }

@@ -1,0 +1,343 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"darwin/internal/core"
+	"darwin/internal/dna"
+	"darwin/internal/obs"
+)
+
+// Batcher observability: queue depth is the backpressure signal, the
+// batch-size histogram shows how well micro-batching is coalescing,
+// and queue-wait is the latency cost of that coalescing.
+var (
+	cJobs          = obs.Default.Counter("server/jobs")
+	cJobsRejected  = obs.Default.Counter("server/jobs_rejected")
+	cBatches       = obs.Default.Counter("server/batches")
+	cBatchedReads  = obs.Default.Counter("server/batched_reads")
+	cJobsCancelled = obs.Default.Counter("server/jobs_cancelled")
+	gQueueDepth    = obs.Default.Gauge("server/queue_depth")
+	hBatchSize     = obs.Default.Histogram("server/batch_size_reads", 0, 1024, 64)
+	hQueueWait     = obs.Default.Histogram("server/queue_wait_ms", 0, 1000, 50)
+)
+
+// Submit errors.
+var (
+	// ErrQueueFull means admission control rejected the job; the
+	// caller should surface 429 with a Retry-After hint.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrDraining means the batcher is shutting down and accepts no
+	// new work.
+	ErrDraining = errors.New("server: draining, not accepting work")
+)
+
+// BatcherConfig tunes micro-batching and admission control.
+type BatcherConfig struct {
+	// MaxBatchReads flushes a batch once it holds this many reads
+	// (default 64).
+	MaxBatchReads int
+	// MaxWait bounds how long the first job of a batch waits for
+	// company before a partial flush (default 2ms).
+	MaxWait time.Duration
+	// QueueBound caps queued jobs; Submit past it returns
+	// ErrQueueFull (default 256).
+	QueueBound int
+	// Executors is the number of concurrent batch executors (default
+	// runtime.NumCPU(), min 1).
+	Executors int
+	// WorkersPerBatch is the MapAllContext parallelism within one
+	// batch (default 1: micro-batching already provides cross-request
+	// parallelism via executors; raise it for few large requests).
+	WorkersPerBatch int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatchReads <= 0 {
+		c.MaxBatchReads = 64
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueBound <= 0 {
+		c.QueueBound = 256
+	}
+	if c.Executors <= 0 {
+		c.Executors = runtime.NumCPU()
+	}
+	if c.WorkersPerBatch <= 0 {
+		c.WorkersPerBatch = 1
+	}
+	return c
+}
+
+// Job is one admitted map request: a set of reads against one
+// resident index, with the request's context governing cancellation.
+type Job struct {
+	ctx      context.Context
+	entry    *IndexEntry
+	reads    []dna.Seq
+	all      bool
+	resp     chan JobResult
+	enqueued time.Time
+}
+
+// JobResult delivers a job's per-read results (input order) or the
+// error that aborted it.
+type JobResult struct {
+	Results []core.MapResult
+	Err     error
+}
+
+// batch is a flush unit: jobs against the same index entry executed
+// as one MapAllContext call.
+type batch struct {
+	entry *IndexEntry
+	jobs  []*Job
+	reads int
+	born  time.Time
+}
+
+// Batcher coalesces jobs into per-index batches. Admission control
+// happens at Submit (bounded queue); a dispatcher goroutine groups
+// queued jobs by index entry and flushes on size or age; a bounded
+// executor pool runs flushed batches on pooled engine clones.
+type Batcher struct {
+	cfg    BatcherConfig
+	queue  chan *Job
+	execCh chan *batch
+
+	mu       sync.Mutex
+	draining bool
+
+	dispatcherDone chan struct{}
+	executorsDone  sync.WaitGroup
+}
+
+// NewBatcher creates a batcher; call Start before Submit.
+func NewBatcher(cfg BatcherConfig) *Batcher {
+	cfg = cfg.withDefaults()
+	return &Batcher{
+		cfg:            cfg,
+		queue:          make(chan *Job, cfg.QueueBound),
+		execCh:         make(chan *batch),
+		dispatcherDone: make(chan struct{}),
+	}
+}
+
+// Start launches the dispatcher and executor pool.
+func (b *Batcher) Start() {
+	for i := 0; i < b.cfg.Executors; i++ {
+		b.executorsDone.Add(1)
+		go func() {
+			defer b.executorsDone.Done()
+			for bt := range b.execCh {
+				b.runBatch(bt)
+			}
+		}()
+	}
+	go b.dispatch()
+}
+
+// Submit admits a job (non-blocking). The result arrives on
+// job.resp; ErrQueueFull and ErrDraining reject synchronously.
+func (b *Batcher) Submit(ctx context.Context, entry *IndexEntry, reads []dna.Seq, all bool) (*Job, error) {
+	job := &Job{
+		ctx:      ctx,
+		entry:    entry,
+		reads:    reads,
+		all:      all,
+		resp:     make(chan JobResult, 1),
+		enqueued: time.Now(),
+	}
+	b.mu.Lock()
+	if b.draining {
+		b.mu.Unlock()
+		cJobsRejected.Inc()
+		return nil, ErrDraining
+	}
+	select {
+	case b.queue <- job:
+		b.mu.Unlock()
+		cJobs.Inc()
+		gQueueDepth.Add(1)
+		return job, nil
+	default:
+		b.mu.Unlock()
+		cJobsRejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// Wait blocks until the job's result or its context's end. On
+// context expiry the job is abandoned — the batcher notices the dead
+// context and skips or discards its work.
+func (j *Job) Wait() JobResult {
+	select {
+	case r := <-j.resp:
+		return r
+	case <-j.ctx.Done():
+		return JobResult{Err: j.ctx.Err()}
+	}
+}
+
+// dispatch groups queued jobs by index entry and flushes on size or
+// age. A single coarse ticker at MaxWait granularity ages out partial
+// batches — a served system wants bounded worst-case coalescing
+// latency, not precise per-batch timers.
+func (b *Batcher) dispatch() {
+	defer close(b.dispatcherDone)
+	pending := make(map[*IndexEntry]*batch)
+	ticker := time.NewTicker(b.cfg.MaxWait)
+	defer ticker.Stop()
+
+	flush := func(bt *batch) {
+		delete(pending, bt.entry)
+		b.execCh <- bt
+	}
+	add := func(job *Job) {
+		gQueueDepth.Add(-1)
+		hQueueWait.Observe(float64(time.Since(job.enqueued)) / float64(time.Millisecond))
+		bt := pending[job.entry]
+		if bt == nil {
+			bt = &batch{entry: job.entry, born: time.Now()}
+			pending[job.entry] = bt
+		}
+		bt.jobs = append(bt.jobs, job)
+		bt.reads += len(job.reads)
+		if bt.reads >= b.cfg.MaxBatchReads {
+			flush(bt)
+		}
+	}
+
+	for {
+		select {
+		case job, ok := <-b.queue:
+			if !ok {
+				// Drain: flush everything still pending, then stop the
+				// executors once they have taken all of it.
+				for _, bt := range pending {
+					b.execCh <- bt
+				}
+				close(b.execCh)
+				return
+			}
+			add(job)
+		case <-ticker.C:
+			now := time.Now()
+			for _, bt := range pending {
+				if now.Sub(bt.born) >= b.cfg.MaxWait {
+					flush(bt)
+				}
+			}
+		}
+	}
+}
+
+// runBatch executes one batch: concatenate live jobs' reads, run one
+// MapAllContext on a pooled clone, slice results back per job.
+func (b *Batcher) runBatch(bt *batch) {
+	endSpan := obs.Trace.Start("server.batch")
+	defer endSpan()
+
+	// Drop jobs whose clients already gave up; their reads would be
+	// wasted work.
+	live := bt.jobs[:0]
+	for _, j := range bt.jobs {
+		if j.ctx.Err() != nil {
+			cJobsCancelled.Inc()
+			j.resp <- JobResult{Err: j.ctx.Err()}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	var reads []dna.Seq
+	for _, j := range live {
+		reads = append(reads, j.reads...)
+	}
+	cBatches.Inc()
+	cBatchedReads.Add(int64(len(reads)))
+	hBatchSize.Observe(float64(len(reads)))
+
+	// The batch runs until every member's context is done: one
+	// impatient client must not cancel work other clients still want.
+	batchCtx, cancel := context.WithCancel(context.Background())
+	stopWatch := make(chan struct{})
+	go func() {
+		defer cancel()
+		for _, j := range live {
+			select {
+			case <-j.ctx.Done():
+			case <-stopWatch:
+				return
+			}
+		}
+	}()
+
+	engine, err := bt.entry.Acquire()
+	if err == nil {
+		var results []core.MapResult
+		results, err = engine.MapAllContext(batchCtx, reads, b.cfg.WorkersPerBatch)
+		bt.entry.Release(engine)
+		if err == nil {
+			off := 0
+			for _, j := range live {
+				sub := results[off : off+len(j.reads)]
+				// Re-base indices from batch order to the job's own
+				// read order.
+				for k := range sub {
+					sub[k].Index = k
+				}
+				j.resp <- JobResult{Results: sub}
+				off += len(j.reads)
+			}
+		}
+	}
+	close(stopWatch)
+	cancel()
+	if err != nil {
+		for _, j := range live {
+			if jerr := j.ctx.Err(); jerr != nil {
+				cJobsCancelled.Inc()
+				j.resp <- JobResult{Err: jerr}
+			} else {
+				j.resp <- JobResult{Err: err}
+			}
+		}
+	}
+}
+
+// Drain stops admission, flushes pending batches, and waits for every
+// in-flight job to be answered or ctx to expire. It is safe to call
+// once; Submit returns ErrDraining afterwards.
+func (b *Batcher) Drain(ctx context.Context) error {
+	b.mu.Lock()
+	if b.draining {
+		b.mu.Unlock()
+		return nil
+	}
+	b.draining = true
+	close(b.queue)
+	b.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		<-b.dispatcherDone
+		b.executorsDone.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"darwin/internal/core"
+	"darwin/internal/dna"
+)
+
+// testEntry builds a real (tiny) index entry for cache and batcher
+// tests.
+func testEntry(t *testing.T, key string, seed int64, n int) *IndexEntry {
+	t.Helper()
+	ref := dna.Random(rand.New(rand.NewSource(seed)), n, 0.5)
+	entry, err := BuildEntry(key, []dna.Record{{Name: "chr1", Seq: ref}}, testCoreConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entry
+}
+
+func testCoreConfig() core.Config {
+	return core.DefaultConfig(11, 400, 18)
+}
+
+func TestIndexCacheSingleflight(t *testing.T) {
+	cache := NewIndexCache(4)
+	var builds atomic.Int64
+	build := func() (*IndexEntry, error) {
+		builds.Add(1)
+		return testEntry(t, "k", 41, 20000), nil
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	entries := make([]*IndexEntry, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := cache.Get("k", build)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Errorf("build ran %d times for 16 concurrent Gets, want 1 (singleflight)", got)
+	}
+	for i := 1; i < goroutines; i++ {
+		if entries[i] != entries[0] {
+			t.Fatalf("goroutine %d got a different entry instance", i)
+		}
+	}
+}
+
+func TestIndexCacheLRUEviction(t *testing.T) {
+	cache := NewIndexCache(2)
+	mk := func(key string) func() (*IndexEntry, error) {
+		return func() (*IndexEntry, error) { return testEntry(t, key, 43, 20000), nil }
+	}
+	for _, k := range []string{"a", "b"} {
+		if _, hit, err := cache.Get(k, mk(k)); err != nil || hit {
+			t.Fatalf("Get(%s) = hit=%v err=%v, want fresh build", k, hit, err)
+		}
+	}
+	// Touch "a" so "b" becomes least recently used, then insert "c".
+	if _, hit, err := cache.Get("a", mk("a")); err != nil || !hit {
+		t.Fatalf("Get(a) again = hit=%v err=%v, want cache hit", hit, err)
+	}
+	if _, hit, err := cache.Get("c", mk("c")); err != nil || hit {
+		t.Fatalf("Get(c) = hit=%v err=%v, want fresh build", hit, err)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+	keys := make([]string, 0, 2)
+	for _, e := range cache.Entries() {
+		keys = append(keys, e.Key)
+	}
+	if keys[0] != "c" || keys[1] != "a" {
+		t.Errorf("resident keys (MRU first) = %v, want [c a] — b should have been evicted", keys)
+	}
+	// "b" must rebuild.
+	var rebuilt bool
+	if _, hit, err := cache.Get("b", func() (*IndexEntry, error) {
+		rebuilt = true
+		return testEntry(t, "b", 44, 20000), nil
+	}); err != nil || hit || !rebuilt {
+		t.Errorf("Get(b) after eviction: hit=%v rebuilt=%v err=%v, want rebuild", hit, rebuilt, err)
+	}
+}
+
+func TestIndexCacheBuildErrorNotCached(t *testing.T) {
+	cache := NewIndexCache(2)
+	boom := errors.New("boom")
+	if _, _, err := cache.Get("k", func() (*IndexEntry, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Get with failing build = %v, want boom", err)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("failed build left a cache entry")
+	}
+	// A later Get retries the build.
+	e, hit, err := cache.Get("k", func() (*IndexEntry, error) { return testEntry(t, "k", 45, 20000), nil })
+	if err != nil || hit || e == nil {
+		t.Fatalf("retry after failed build: entry=%v hit=%v err=%v", e, hit, err)
+	}
+}
+
+func TestIndexKeyDistinguishesConfigs(t *testing.T) {
+	base := testCoreConfig()
+	other := base
+	other.SeedK = 12
+	keys := map[string]bool{
+		IndexKey("ref.fa", base):  true,
+		IndexKey("ref.fa", other): true,
+		IndexKey("ref2.fa", base): true,
+	}
+	if len(keys) != 3 {
+		t.Errorf("expected 3 distinct keys, got %d", len(keys))
+	}
+	if IndexKey("ref.fa", base) != IndexKey("ref.fa", testCoreConfig()) {
+		t.Error("identical source+config must produce identical keys")
+	}
+}

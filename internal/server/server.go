@@ -1,0 +1,451 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"darwin/internal/core"
+	"darwin/internal/dna"
+	"darwin/internal/obs"
+	"darwin/internal/sam"
+)
+
+// HTTP-layer observability.
+var (
+	cRequests         = obs.Default.Counter("server/requests")
+	cRequestsOK       = obs.Default.Counter("server/requests_ok")
+	cRequestsFailed   = obs.Default.Counter("server/requests_failed")
+	cReadsIn          = obs.Default.Counter("server/reads_in")
+	cRejectedDraining = obs.Default.Counter("server/rejected_draining")
+	gDraining         = obs.Default.Gauge("server/draining")
+	hRequestLatency   = obs.Default.Histogram("server/request_latency_ms", 0, 10000, 100)
+)
+
+// Config assembles the service.
+type Config struct {
+	// DefaultRef is the reference FASTA warmed at startup; requests
+	// that name no reference use it.
+	DefaultRef string
+	// Core is the engine configuration applied to every index.
+	Core core.Config
+	// CacheSize bounds resident indexes (default 4).
+	CacheSize int
+	// Batch tunes micro-batching and admission control.
+	Batch BatcherConfig
+	// RequestTimeout caps per-request wall time (default 60s); a
+	// request's timeout_ms can only shorten it.
+	RequestTimeout time.Duration
+	// MaxReadsPerRequest rejects oversized requests (default 1024).
+	MaxReadsPerRequest int
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// AllowRefLoad permits requests to name reference FASTA paths,
+	// loading them on demand into the cache. Off by default: a serving
+	// deployment usually pins its reference set.
+	AllowRefLoad bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxReadsPerRequest <= 0 {
+		c.MaxReadsPerRequest = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	c.Batch = c.Batch.withDefaults()
+	return c
+}
+
+// Server is the darwind service: index cache + micro-batcher behind
+// an HTTP/JSON API.
+type Server struct {
+	cfg     Config
+	cache   *IndexCache
+	batcher *Batcher
+	mux     *http.ServeMux
+
+	ready        atomic.Bool
+	draining     atomic.Bool
+	defaultEntry atomic.Pointer[IndexEntry]
+}
+
+// New assembles a server; call Warm to load the default index and
+// mark it ready.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewIndexCache(cfg.CacheSize),
+		batcher: NewBatcher(cfg.Batch),
+	}
+	s.batcher.Start()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/v1/map", s.handleMap)
+	s.mux.HandleFunc("/v1/indexes", s.handleIndexes)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Warm loads the default reference into the cache and marks the
+// server ready. Blocking by design: readiness means the index is
+// resident, so the first request is as fast as the millionth.
+func (s *Server) Warm(ctx context.Context) error {
+	if s.cfg.DefaultRef == "" {
+		return fmt.Errorf("server: no default reference configured")
+	}
+	entry, _, err := s.loadEntry(s.cfg.DefaultRef)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.defaultEntry.Store(entry)
+	s.ready.Store(true)
+	return nil
+}
+
+// Ready reports whether the default index is warm and the server is
+// not draining.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// StartDrain stops admitting requests: /readyz flips to 503 so load
+// balancers stop routing here, new /v1/map requests get 503, and the
+// batcher rejects new jobs while in-flight ones complete.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	gDraining.Set(1)
+}
+
+// Drain completes a graceful shutdown: after StartDrain and after the
+// HTTP server has finished in-flight handlers, it flushes the
+// batcher's pending work. Returns ctx.Err() if the deadline passes
+// with work still in flight.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	return s.batcher.Drain(ctx)
+}
+
+// loadEntry resolves source (a FASTA path) to a warm index via the
+// cache.
+func (s *Server) loadEntry(source string) (*IndexEntry, bool, error) {
+	key := IndexKey(source, s.cfg.Core)
+	return s.cache.Get(key, func() (*IndexEntry, error) {
+		recs, err := readFASTAPath(source)
+		if err != nil {
+			return nil, err
+		}
+		return BuildEntry(key, recs, s.cfg.Core, s.cfg.Batch.Executors)
+	})
+}
+
+func readFASTAPath(path string) ([]dna.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []dna.Record
+	if strings.HasSuffix(path, ".fq") || strings.HasSuffix(path, ".fastq") {
+		recs, err = dna.ReadFASTQ(f)
+	} else {
+		recs, err = dna.ReadFASTA(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("server: no sequences in %s", path)
+	}
+	return recs, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "index warming", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+func (s *Server) handleIndexes(w http.ResponseWriter, _ *http.Request) {
+	type indexInfo struct {
+		Key          string  `json:"key"`
+		Sequences    int     `json:"sequences"`
+		Bases        int     `json:"bases"`
+		BuildSeconds float64 `json:"build_seconds"`
+	}
+	var out []indexInfo
+	for _, e := range s.cache.Entries() {
+		out = append(out, indexInfo{
+			Key:          e.Key,
+			Sequences:    e.Ref.NumSeqs(),
+			Bases:        len(e.Ref.Seq()),
+			BuildSeconds: e.BuildTime.Seconds(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// ReadInput is one query read on the wire.
+type ReadInput struct {
+	Name string  `json:"name"`
+	Seq  dna.Seq `json:"seq"`
+}
+
+// MapRequest is the /v1/map request body.
+type MapRequest struct {
+	// Reference names a FASTA path to map against; empty uses the
+	// warm default. Non-default references require AllowRefLoad.
+	Reference string `json:"reference,omitempty"`
+	// Reads are the queries (at least one).
+	Reads []ReadInput `json:"reads"`
+	// All reports every alignment per read instead of only the best.
+	All bool `json:"all,omitempty"`
+	// TimeoutMS optionally shortens the server's request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// MapResponseLine is one NDJSON response line: a read's SAM records.
+type MapResponseLine struct {
+	Read    string       `json:"read"`
+	Mapped  bool         `json:"mapped"`
+	Records []sam.Record `json:"records,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// httpError writes a plain-text error with status code.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	cRequests.Inc()
+	defer func() {
+		hRequestLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}()
+
+	if r.Method != http.MethodPost {
+		cRequestsFailed.Inc()
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		cRejectedDraining.Inc()
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if !s.ready.Load() {
+		cRequestsFailed.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "index warming")
+		return
+	}
+
+	var req MapRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		cRequestsFailed.Inc()
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Reads) == 0 {
+		cRequestsFailed.Inc()
+		httpError(w, http.StatusBadRequest, "no reads")
+		return
+	}
+	if len(req.Reads) > s.cfg.MaxReadsPerRequest {
+		cRequestsFailed.Inc()
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"%d reads exceeds per-request limit %d", len(req.Reads), s.cfg.MaxReadsPerRequest)
+		return
+	}
+	for i, rd := range req.Reads {
+		if len(rd.Seq) == 0 {
+			cRequestsFailed.Inc()
+			httpError(w, http.StatusBadRequest, "read %d (%q) has an empty sequence", i, rd.Name)
+			return
+		}
+	}
+
+	// Resolve the index: warm default, or an on-demand load when the
+	// deployment allows it.
+	entry := s.defaultEntry.Load()
+	if req.Reference != "" && req.Reference != s.cfg.DefaultRef {
+		if !s.cfg.AllowRefLoad {
+			cRequestsFailed.Inc()
+			httpError(w, http.StatusForbidden, "on-demand reference loading is disabled (-allow-ref-load)")
+			return
+		}
+		var err error
+		entry, _, err = s.loadEntry(req.Reference)
+		if err != nil {
+			cRequestsFailed.Inc()
+			httpError(w, http.StatusBadRequest, "loading reference %q: %v", req.Reference, err)
+			return
+		}
+	}
+	if entry == nil {
+		cRequestsFailed.Inc()
+		httpError(w, http.StatusServiceUnavailable, "no default index")
+		return
+	}
+
+	// Per-request deadline: the server cap, shortened by the client's
+	// timeout_ms, threaded through the batcher into MapAllContext.
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	reads := make([]dna.Seq, len(req.Reads))
+	for i := range req.Reads {
+		reads[i] = req.Reads[i].Seq
+	}
+	cReadsIn.Add(int64(len(reads)))
+
+	job, err := s.batcher.Submit(ctx, entry, reads, req.All)
+	if err != nil {
+		cRequestsFailed.Inc()
+		switch {
+		case err == ErrQueueFull:
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+		case err == ErrDraining:
+			w.Header().Set("Retry-After", "5")
+			httpError(w, http.StatusServiceUnavailable, "draining")
+		default:
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	res := job.Wait()
+	if res.Err != nil {
+		cRequestsFailed.Inc()
+		if res.Err == context.DeadlineExceeded || res.Err == context.Canceled {
+			httpError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", res.Err)
+		}
+		return
+	}
+	cRequestsOK.Inc()
+
+	if r.URL.Query().Get("format") == "sam" {
+		s.writeSAM(w, entry, req, res.Results)
+		return
+	}
+	s.writeNDJSON(w, entry, req, res.Results)
+}
+
+// recordsFor converts one read's alignments to SAM records — the same
+// emission logic as cmd/darwin, shared by both response formats.
+func recordsFor(entry *IndexEntry, name string, seq dna.Seq, alns []core.ReadAlignment, all bool) []sam.Record {
+	if len(alns) == 0 {
+		return []sam.Record{{QName: name, Flag: sam.FlagUnmapped, Seq: seq}}
+	}
+	emit := alns[:1]
+	if all {
+		emit = alns
+	}
+	var out []sam.Record
+	for _, a := range emit {
+		seqIdx, localStart, _, err := entry.Ref.LocateSpan(a.Result.RefStart, a.Result.RefEnd)
+		if err != nil {
+			continue // degenerate cross-sequence span
+		}
+		flagBits := 0
+		outSeq := seq
+		if a.Reverse {
+			flagBits |= sam.FlagReverse
+			outSeq = dna.RevComp(seq)
+		}
+		out = append(out, sam.Record{
+			QName: name,
+			Flag:  flagBits,
+			RName: entry.Ref.Name(seqIdx),
+			Pos:   localStart,
+			MapQ:  60,
+			Cigar: sam.CigarWithClips(a.Result.Cigar, a.Result.QueryStart, a.Result.QueryEnd, len(outSeq)),
+			Seq:   outSeq,
+			Tags:  []string{fmt.Sprintf("AS:i:%d", a.Result.Score), fmt.Sprintf("ft:i:%d", a.FirstTileScore)},
+		})
+	}
+	if len(out) == 0 {
+		return []sam.Record{{QName: name, Flag: sam.FlagUnmapped, Seq: seq}}
+	}
+	return out
+}
+
+// writeNDJSON streams one MapResponseLine per read, flushing after
+// each line so clients see results as they are encoded.
+func (s *Server) writeNDJSON(w http.ResponseWriter, entry *IndexEntry, req MapRequest, results []core.MapResult) {
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i, rd := range req.Reads {
+		recs := recordsFor(entry, rd.Name, rd.Seq, results[i].Alignments, req.All)
+		line := MapResponseLine{
+			Read:    rd.Name,
+			Mapped:  len(results[i].Alignments) > 0,
+			Records: recs,
+		}
+		if err := enc.Encode(line); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSAM streams the response as SAM text (header + one line per
+// record).
+func (s *Server) writeSAM(w http.ResponseWriter, entry *IndexEntry, req MapRequest, results []core.MapResult) {
+	w.Header().Set("Content-Type", "text/x-sam; charset=utf-8")
+	for _, line := range sam.HeaderLines(entry.SQ, "darwind") {
+		fmt.Fprintln(w, line)
+	}
+	flusher, _ := w.(http.Flusher)
+	for i, rd := range req.Reads {
+		for _, rec := range recordsFor(entry, rd.Name, rd.Seq, results[i].Alignments, req.All) {
+			fmt.Fprintln(w, rec.Line())
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end check of the darwind serving path.
+#   1. build darwind, darwin-client, genomesim, readsim
+#   2. generate a synthetic genome + simulated reads
+#   3. start darwind, wait for /readyz
+#   4. fire darwin-client at it, assert non-empty SAM output
+#   5. SIGTERM darwind, assert clean drain (exit 0 + drain log line)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building binaries"
+go build -o "$tmp/bin/" ./cmd/darwind ./cmd/darwin-client ./cmd/genomesim ./cmd/readsim
+
+echo "serve-smoke: generating synthetic genome and reads"
+"$tmp/bin/genomesim" -len 150000 -seed 7 -out "$tmp/ref.fa" 2>/dev/null
+"$tmp/bin/readsim" -ref "$tmp/ref.fa" -n 48 -len 1200 -seed 9 -out "$tmp/reads.fq" 2>/dev/null
+
+"$tmp/bin/darwind" -addr 127.0.0.1:0 -ref "$tmp/ref.fa" \
+    -k 11 -n 400 -h 20 -batch-wait 2ms \
+    -report "$tmp/darwind_report.json" 2> "$tmp/darwind.log" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's|.*serving on http://\([^/]*\)/.*|\1|p' "$tmp/darwind.log" | head -1)
+    if [ -n "$addr" ]; then
+        if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
+            break
+        fi
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: FAIL — darwind exited early:" >&2
+        cat "$tmp/darwind.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: FAIL — darwind never became ready:" >&2
+    cat "$tmp/darwind.log" >&2
+    exit 1
+fi
+echo "serve-smoke: darwind ready on $addr"
+
+"$tmp/bin/darwin-client" -addr "$addr" -reads "$tmp/reads.fq" \
+    -requests 24 -concurrency 4 -batch 4 -out "$tmp/out.sam"
+
+if ! grep -qv '^@' "$tmp/out.sam"; then
+    echo "serve-smoke: FAIL — no SAM records in client output" >&2
+    exit 1
+fi
+records=$(grep -cv '^@' "$tmp/out.sam")
+echo "serve-smoke: client received $records SAM records"
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "serve-smoke: FAIL — darwind exited non-zero on SIGTERM:" >&2
+    cat "$tmp/darwind.log" >&2
+    exit 1
+fi
+pid=""
+if ! grep -q "drain complete" "$tmp/darwind.log"; then
+    echo "serve-smoke: FAIL — no clean-drain log line:" >&2
+    cat "$tmp/darwind.log" >&2
+    exit 1
+fi
+if [ ! -s "$tmp/darwind_report.json" ]; then
+    echo "serve-smoke: FAIL — darwind wrote no run report" >&2
+    exit 1
+fi
+echo "serve-smoke: OK (clean drain, run report written)"
