@@ -21,9 +21,12 @@ type Reference struct {
 }
 
 // NewReference concatenates records with N padding to multiples of
-// pad (use the D-SOFT bin size, as the de novo pipeline does). A
-// sequence already a multiple of pad gets no padding, keeping
-// concatenated coordinates minimal.
+// pad (use the D-SOFT bin size, as the de novo pipeline does). Every
+// pair of adjacent sequences is separated by at least one full-N
+// region — when a sequence's length is already a multiple of pad, a
+// whole pad block is inserted so seeds and extension can never bridge
+// two sequences. Only the final sequence may go unpadded, keeping
+// total concatenated length minimal.
 func NewReference(recs []dna.Record, pad int) (*Reference, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("core: no reference sequences")
@@ -32,7 +35,7 @@ func NewReference(recs []dna.Record, pad int) (*Reference, error) {
 		pad = 128
 	}
 	r := &Reference{}
-	for _, rec := range recs {
+	for i, rec := range recs {
 		if len(rec.Seq) == 0 {
 			return nil, fmt.Errorf("core: reference sequence %q is empty", rec.Name)
 		}
@@ -40,10 +43,14 @@ func NewReference(recs []dna.Record, pad int) (*Reference, error) {
 		r.offsets = append(r.offsets, len(r.seq))
 		r.lengths = append(r.lengths, len(rec.Seq))
 		r.seq = append(r.seq, rec.Seq...)
+		npad := 0
 		if rem := len(rec.Seq) % pad; rem != 0 {
-			for p := pad - rem; p > 0; p-- {
-				r.seq = append(r.seq, 'N')
-			}
+			npad = pad - rem
+		} else if i != len(recs)-1 {
+			npad = pad
+		}
+		for ; npad > 0; npad-- {
+			r.seq = append(r.seq, 'N')
 		}
 	}
 	return r, nil

@@ -44,9 +44,11 @@ func TestReferenceCoordinates(t *testing.T) {
 	}
 }
 
-// TestReferenceExactBinBoundary: a sequence whose length is already a
-// multiple of pad must get no padding block, so concatenated
-// coordinates stay minimal and the next sequence starts immediately.
+// TestReferenceExactBinBoundary: a final sequence whose length is
+// already a multiple of pad gets no trailing padding (minimal
+// coordinates), but an interior exact-multiple sequence still gets a
+// full pad block — adjacent sequences must always be separated by Ns
+// so seeding and extension cannot produce chimeric alignments.
 func TestReferenceExactBinBoundary(t *testing.T) {
 	exact := dna.NewSeq("ACGTACGTACGTACGT") // len 16 == pad
 	ref, err := NewReference([]dna.Record{{Name: "chr1", Seq: exact}}, 16)
@@ -68,17 +70,26 @@ func TestReferenceExactBinBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(ref.Seq()); got != 32 {
-		t.Fatalf("concatenated length %d, want 32 (16 unpadded + 8 padded to 16)", got)
+	if got := len(ref.Seq()); got != 48 {
+		t.Fatalf("concatenated length %d, want 48 (16 + full 16-N separator + 8 padded to 16)", got)
+	}
+	// The separator block between chr1 and chr2 must be all N.
+	for p := 16; p < 32; p++ {
+		if ref.Seq()[p] != 'N' {
+			t.Fatalf("separator position %d = %c, want N", p, ref.Seq()[p])
+		}
 	}
 	if i, p := ref.Locate(15); i != 0 || p != 15 {
 		t.Errorf("Locate(15) = (%d,%d), want (0,15)", i, p)
 	}
-	if i, p := ref.Locate(16); i != 1 || p != 0 {
-		t.Errorf("Locate(16) = (%d,%d), want (1,0) — chr2 must start right at the bin boundary", i, p)
+	if i, p := ref.Locate(32); i != 1 || p != 0 {
+		t.Errorf("Locate(32) = (%d,%d), want (1,0) — chr2 starts after the separator block", i, p)
 	}
-	if _, ls, le, err := ref.LocateSpan(16, 24); err != nil || ls != 0 || le != 8 {
+	if _, ls, le, err := ref.LocateSpan(32, 40); err != nil || ls != 0 || le != 8 {
 		t.Errorf("LocateSpan(chr2) = %d %d %v", ls, le, err)
+	}
+	if _, _, _, err := ref.LocateSpan(10, 36); err == nil {
+		t.Error("span bridging the separator into chr2 should error")
 	}
 }
 

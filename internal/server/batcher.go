@@ -186,13 +186,19 @@ func (j *Job) Wait() JobResult {
 }
 
 // dispatch groups queued jobs by index entry and flushes on size or
-// age. A single coarse ticker at MaxWait granularity ages out partial
-// batches — a served system wants bounded worst-case coalescing
-// latency, not precise per-batch timers.
+// age. A single coarse ticker ages out partial batches — a served
+// system wants bounded worst-case coalescing latency, not precise
+// per-batch timers. Ticking at MaxWait/2 and flushing batches older
+// than MaxWait/2 keeps the worst-case wait under MaxWait (threshold +
+// one tick period), honoring the documented bound.
 func (b *Batcher) dispatch() {
 	defer close(b.dispatcherDone)
 	pending := make(map[*IndexEntry]*batch)
-	ticker := time.NewTicker(b.cfg.MaxWait)
+	tick := b.cfg.MaxWait / 2
+	if tick <= 0 {
+		tick = b.cfg.MaxWait
+	}
+	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
 
 	flush := func(bt *batch) {
@@ -230,7 +236,7 @@ func (b *Batcher) dispatch() {
 		case <-ticker.C:
 			now := time.Now()
 			for _, bt := range pending {
-				if now.Sub(bt.born) >= b.cfg.MaxWait {
+				if now.Sub(bt.born) >= tick {
 					flush(bt)
 				}
 			}

@@ -199,7 +199,7 @@ func (s *Server) handleIndexes(w http.ResponseWriter, _ *http.Request) {
 		Bases        int     `json:"bases"`
 		BuildSeconds float64 `json:"build_seconds"`
 	}
-	var out []indexInfo
+	out := []indexInfo{}
 	for _, e := range s.cache.Entries() {
 		out = append(out, indexInfo{
 			Key:          e.Key,
@@ -418,9 +418,19 @@ func (s *Server) writeNDJSON(w http.ResponseWriter, entry *IndexEntry, req MapRe
 	enc := json.NewEncoder(w)
 	for i, rd := range req.Reads {
 		recs := recordsFor(entry, rd.Name, rd.Seq, results[i].Alignments, req.All)
+		// Mapped reflects the emitted records, not the raw alignment
+		// count: recordsFor can drop every alignment (degenerate
+		// cross-sequence spans) and emit an unmapped placeholder.
+		mapped := false
+		for _, rec := range recs {
+			if rec.Flag&sam.FlagUnmapped == 0 {
+				mapped = true
+				break
+			}
+		}
 		line := MapResponseLine{
 			Read:    rd.Name,
-			Mapped:  len(results[i].Alignments) > 0,
+			Mapped:  mapped,
 			Records: recs,
 		}
 		if err := enc.Encode(line); err != nil {
