@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet bench bench-core serve-smoke clean
+.PHONY: build test check race vet test-allocs bench bench-core bench-kernel benchdiff serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race serve-smoke
+# The allocation pins are built with //go:build !race (the race
+# detector changes allocation behaviour), so check runs them in a
+# separate non-race pass.
+test-allocs:
+	$(GO) test -run 'ZeroSteadyStateAllocs' ./internal/align/
+
+check: vet race test-allocs serve-smoke
 
 # End-to-end serving check: darwind on a synthetic genome, load from
 # darwin-client, non-empty SAM back, clean drain on SIGTERM.
@@ -33,6 +39,18 @@ bench:
 bench-core:
 	$(GO) test -bench=BenchmarkCorePipeline -run '^$$' .
 	@echo "report: BENCH_core.json"
+
+# The kernel benchmarks: single tile, D-SOFT query, and end-to-end
+# MapRead, whose run writes the BENCH_kernel.json report that
+# benchdiff compares against a recorded baseline.
+bench-kernel:
+	$(GO) test -bench='BenchmarkAlignTile$$|BenchmarkGACTTile$$|BenchmarkDSOFTQuery$$|BenchmarkMapRead$$' -benchmem -run '^$$' .
+	@echo "report: BENCH_kernel.json"
+
+# Compare the committed pre-kernel baseline against the current run;
+# exits non-zero on a >10% throughput regression.
+benchdiff:
+	./scripts/benchdiff.sh BENCH_kernel_before.json BENCH_kernel.json
 
 clean:
 	rm -f BENCH_core.json

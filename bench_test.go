@@ -148,6 +148,41 @@ func BenchmarkCorePipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkMapRead measures single-thread MapRead throughput — the
+// end-to-end number the tile-kernel perf work is judged by — and
+// writes the obs run report to BENCH_kernel.json (`make bench-kernel`),
+// the kernel-path trajectory point scripts/benchdiff.sh diffs.
+func BenchmarkMapRead(b *testing.B) {
+	g, err := genome.Generate(genome.Config{Length: 300_000, GC: 0.45, Seed: 81})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.New(g.Seq, core.DefaultConfig(11, 600, 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := readsim.SimulateN(g.Seq, 16, readsim.Config{Profile: readsim.PacBio, MeanLen: 3000, Seed: 82})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := obs.NewRun("bench_kernel")
+	b.ResetTimer()
+	var cells int64
+	for i := 0; i < b.N; i++ {
+		alns, st := engine.MapRead(reads[i%len(reads)].Seq)
+		cells += st.Cells
+		if len(alns) == 0 {
+			b.Fatal("read did not map")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+	if err := run.Report().WriteJSON("BENCH_kernel.json"); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // --- Kernel micro-benchmarks ---------------------------------------
 
 func benchPair(b *testing.B, n int, profile readsim.Profile) (dna.Seq, dna.Seq) {
@@ -178,6 +213,26 @@ func BenchmarkGACTTile(b *testing.B) {
 		align.AlignTile(ref[:320], q[:320], false, 192, &sc)
 	}
 	b.ReportMetric(float64(320*320), "cells/op")
+}
+
+// BenchmarkAlignTile measures the same 320×320 tile on the reusable
+// allocation-free kernel (align.TileAligner) — the production tile
+// path; BenchmarkGACTTile above is the allocating reference oracle it
+// is compared against.
+func BenchmarkAlignTile(b *testing.B) {
+	ref, q := benchPair(b, 400, readsim.PacBio)
+	sc := align.GACTEval()
+	ta, err := align.NewTileAligner(&sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ta.Preallocate(320)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ta.AlignTile(ref[:320], q[:320], false, 192)
+	}
+	b.ReportMetric(float64(320*320), "cells/op")
+	b.ReportMetric(float64(320*320)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
 }
 
 // BenchmarkGACTExtend10k measures a full 10 kbp GACT alignment

@@ -1,0 +1,110 @@
+// Command benchdiff compares two benchmark run reports (BENCH_*.json,
+// written by the obs report writer) and flags throughput regressions.
+//
+// Raw counters are not comparable across runs — the bench harness
+// scales iteration counts to the machine — so the comparison is over
+// *rates*: work counters divided by the stage time that produced them.
+// A metric that drops by more than the threshold (default 10%) is a
+// regression and makes the command exit non-zero, which is what lets
+// `make bench-kernel` + scripts/benchdiff.sh act as a perf gate.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] OLD.json NEW.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darwin/internal/obs"
+)
+
+// metric is one derived rate: numerator counter over a denominator
+// (a stage timer's seconds, or wall time when timer is empty).
+type metric struct {
+	name    string
+	counter string
+	timer   string // "" means wall seconds
+}
+
+// metrics are the rates the kernel benchmarks exercise; a report
+// missing a metric's inputs (counter absent or denominator zero)
+// simply skips it, so the tool works on any run report.
+var metrics = []metric{
+	{"reads/s", "core/reads", ""},
+	{"cells/s", "gact/cells", "stage/align"},
+	{"tiles/s", "gact/tiles", "stage/align"},
+	{"extensions/s", "gact/extensions", "stage/align"},
+	{"seeds/s", "dsoft/seeds_issued", "stage/filter"},
+}
+
+func rate(rep *obs.Report, m metric) (float64, bool) {
+	n, ok := rep.Counters[m.counter]
+	if !ok || n == 0 {
+		return 0, false
+	}
+	secs := rep.WallSeconds
+	if m.timer != "" {
+		t, ok := rep.Timers[m.timer]
+		if !ok {
+			return 0, false
+		}
+		secs = t.Seconds
+	}
+	if secs <= 0 {
+		return 0, false
+	}
+	return float64(n) / secs, true
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative throughput drop that counts as a regression")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := obs.ReadReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRep, err := obs.ReadReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-14s %14s %14s %9s\n", "metric", "old", "new", "delta")
+	regressions := 0
+	compared := 0
+	for _, m := range metrics {
+		oldV, okOld := rate(oldRep, m)
+		newV, okNew := rate(newRep, m)
+		if !okOld || !okNew {
+			continue
+		}
+		compared++
+		delta := (newV - oldV) / oldV
+		mark := ""
+		if delta < -*threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-14s %14.0f %14.0f %+8.1f%%%s\n", m.name, oldV, newV, delta*100, mark)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no comparable metrics between the two reports")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+//go:build !race
+
+// The race detector changes allocation behaviour, so the
+// steady-state-allocation pins live behind !race; `make check` runs
+// them in a separate non-race pass.
+
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"darwin/internal/dna"
+)
+
+// The tile kernel's steady state — buffers warmed by a first call —
+// must not allocate at all, in either orientation. This is the
+// tentpole invariant of the allocation-free kernel; any regression
+// (a stray slice growth, an escaping closure, a lut copy) fails here.
+func TestTileAlignerZeroSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sc := GACTEval()
+	ta, err := NewTileAligner(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTile := dna.Random(rng, 384, 0.45)
+	qTile := mutate(rng, rTile, 0.15)
+	if len(qTile) > 384 {
+		qTile = qTile[:384]
+	}
+	// Warm the monotonic buffers (pointer matrix, rows, codes, cigar).
+	ta.AlignTile(rTile, qTile, true, 256)
+	ta.AlignTileReversed(rTile, qTile, false, 192)
+
+	if n := testing.AllocsPerRun(100, func() {
+		ta.AlignTile(rTile, qTile, true, 256)
+	}); n != 0 {
+		t.Errorf("AlignTile steady state allocates %.1f times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ta.AlignTileReversed(rTile, qTile, false, 192)
+	}); n != 0 {
+		t.Errorf("AlignTileReversed steady state allocates %.1f times per call, want 0", n)
+	}
+}
+
+// ScoreOnly shares pooled rows; its steady state must also stay
+// allocation-free (modulo pool refills after a GC, which AllocsPerRun
+// runs are short enough to avoid).
+func TestScoreOnlyZeroSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	sc := GACTEval()
+	ref := dna.Random(rng, 512, 0.5)
+	query := mutate(rng, ref, 0.2)
+	ScoreOnly(ref, query, &sc)
+	if n := testing.AllocsPerRun(100, func() {
+		ScoreOnly(ref, query, &sc)
+	}); n != 0 {
+		t.Errorf("ScoreOnly steady state allocates %.1f times per call, want 0", n)
+	}
+}

@@ -42,11 +42,25 @@ func BandedGlobal(ref, query dna.Seq, band int, sc *Scoring) (*Result, error) {
 		}
 		return j * n / m
 	}
-	// Storage: H, V (vertical gap), pointers, per banded cell.
-	hCur := make([]int, width)
-	hPrev := make([]int, width)
-	vPrev := make([]int, width)
-	ptr := make([]byte, (m+1)*width)
+	// Storage: H, V (vertical gap), pointers, per banded cell — pooled
+	// rows and pointer matrix shared with ScoreOnly, substitution
+	// scores from the tile kernel's flat LUT. The pooled pointer
+	// matrix is reused without clearing: every cell the traceback can
+	// reach is written by the fill below (out-of-band cells are only
+	// reachable through the explicit range error).
+	lut := sc.LUT()
+	buf := scorePool.Get().(*scoreBuf)
+	defer scorePool.Put(buf)
+	hCur := buf.row(0, width)
+	hPrev := buf.row(1, width)
+	vPrev := buf.row(2, width)
+	if need := (m + 1) * width; cap(buf.ptr) < need {
+		buf.ptr = make([]byte, need)
+	}
+	ptr := buf.ptr[:(m+1)*width]
+	rCode := dna.AppendCodes(buf.rCode[:0], ref)
+	qCode := dna.AppendCodes(buf.qCode[:0], query)
+	buf.rCode, buf.qCode = rCode, qCode
 	colOf := func(j, i int) int { return i - center(j) + band } // band-local index
 
 	gapCost := func(l int) int {
@@ -77,6 +91,8 @@ func BandedGlobal(ref, query dna.Seq, band int, sc *Scoring) (*Result, error) {
 		cPrevRowShift := center(j) - center(j-1)
 		rowPtr := ptr[j*width:]
 		hGapPrev := negInf
+		qcode := int(qCode[j-1]) & 7
+		lutRow := lut[qcode*LUTStride : qcode*LUTStride+LUTStride]
 		for c := 0; c < width; c++ {
 			i := c - band + center(j)
 			if i < 0 || i > n {
@@ -130,7 +146,7 @@ func BandedGlobal(ref, query dna.Seq, band int, sc *Scoring) (*Result, error) {
 
 			diagScore := negInf
 			if diagC >= 0 && diagC < width && hPrev[diagC] > negInf/2 {
-				diagScore = hPrev[diagC] + sc.Sub(ref[i-1], query[j-1])
+				diagScore = hPrev[diagC] + int(lutRow[rCode[i-1]&7])
 			}
 
 			best, src := diagScore, byte(hDiag)

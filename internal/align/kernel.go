@@ -1,0 +1,316 @@
+package align
+
+import "darwin/internal/dna"
+
+// negInf32 is the int32 "minus infinity" for the tile kernel's gap
+// rows, chosen (like gactsim's negInf16) so that subtracting a
+// Validated gap penalty cannot wrap: −2^29 − maxAbsParam > −2^31.
+const negInf32 = int32(-1) << 29
+
+// maxKernelSide is the largest tile side the int32 kernel accepts;
+// beyond it the aligner falls back to the int-width reference
+// implementation (see maxAbsParam for the overflow arithmetic). GACT
+// tiles are two orders of magnitude smaller, so the fallback is a
+// safety net, not a working path.
+const maxKernelSide = 1 << 15
+
+// TileAligner is the allocation-free production kernel behind GACT's
+// Align step. It computes exactly what the free function AlignTile
+// computes — that reference implementation is retained as the oracle a
+// property test compares against — but owns its DP state so the steady
+// state allocates nothing:
+//
+//   - the (T+1)² pointer matrix, score rows, precoded tile buffers, and
+//     traceback path grow monotonically and are reused across tiles;
+//   - each tile's sequences are pre-encoded to base codes once, and the
+//     inner loop reads substitution scores from a flat int16 LUT — no
+//     method calls, byte decodes, or N branches per DP cell (the
+//     software analogue of the hardware's ASCII→3-bit converter feeding
+//     the PE array, Section 7);
+//   - DP rows are int32, not int; Scoring.Validate bounds the
+//     parameters so int32 cannot overflow for any tile the kernel
+//     accepts.
+//
+// A TileAligner is not safe for concurrent use; each engine clone owns
+// one (mirroring the hardware, where each GACT array has private
+// traceback SRAM).
+type TileAligner struct {
+	sc        Scoring
+	lut       SubLUT
+	open, ext int32
+	maxSide   int // kernel side limit; a test knob, maxKernelSide in production
+
+	// Reusable state, grown monotonically.
+	ptr        []byte // (n+1)×(m+1) pointer matrix, row-major
+	hRow, vRow []int32
+	rCode      []byte // precoded reference tile
+	qCode      []byte // precoded query tile
+	cig        Cigar  // traceback path buffer
+
+	// Fill results for the current tile.
+	maxScore   int32
+	maxI, maxJ int
+}
+
+// NewTileAligner validates sc and returns an aligner with empty
+// buffers; they grow on first use (or via Preallocate).
+func NewTileAligner(sc *Scoring) (*TileAligner, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &TileAligner{
+		sc:      *sc,
+		lut:     sc.LUT(),
+		open:    int32(sc.GapOpen),
+		ext:     int32(sc.GapExtend),
+		maxSide: maxKernelSide,
+	}, nil
+}
+
+// Scoring returns the aligner's scoring parameters.
+func (a *TileAligner) Scoring() *Scoring { return &a.sc }
+
+// Preallocate sizes the buffers for tiles up to side×side, so the
+// first tiles of a fresh engine don't pay growth allocations either.
+func (a *TileAligner) Preallocate(side int) {
+	if side > 0 && side <= a.maxSide {
+		a.grow(side+1, side+1)
+	}
+}
+
+// AlignTile is the stateful equivalent of the package-level AlignTile:
+// identical arguments, identical result. The returned Cigar aliases
+// the aligner's internal buffer and is only valid until the next call;
+// callers that retain it across tiles must copy it first.
+func (a *TileAligner) AlignTile(rTile, qTile dna.Seq, firstTile bool, maxOff int) TileResult {
+	return a.align(rTile, qTile, firstTile, maxOff, false)
+}
+
+// AlignTileReversed aligns the reversed tile — the tile whose contents
+// are rTile and qTile read back-to-front — directly from the forward
+// slices, with the same result as AlignTile(Reverse(rTile),
+// Reverse(qTile), ...). GACT's right extension runs on reversed
+// sequences (Section 4); precoding the reversal per tile replaces the
+// per-extension full-sequence reversal copies. The same Cigar aliasing
+// rule as AlignTile applies.
+func (a *TileAligner) AlignTileReversed(rTile, qTile dna.Seq, firstTile bool, maxOff int) TileResult {
+	return a.align(rTile, qTile, firstTile, maxOff, true)
+}
+
+func (a *TileAligner) align(rTile, qTile dna.Seq, firstTile bool, maxOff int, reversed bool) TileResult {
+	n, m := len(rTile), len(qTile)
+	if n == 0 || m == 0 {
+		return TileResult{}
+	}
+	if n > a.maxSide || m > a.maxSide {
+		// Outside the int32 overflow bound: use the int-width reference
+		// implementation (allocating — acceptable for a path no real
+		// tile configuration reaches).
+		if reversed {
+			rTile, qTile = dna.Reverse(rTile), dna.Reverse(qTile)
+		}
+		return AlignTile(rTile, qTile, firstTile, maxOff, &a.sc)
+	}
+	if maxOff <= 0 {
+		maxOff = max(n, m)
+	}
+	a.fill(rTile, qTile, reversed)
+
+	startI, startJ := n, m
+	score := int(a.hRow[n]) // H of the bottom-right cell
+	if firstTile {
+		startI, startJ = a.maxI, a.maxJ
+		score = int(a.maxScore)
+	}
+	cigar, iOff, jOff := a.traceback(n+1, startI, startJ, maxOff)
+	return TileResult{
+		Score: score,
+		IOff:  iOff,
+		JOff:  jOff,
+		MaxI:  a.maxI,
+		MaxJ:  a.maxJ,
+		Cigar: cigar,
+	}
+}
+
+// grow ensures the pointer matrix and rows cover a w×h DP grid.
+func (a *TileAligner) grow(w, h int) {
+	if need := w * h; cap(a.ptr) < need {
+		a.ptr = make([]byte, need)
+	}
+	if cap(a.hRow) < w {
+		a.hRow = make([]int32, w)
+		a.vRow = make([]int32, w)
+	}
+	if cap(a.rCode) < w {
+		a.rCode = make([]byte, 0, w)
+	}
+	if cap(a.qCode) < h {
+		a.qCode = make([]byte, 0, h)
+	}
+}
+
+// fill computes the local affine-gap DP matrix exactly as fillLocal
+// does, over precoded sequences with the int16 LUT and int32 rows.
+// After it returns, hRow holds H over the final query row and
+// maxScore/maxI/maxJ locate the highest-scoring cell (earliest row,
+// then earliest column, on ties — the systolic array's convention).
+func (a *TileAligner) fill(rTile, qTile dna.Seq, reversed bool) {
+	n, m := len(rTile), len(qTile)
+	w, h := n+1, m+1
+	a.grow(w, h)
+
+	var rc, qc []byte
+	if reversed {
+		rc = dna.AppendCodesReversed(a.rCode[:0], rTile)
+		qc = dna.AppendCodesReversed(a.qCode[:0], qTile)
+	} else {
+		rc = dna.AppendCodes(a.rCode[:0], rTile)
+		qc = dna.AppendCodes(a.qCode[:0], qTile)
+	}
+	a.rCode, a.qCode = rc, qc
+
+	hRow := a.hRow[:w]
+	vRow := a.vRow[:w]
+	for i := range hRow {
+		hRow[i] = 0
+	}
+	for i := range vRow {
+		vRow[i] = negInf32
+	}
+	// Only row 0 and column 0 of the pointer matrix are read without
+	// being written (traceback stops on their hNull); the interior is
+	// fully overwritten for the current tile, so a reused matrix needs
+	// no wholesale clear.
+	ptr := a.ptr
+	for i := 0; i < w; i++ {
+		ptr[i] = 0
+	}
+
+	open, ext := a.open, a.ext
+	maxScore := int32(0)
+	maxI, maxJ := 0, 0
+	for j := 1; j < h; j++ {
+		diag := hRow[0] // H(j-1, 0)
+		hRow[0] = 0
+		hPrev := negInf32 // horizontal gap score at (j, i-1)
+		rowPtr := ptr[j*w : j*w+w]
+		rowPtr[0] = 0
+		// A fixed-size array pointer into the LUT row: the &7-masked
+		// index is provably < LUTStride, so the per-cell load carries
+		// no bounds check.
+		lutRow := (*[LUTStride]int16)(a.lut[(int(qc[j-1])&7)*LUTStride:])
+		// The selection logic below is the reference fillLocal's,
+		// rewritten as single-assignment conditionals and max() so the
+		// compiler emits conditional moves instead of branches — on
+		// noisy-read tiles the per-cell branches are data-dependent and
+		// mispredict heavily, which dominated the fill's runtime.
+		for i := 1; i < w; i++ {
+			// Horizontal gap (consumes reference): depends on (j, i-1).
+			hOpen := hRow[i-1] - open
+			hExt := hPrev - ext
+			hGap := max(hOpen, hExt)
+			var p byte
+			if hOpen >= hExt {
+				p = horizOpenBit
+			}
+
+			// Vertical gap (consumes query): depends on (j-1, i).
+			vOpen := hRow[i] - open
+			vExt := vRow[i] - ext
+			vGap := max(vOpen, vExt)
+			if vOpen >= vExt {
+				p |= vertOpenBit
+			}
+
+			// H source selection, earliest-wins on ties (strict >
+			// against the running best, as in the reference).
+			diagScore := diag + int32(lutRow[rc[i-1]&7])
+			best := int32(0)
+			src := int32(hNull)
+			if diagScore > best {
+				src = hDiag
+			}
+			best = max(best, diagScore)
+			if hGap > best {
+				src = hHoriz
+			}
+			best = max(best, hGap)
+			if vGap > best {
+				src = hVert
+			}
+			best = max(best, vGap)
+			rowPtr[i] = p | byte(src)
+
+			diag = hRow[i]
+			hRow[i] = best
+			vRow[i] = vGap
+			hPrev = hGap
+
+			if best > maxScore {
+				maxScore = best
+				maxI, maxJ = i, j
+			}
+		}
+	}
+	a.maxScore, a.maxI, a.maxJ = maxScore, maxI, maxJ
+}
+
+// traceback walks pointers from cell (i, j) exactly like tracebackFrom,
+// appending into the aligner's reused path buffer.
+func (a *TileAligner) traceback(w, i, j, maxOff int) (Cigar, int, int) {
+	cig := a.cig[:0]
+	iOff, jOff := 0, 0
+	state := stateH
+	for i > 0 || j > 0 {
+		if iOff >= maxOff || jOff >= maxOff {
+			break
+		}
+		p := a.ptr[j*w+i]
+		switch state {
+		case stateH:
+			switch p & hMask {
+			case hNull:
+				goto done
+			case hDiag:
+				if i == 0 || j == 0 {
+					goto done
+				}
+				cig = cig.AppendOp(OpMatch)
+				i--
+				j--
+				iOff++
+				jOff++
+			case hHoriz:
+				state = hHoriz
+			case hVert:
+				state = hVert
+			}
+		case hHoriz: // consuming reference bases (OpDel)
+			if i == 0 {
+				goto done
+			}
+			cig = cig.AppendOp(OpDel)
+			open := p&horizOpenBit != 0
+			i--
+			iOff++
+			if open {
+				state = stateH
+			}
+		case hVert: // consuming query bases (OpIns)
+			if j == 0 {
+				goto done
+			}
+			cig = cig.AppendOp(OpIns)
+			open := p&vertOpenBit != 0
+			j--
+			jOff++
+			if open {
+				state = stateH
+			}
+		}
+	}
+done:
+	a.cig = cig
+	return cig.Reverse(), iOff, jOff
+}

@@ -70,6 +70,49 @@ func (s *Scoring) Sub(r, q byte) int {
 	return s.W[rc][qc]
 }
 
+// LUTStride is the row stride of SubLUT: rows are padded from 5 (the
+// coded alphabet {A,C,G,T,N}) to 8 entries so the inner-loop index
+// `code & 7` provably stays in bounds and the compiler drops the check.
+const LUTStride = 8
+
+// SubLUT is a Scoring's substitution function flattened over base
+// codes: lut[q*LUTStride+r] = Sub for reference code r against query
+// code q (query-major, so one row lookup per DP row serves the whole
+// inner loop). It is 8×8 so any &7-masked code pair indexes in
+// bounds; the rows/columns beyond the concrete bases (N included) are
+// zero, exactly like Scoring.Sub. Entries fit int16 because Validate
+// bounds |W| (see maxAbsParam). All of this package's kernels and the
+// gactsim PE array index it instead of calling Sub per DP cell.
+type SubLUT [LUTStride * LUTStride]int16
+
+// LUT flattens the scoring into a SubLUT. Callers must have Validated
+// the scoring first (Validate bounds the entries to int16).
+func (s *Scoring) LUT() SubLUT {
+	var lut SubLUT
+	for q := 0; q < 4; q++ {
+		for r := 0; r < 4; r++ {
+			lut[q*LUTStride+r] = int16(s.W[r][q])
+		}
+	}
+	return lut
+}
+
+// Row returns the LUT row for query code qc, ready for indexing by
+// reference code (masked with &7, which the padded stride makes safe).
+func (l *SubLUT) Row(qc byte) []int16 {
+	q := int(qc) & 7
+	return l[q*LUTStride : q*LUTStride+LUTStride]
+}
+
+// maxAbsParam bounds every scoring parameter's magnitude so that (a)
+// substitution scores are exactly representable in the int16 LUT, and
+// (b) int32 DP rows cannot overflow: cell scores are bounded by
+// side · max|param| ≤ 2^15 · (2^15−1) < 2^30, and the kernel's
+// negInf32 = −2^29 minus one gap penalty stays above −2^31, for any
+// tile side up to 2^15 (the kernel falls back to the int-width
+// reference implementation beyond that).
+const maxAbsParam = 1<<15 - 1
+
 // Validate reports scoring parameter combinations that break the
 // aligners' assumptions.
 func (s *Scoring) Validate() error {
@@ -78,6 +121,16 @@ func (s *Scoring) Validate() error {
 	}
 	if s.GapExtend > s.GapOpen {
 		return fmt.Errorf("align: gap extend %d exceeds gap open %d; affine recurrence assumes e ≤ o", s.GapExtend, s.GapOpen)
+	}
+	if s.GapOpen > maxAbsParam {
+		return fmt.Errorf("align: gap open %d exceeds %d; larger penalties would overflow the int16 scoring LUT / int32 DP rows of the tile kernel", s.GapOpen, maxAbsParam)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if w := s.W[i][j]; w > maxAbsParam || w < -maxAbsParam {
+				return fmt.Errorf("align: substitution score W[%d][%d]=%d outside ±%d; larger magnitudes would overflow the int16 scoring LUT / int32 DP rows of the tile kernel", i, j, w, maxAbsParam)
+			}
+		}
 	}
 	pos := false
 	for i := 0; i < 4; i++ {

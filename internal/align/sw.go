@@ -2,6 +2,7 @@ package align
 
 import (
 	"fmt"
+	"sync"
 
 	"darwin/internal/dna"
 )
@@ -199,26 +200,63 @@ func SmithWaterman(ref, query dna.Seq, sc *Scoring) (*Result, error) {
 	return res, nil
 }
 
+// scoreBuf is the pooled row state ScoreOnly and BandedGlobal reuse
+// across calls: DP rows, a banded pointer matrix, and precoded
+// sequence buffers, so neither pays per-call row allocations or
+// per-cell Sub decodes.
+type scoreBuf struct {
+	rows  [][]int
+	ptr   []byte
+	rCode []byte
+	qCode []byte
+}
+
+// row returns the x-th pooled row with length at least w.
+func (b *scoreBuf) row(x, w int) []int {
+	for len(b.rows) <= x {
+		b.rows = append(b.rows, nil)
+	}
+	if cap(b.rows[x]) < w {
+		b.rows[x] = make([]int, w)
+	}
+	return b.rows[x][:w]
+}
+
+var scorePool = sync.Pool{New: func() any { return new(scoreBuf) }}
+
 // ScoreOnly computes just the optimal local alignment score in O(m)
 // memory, for large-scale optimality checks where the path is not
-// needed.
+// needed. It shares the tile kernel's flat scoring LUT and a pool of
+// reusable DP rows, so the inner loop is pure array arithmetic (scores
+// stay int-width here: unlike tiles, whole-sequence lengths are
+// unbounded).
 func ScoreOnly(ref, query dna.Seq, sc *Scoring) int {
+	lut := sc.LUT()
+	buf := scorePool.Get().(*scoreBuf)
+	defer scorePool.Put(buf)
 	w := len(ref) + 1
-	hRow := make([]int, w)
-	vRow := make([]int, w)
+	hRow := buf.row(0, w)
+	vRow := buf.row(1, w)
+	for i := range hRow {
+		hRow[i] = 0
+	}
 	for i := range vRow {
 		vRow[i] = negInf
 	}
+	rc := dna.AppendCodes(buf.rCode[:0], ref)
+	qc := dna.AppendCodes(buf.qCode[:0], query)
+	buf.rCode, buf.qCode = rc, qc
 	best := 0
 	for j := 1; j <= len(query); j++ {
 		diag := hRow[0]
 		hRow[0] = 0
 		hPrev := negInf
-		qb := query[j-1]
+		qcode := int(qc[j-1]) & 7
+		lutRow := lut[qcode*LUTStride : qcode*LUTStride+LUTStride]
 		for i := 1; i < w; i++ {
 			hGap := max(hRow[i-1]-sc.GapOpen, hPrev-sc.GapExtend)
 			vGap := max(hRow[i]-sc.GapOpen, vRow[i]-sc.GapExtend)
-			hCur := max(0, max(diag+sc.Sub(ref[i-1], qb), max(hGap, vGap)))
+			hCur := max(0, max(diag+int(lutRow[rc[i-1]&7]), max(hGap, vGap)))
 			diag = hRow[i]
 			hRow[i] = hCur
 			vRow[i] = vGap

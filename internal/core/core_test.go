@@ -164,13 +164,11 @@ func TestNewErrors(t *testing.T) {
 	}
 	bad = smallConfig()
 	bad.GACT.T = 0
-	d, err := New(ref, bad)
-	if err != nil {
-		t.Fatal(err) // GACT config validated at Extend time
-	}
-	alns, _ := d.MapRead(ref[100:600])
-	if len(alns) != 0 {
-		t.Error("invalid GACT config should produce no alignments")
+	if _, err := New(ref, bad); err == nil {
+		// The GACT engine is built (and its config validated) at
+		// construction, so a broken tile geometry fails fast instead of
+		// silently mapping nothing.
+		t.Error("invalid GACT config should error at construction")
 	}
 }
 

@@ -92,7 +92,15 @@ type Darwin struct {
 	ref    dna.Seq
 	table  *seedtable.Table
 	filter *dsoft.Filter
+	engine *gact.Engine
 	cfg    Config
+
+	// Per-engine scratch, reused across reads so the steady-state map
+	// loop allocates only its results: the D-SOFT candidate buffer and
+	// the reverse-complement query buffer. Clones get fresh scratch
+	// (see Clone), so engines never share mutable state.
+	cands  []dsoft.Candidate
+	revBuf dna.Seq
 
 	// TableBuildTime records seed-table construction (software-side in
 	// the paper's de novo accounting).
@@ -129,7 +137,11 @@ func New(ref dna.Seq, cfg Config) (*Darwin, error) {
 	g := cfg.GACT
 	g.MinFirstTile = cfg.HTile
 	cfg.GACT = g
-	return &Darwin{ref: ref, table: table, filter: filter, cfg: cfg, TableBuildTime: buildTime}, nil
+	engine, err := gact.NewEngine(&cfg.GACT)
+	if err != nil {
+		return nil, fmt.Errorf("core: configuring GACT: %w", err)
+	}
+	return &Darwin{ref: ref, table: table, filter: filter, engine: engine, cfg: cfg, TableBuildTime: buildTime}, nil
 }
 
 // Ref returns the indexed reference.
@@ -199,7 +211,8 @@ func (d *Darwin) MapRead(q dna.Seq) ([]ReadAlignment, MapStats) {
 	for _, rev := range []bool{false, true} {
 		query := q
 		if rev {
-			query = dna.RevComp(q)
+			d.revBuf = dna.AppendRevComp(d.revBuf[:0], q)
+			query = d.revBuf
 		}
 		alns, st := d.mapStrand(query, rev)
 		out = append(out, alns...)
@@ -221,7 +234,8 @@ func (d *Darwin) MapRead(q dna.Seq) ([]ReadAlignment, MapStats) {
 func (d *Darwin) mapStrand(query dna.Seq, rev bool) ([]ReadAlignment, MapStats) {
 	var stats MapStats
 	start := time.Now()
-	cands, dst := d.filter.Query(query)
+	cands, dst := d.filter.QueryInto(query, d.cands[:0])
+	d.cands = cands
 	stats.DSOFT = dst
 	stats.Candidates = len(cands)
 	stats.FiltrationTime = time.Since(start)
@@ -233,7 +247,7 @@ func (d *Darwin) mapStrand(query dna.Seq, rev bool) ([]ReadAlignment, MapStats) 
 	start = time.Now()
 	var out []ReadAlignment
 	for _, c := range cands {
-		res, gst, err := gact.Extend(d.ref, query, c.RefPos, c.QueryPos, &d.cfg.GACT)
+		res, gst, err := d.engine.Extend(d.ref, query, c.RefPos, c.QueryPos)
 		if err != nil {
 			continue // invalid anchor geometry; candidate is unusable
 		}
@@ -258,7 +272,8 @@ func (d *Darwin) mapStrand(query dna.Seq, rev bool) ([]ReadAlignment, MapStats) 
 func (d *Darwin) mapStrandClipped(query dna.Seq, rev bool, window func(refPos int) (int, int, int), skipRead int) ([]ReadAlignment, MapStats) {
 	var stats MapStats
 	start := time.Now()
-	cands, dst := d.filter.Query(query)
+	cands, dst := d.filter.QueryInto(query, d.cands[:0])
+	d.cands = cands
 	stats.DSOFT = dst
 	stats.Candidates = len(cands)
 	stats.FiltrationTime = time.Since(start)
@@ -274,7 +289,7 @@ func (d *Darwin) mapStrandClipped(query dna.Seq, rev bool, window func(refPos in
 		if target == skipRead || c.RefPos >= hi {
 			continue
 		}
-		res, gst, err := gact.Extend(d.ref[lo:hi], query, c.RefPos-lo, c.QueryPos, &d.cfg.GACT)
+		res, gst, err := d.engine.Extend(d.ref[lo:hi], query, c.RefPos-lo, c.QueryPos)
 		if err != nil {
 			continue
 		}

@@ -9,6 +9,7 @@ import (
 
 	"darwin/internal/dna"
 	"darwin/internal/dsoft"
+	"darwin/internal/gact"
 	"darwin/internal/obs"
 )
 
@@ -21,10 +22,11 @@ var (
 )
 
 // Clone returns an engine sharing this one's (immutable) seed table
-// but with private D-SOFT bin state, safe to use from another
-// goroutine. This mirrors the hardware, where the seed tables are
-// replicated read-only across DRAM channels while each query stream
-// owns its bin-count SRAM state.
+// but with private D-SOFT bin state, a private GACT kernel, and fresh
+// scratch buffers, safe to use from another goroutine. This mirrors
+// the hardware, where the seed tables are replicated read-only across
+// DRAM channels while each query stream owns its bin-count SRAM and
+// each GACT array its traceback SRAM.
 func (d *Darwin) Clone() (*Darwin, error) {
 	stride := d.cfg.SeedStride
 	if stride < 1 {
@@ -39,8 +41,15 @@ func (d *Darwin) Clone() (*Darwin, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: cloning filter: %w", err)
 	}
+	engine, err := gact.NewEngine(&d.cfg.GACT)
+	if err != nil {
+		return nil, fmt.Errorf("core: cloning GACT engine: %w", err)
+	}
 	clone := *d
 	clone.filter = filter
+	clone.engine = engine
+	clone.cands = nil
+	clone.revBuf = nil
 	return &clone, nil
 }
 

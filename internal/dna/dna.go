@@ -76,6 +76,40 @@ func Base(code byte) byte {
 // Complement returns the Watson-Crick complement of an ASCII nucleotide.
 func Complement(b byte) byte { return complementTable[b] }
 
+// AppendCodes appends the base codes (CodeA..CodeN) of s to dst and
+// returns the extended slice. Aligner kernels pre-encode each tile once
+// with this instead of decoding ASCII per DP cell (Section 7's
+// ASCII-to-3-bit converter, hoisted out of the inner loop).
+func AppendCodes(dst []byte, s Seq) []byte {
+	for _, b := range s {
+		dst = append(dst, codeTable[b])
+	}
+	return dst
+}
+
+// AppendCodesReversed appends the base codes of s in reverse order,
+// letting GACT's right extension precode reversed tiles directly from
+// the forward sequence without materializing a reversed copy.
+func AppendCodesReversed(dst []byte, s Seq) []byte {
+	for i := len(s) - 1; i >= 0; i-- {
+		dst = append(dst, codeTable[s[i]])
+	}
+	return dst
+}
+
+// AppendRevComp appends the reverse complement of s to dst and returns
+// the extended slice — RevComp without the per-call allocation, for
+// hot paths that reuse a scratch buffer across reads.
+func AppendRevComp(dst Seq, s Seq) Seq {
+	off := len(dst)
+	dst = append(dst, s...)
+	buf := dst[off:]
+	for i, j := 0, len(buf)-1; i <= j; i, j = i+1, j-1 {
+		buf[i], buf[j] = complementTable[buf[j]], complementTable[buf[i]]
+	}
+	return dst
+}
+
 // Seq is a nucleotide sequence stored as upper-case ASCII bytes.
 type Seq []byte
 

@@ -192,8 +192,18 @@ func (f *Filter) ensureBins(qLen int) {
 
 // Query runs Algorithm 1 for one query sequence, returning candidate
 // positions and work statistics. Bin state is cleared (via the NZ
-// list) before returning, so calls are independent.
+// list) before returning, so calls are independent. Each call
+// allocates a fresh candidate slice; hot loops that map many queries
+// use QueryInto with a reused buffer instead.
 func (f *Filter) Query(q dna.Seq) ([]Candidate, Stats) {
+	return f.QueryInto(q, nil)
+}
+
+// QueryInto is Query appending candidates to out (typically a reused
+// buffer truncated with out[:0]) and returning the extended slice, so
+// steady-state mapping pays no per-query candidate allocation once the
+// buffer has grown to the working-set size.
+func (f *Filter) QueryInto(q dna.Seq, out []Candidate) ([]Candidate, Stats) {
 	defer tFilter.Time()()
 	defer obs.Trace.Start("dsoft.query")()
 	k := f.table.K()
@@ -201,7 +211,6 @@ func (f *Filter) Query(q dna.Seq) ([]Candidate, Stats) {
 	f.ensureBins(len(q))
 	defer f.clear()
 
-	var out []Candidate
 	var st Stats
 
 	end := f.cfg.Start + f.cfg.N*f.cfg.Stride

@@ -396,3 +396,39 @@ func TestShortQuery(t *testing.T) {
 		t.Errorf("short query produced work: %v %+v", cands, st)
 	}
 }
+
+// QueryInto must append to the caller's buffer and return exactly what
+// Query returns, and reusing the buffer across queries must not change
+// candidates — the contract core.Darwin's steady-state map loop
+// depends on.
+func TestQueryIntoReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ref := dna.Random(rng, 600, 0.5)
+	f, err := New(buildTable(t, ref, 5), Config{N: 80, H: 6, BinSize: 16, Stride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []Candidate
+	for trial := 0; trial < 10; trial++ {
+		start := rng.Intn(400)
+		q := append(dna.Random(rng, 15, 0.5), ref[start:start+80]...)
+		want, wantSt := f.Query(q)
+		got, gotSt := f.QueryInto(q, buf[:0])
+		buf = got
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("trial %d: QueryInto %v != Query %v", trial, got, want)
+		}
+		if gotSt != wantSt {
+			t.Fatalf("trial %d: stats mismatch: %+v vs %+v", trial, gotSt, wantSt)
+		}
+	}
+	// The sentinel: once grown, the buffer is reused, not reallocated.
+	q := append(dna.Seq(nil), ref[100:250]...)
+	f.QueryInto(q, buf[:0])
+	if n := testing.AllocsPerRun(20, func() {
+		out, _ := f.QueryInto(q, buf[:0])
+		buf = out
+	}); n > 0 {
+		t.Errorf("QueryInto with a warm buffer allocates %.1f times per call, want 0", n)
+	}
+}

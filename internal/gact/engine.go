@@ -1,0 +1,240 @@
+package gact
+
+import (
+	"fmt"
+	"time"
+
+	"darwin/internal/align"
+	"darwin/internal/dna"
+	"darwin/internal/obs"
+)
+
+// engStep is one extension tile the Engine has consumed. The tile's
+// path lives in the Engine's step arena as [cigOff, cigOff+cigLen)
+// — an offset pair rather than a slice, because the arena may
+// reallocate while later tiles append to it.
+type engStep struct {
+	cigOff, cigLen int
+	i, j           int // coordinates after consuming this tile
+	cumulative     int
+}
+
+// Engine is the stateful GACT aligner: the free function Extend with
+// the per-candidate allocations hoisted into reusable state. It owns a
+// TileAligner (the allocation-free DP kernel), a step arena for tile
+// paths, and scratch cigars for the two extension directions, so a
+// rejected candidate — the common case downstream of D-SOFT — costs no
+// heap allocation at all, and an accepted one allocates only its
+// returned Result.
+//
+// Right extension runs on the reversed coordinate frame without ever
+// materializing reversed sequences: tiles are cut from the forward
+// slices and precoded back-to-front by TileAligner.AlignTileReversed,
+// replacing Extend's two whole-sequence dna.Reverse copies per
+// candidate.
+//
+// An Engine is not safe for concurrent use; clone one per worker
+// (core.Darwin.Clone does this), mirroring the hardware's per-array
+// private traceback SRAM.
+type Engine struct {
+	cfg Config
+	ta  *align.TileAligner
+
+	// Reused across Extend calls.
+	arena  []align.Step   // tile paths for the current candidate
+	steps  []engStep      // extendDir loop state
+	dirCig [2]align.Cigar // per-direction assembled paths
+}
+
+// NewEngine validates cfg and returns an engine whose kernel buffers
+// are pre-sized for the configured tiles.
+func NewEngine(cfg *Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ta, err := align.NewTileAligner(&cfg.Scoring)
+	if err != nil {
+		return nil, err
+	}
+	side := cfg.T
+	if ft := cfg.firstT(); ft > side {
+		side = ft
+	}
+	ta.Preallocate(side)
+	return &Engine{cfg: *cfg, ta: ta}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() *Config { return &e.cfg }
+
+// Extend computes exactly what the free function Extend computes —
+// same tiles, same result, same published observability — using the
+// engine's reused state. Stats are returned by value so the rejected
+// path stays allocation-free.
+func (e *Engine) Extend(R, Q dna.Seq, iSeed, jSeed int) (*align.Result, Stats, error) {
+	var stats Stats
+	cfg := &e.cfg
+	if iSeed < 0 || iSeed >= len(R) || jSeed < 0 || jSeed >= len(Q) {
+		return nil, stats, fmt.Errorf("gact: seed position (%d,%d) outside R[0,%d) × Q[0,%d)", iSeed, jSeed, len(R), len(Q))
+	}
+	defer tAlign.Time()()
+	e.arena = e.arena[:0]
+
+	// First tile, spanning forward from the candidate. Traceback
+	// starts at the highest-scoring cell.
+	fT := cfg.firstT()
+	iEnd, jEnd := min(len(R), iSeed+fT), min(len(Q), jSeed+fT)
+	ftStart := time.Now()
+	endSpan := obs.Trace.Start("gact.first_tile")
+	first := e.ta.AlignTile(R[iSeed:iEnd], Q[jSeed:jEnd], true, fT-cfg.O)
+	endSpan()
+	tFirstTile.Observe(time.Since(ftStart))
+	stats.add(iEnd-iSeed, jEnd-jSeed)
+	stats.FirstTileScore = first.Score
+	if first.Score <= 0 || len(first.Cigar) == 0 || first.Score < cfg.MinFirstTile {
+		stats.publish(true)
+		return nil, stats, nil
+	}
+	// first.Cigar aliases the kernel's buffer; bank it in the arena
+	// before extension tiles overwrite it.
+	firstLen := len(first.Cigar)
+	e.arena = append(e.arena, first.Cigar...)
+
+	// Global coordinates of the alignment's right end (the first
+	// tile's max cell) and of the running left end.
+	rightI := iSeed + first.MaxI
+	rightJ := jSeed + first.MaxJ
+	curI := rightI - first.IOff
+	curJ := rightJ - first.JOff
+
+	// Left extension (Algorithm 2 with t already consumed), then right
+	// extension as a left extension in the mirrored coordinate frame.
+	leftCigar, leftI, leftJ := e.extendDir(R, Q, curI, curJ, &stats, false)
+	revCigar, revI, revJ := e.extendDir(R, Q, len(R)-rightI, len(Q)-rightJ, &stats, true)
+	rightI = len(R) - revI
+	rightJ = len(Q) - revJ
+
+	var cigar align.Cigar
+	cigar = cigar.Concat(leftCigar)
+	cigar = cigar.Concat(align.Cigar(e.arena[:firstLen]))
+	cigar = cigar.Concat(revCigar.Reverse())
+
+	res := &align.Result{
+		RefStart:   leftI,
+		RefEnd:     rightI,
+		QueryStart: leftJ,
+		QueryEnd:   rightJ,
+		Cigar:      cigar,
+	}
+	res.Score = res.Rescore(R, Q, &cfg.Scoring)
+	stats.publish(false)
+	return res, stats, nil
+}
+
+// extendDir runs extendLeft's loop over the engine's reused state.
+// With rev set, (iCurr, jCurr) and the returned coordinates are in the
+// reversed frame — position x of Reverse(R) — and each tile is cut
+// from the forward slices: reversed-frame rR[iStart:iCurr] is
+// R[len(R)−iCurr : len(R)−iStart] read back-to-front, which
+// AlignTileReversed precodes directly. The returned cigar aliases a
+// per-direction scratch buffer, valid until this direction index runs
+// again.
+func (e *Engine) extendDir(R, Q dna.Seq, iCurr, jCurr int, stats *Stats, rev bool) (align.Cigar, int, int) {
+	cfg := &e.cfg
+	rLen, qLen := len(R), len(Q)
+	e.steps = e.steps[:0]
+	cum, bestCum, bestIdx := 0, 0, -1
+	for iCurr > 0 && jCurr > 0 {
+		iStart, jStart := max(0, iCurr-cfg.T), max(0, jCurr-cfg.T)
+		endSpan := obs.Trace.Start("gact.tile")
+		var res align.TileResult
+		if rev {
+			res = e.ta.AlignTileReversed(R[rLen-iCurr:rLen-iStart], Q[qLen-jCurr:qLen-jStart], false, cfg.T-cfg.O)
+		} else {
+			res = e.ta.AlignTile(R[iStart:iCurr], Q[jStart:jCurr], false, cfg.T-cfg.O)
+		}
+		endSpan()
+		stats.add(iCurr-iStart, jCurr-jStart)
+		if res.IOff == 0 && res.JOff == 0 {
+			break
+		}
+		// Score the consumed path segment for the Y-drop accounting
+		// (res.Cigar still aliases the kernel here; segScore only reads).
+		cum += segScore(R, Q, res.Cigar, iCurr-res.IOff, jCurr-res.JOff, &cfg.Scoring, rev)
+		iCurr -= res.IOff
+		jCurr -= res.JOff
+		off := len(e.arena)
+		e.arena = append(e.arena, res.Cigar...)
+		e.steps = append(e.steps, engStep{cigOff: off, cigLen: len(res.Cigar), i: iCurr, j: jCurr, cumulative: cum})
+		if cum > bestCum {
+			bestCum = cum
+			bestIdx = len(e.steps) - 1
+		}
+		if cfg.YDrop > 0 && cum < bestCum-cfg.YDrop {
+			break
+		}
+	}
+	// Keep tiles up to the cumulative maximum when Y-drop is active;
+	// otherwise keep everything (Algorithm 2's behaviour).
+	keep := len(e.steps)
+	if cfg.YDrop > 0 {
+		keep = bestIdx + 1
+	}
+	endI, endJ := iCurr, jCurr
+	if keep < len(e.steps) {
+		if keep == 0 {
+			// Roll all the way back to the extension origin.
+			if len(e.steps) > 0 {
+				first := e.steps[0]
+				fc := align.Cigar(e.arena[first.cigOff : first.cigOff+first.cigLen])
+				endI = first.i + fc.RefLen()
+				endJ = first.j + fc.QueryLen()
+			}
+			return nil, endI, endJ
+		}
+		endI, endJ = e.steps[keep-1].i, e.steps[keep-1].j
+	}
+	// Forward path order: the last-kept tile is leftmost.
+	idx := 0
+	if rev {
+		idx = 1
+	}
+	cig := e.dirCig[idx][:0]
+	for x := keep - 1; x >= 0; x-- {
+		s := e.steps[x]
+		cig = cig.Concat(align.Cigar(e.arena[s.cigOff : s.cigOff+s.cigLen]))
+	}
+	e.dirCig[idx] = cig
+	return cig, endI, endJ
+}
+
+// segScore is Result.Rescore for one tile's path starting at (i, j):
+// in the forward frame when rev is false, in the reversed frame when
+// rev is true — reversed-frame position x reads forward byte
+// len−1−x, so no reversed sequence is ever materialized.
+func segScore(R, Q dna.Seq, cig align.Cigar, i, j int, sc *align.Scoring, rev bool) int {
+	score := 0
+	for _, s := range cig {
+		switch s.Op {
+		case align.OpMatch:
+			if rev {
+				for k := 0; k < s.Len; k++ {
+					score += sc.Sub(R[len(R)-1-(i+k)], Q[len(Q)-1-(j+k)])
+				}
+			} else {
+				for k := 0; k < s.Len; k++ {
+					score += sc.Sub(R[i+k], Q[j+k])
+				}
+			}
+			i += s.Len
+			j += s.Len
+		case align.OpIns:
+			score -= sc.GapOpen + (s.Len-1)*sc.GapExtend
+			j += s.Len
+		case align.OpDel:
+			score -= sc.GapOpen + (s.Len-1)*sc.GapExtend
+			i += s.Len
+		}
+	}
+	return score
+}

@@ -1,0 +1,120 @@
+package gact
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"darwin/internal/align"
+	"darwin/internal/dna"
+	"darwin/internal/readsim"
+)
+
+// extendEqual asserts the Engine produced exactly what the free
+// function produced: same accept/reject decision, same Result (cigar
+// included), same Stats.
+func extendEqual(t *testing.T, label string, res *align.Result, stats Stats, wantRes *align.Result, wantStats *Stats) {
+	t.Helper()
+	if (res == nil) != (wantRes == nil) {
+		t.Fatalf("%s: accept/reject mismatch: engine %v, reference %v", label, res != nil, wantRes != nil)
+	}
+	if wantRes != nil && !reflect.DeepEqual(*res, *wantRes) {
+		t.Fatalf("%s: result mismatch:\nengine    %+v\nreference %+v", label, *res, *wantRes)
+	}
+	if !reflect.DeepEqual(stats, *wantStats) {
+		t.Fatalf("%s: stats mismatch: engine %+v, reference %+v", label, stats, *wantStats)
+	}
+}
+
+// TestEngineMatchesExtend is the end-to-end equivalence property: over
+// random configurations — including Y-drop, the h_tile filter, both
+// read orientations, and repeated reuse of one engine — Engine.Extend
+// must be bit-identical to the free function Extend.
+func TestEngineMatchesExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		cfg := DefaultConfig()
+		switch trial % 4 {
+		case 1:
+			cfg = Config{T: 64 + rng.Intn(128), O: 16 + rng.Intn(32), Scoring: cfg.Scoring}
+		case 2:
+			cfg.YDrop = 20 + rng.Intn(100)
+		case 3:
+			cfg.MinFirstTile = 50 + rng.Intn(200)
+			cfg.YDrop = 50
+		}
+		engine, err := NewEngine(&cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profile := readsim.Profiles[trial%len(readsim.Profiles)]
+		for rep := 0; rep < 4; rep++ {
+			ref, query, iSeed, jSeed := simPair(t, 1000+rng.Intn(1500), profile, int64(500+trial*10+rep))
+			// Jitter the anchor so some candidates reject.
+			if rep%2 == 1 {
+				iSeed = rng.Intn(len(ref))
+				jSeed = rng.Intn(len(query) / 2)
+			}
+			wantRes, wantStats, wantErr := Extend(ref, query, iSeed, jSeed, &cfg)
+			gotRes, gotStats, gotErr := engine.Extend(ref, query, iSeed, jSeed)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("trial %d rep %d: error mismatch: engine %v, reference %v", trial, rep, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			extendEqual(t, "trial", gotRes, gotStats, wantRes, wantStats)
+		}
+	}
+}
+
+// A rejected candidate must not leave state behind that changes the
+// next candidate's result (the engine's whole point is reuse).
+func TestEngineReuseAfterReject(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinFirstTile = 90
+	engine, err := NewEngine(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, query, iSeed, jSeed := simPair(t, 2000, readsim.PacBio, 901)
+	rng := rand.New(rand.NewSource(902))
+	junk := dna.Random(rng, len(query), 0.5)
+
+	want, wantStats, err := Extend(ref, query, iSeed, jSeed, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave junk (rejected) candidates with the real one.
+	for i := 0; i < 3; i++ {
+		if res, _, err := engine.Extend(ref, junk, iSeed, 0); err != nil || res != nil {
+			t.Fatalf("junk candidate: res=%v err=%v, want rejection", res, err)
+		}
+		got, gotStats, err := engine.Extend(ref, query, iSeed, jSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extendEqual(t, "after reject", got, gotStats, want, wantStats)
+	}
+}
+
+// Engine must reject out-of-range anchors exactly like Extend.
+func TestEngineErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	engine, err := NewEngine(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	seq := dna.Random(rng, 100, 0.5)
+	for _, pos := range [][2]int{{-1, 0}, {0, -1}, {100, 0}, {0, 100}} {
+		if _, _, err := engine.Extend(seq, seq, pos[0], pos[1]); err == nil {
+			t.Errorf("anchor %v should error", pos)
+		}
+	}
+	bad := DefaultConfig()
+	bad.T = 0
+	if _, err := NewEngine(&bad); err == nil {
+		t.Error("NewEngine should reject an invalid config")
+	}
+}

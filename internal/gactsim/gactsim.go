@@ -54,6 +54,23 @@ type Array struct {
 	// banks[p] holds 4-bit pointers for the rows PE p computes,
 	// two pointers per byte, indexed by (row/Npe, col).
 	banks [][]byte
+
+	// lut is the scoring flattened over base codes (shared with the
+	// software tile kernel), standing in for the PE's configured
+	// substitution registers: one array read per cell instead of a
+	// Scoring.Sub call.
+	lut align.SubLUT
+
+	// Per-call scratch, grown on demand and reused across tiles — the
+	// simulator equivalents of fixed hardware storage (FIFOs, neighbour
+	// registers, PE state) allocate nothing in steady state. All are
+	// fully rewritten before being read within a call, so none need
+	// clearing beyond what AlignTile does explicitly.
+	fifoH, fifoV []int16
+	nextH, nextV []int16
+	hOut, vOut   [][]int16
+	pes          []peState
+	rCode, qCode []byte
 }
 
 // Cycles breaks down the simulated cycle count of one tile.
@@ -82,7 +99,7 @@ func New(npe, bankBytes int, sc align.Scoring) (*Array, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Array{Npe: npe, BankBytes: bankBytes, Scoring: sc}
+	a := &Array{Npe: npe, BankBytes: bankBytes, Scoring: sc, lut: sc.LUT()}
 	// 4·T² bits ≤ npe·bankBytes·8  ⇒  T ≤ sqrt(npe·bankBytes·2).
 	bits := npe * bankBytes * 8
 	for (a.Tmax+1)*(a.Tmax+1)*4 <= bits {
@@ -139,15 +156,28 @@ func (a *Array) AlignTile(rTile, qTile dna.Seq, firstTile bool, maxOff int) (ali
 		}
 	}
 
+	// Precode the tile once; the wavefront loop reads codes and the
+	// scoring LUT only (the hardware's ASCII→3-bit converter ahead of
+	// the PE array).
+	a.rCode = dna.AppendCodes(a.rCode[:0], rTile)
+	a.qCode = dna.AppendCodes(a.qCode[:0], qTile)
+	rc := a.rCode
+
 	// Inter-block FIFO: H and vertical-gap scores of the last PE's row,
 	// consumed by PE 0 in the next block (depth Tmax in hardware).
-	fifoH := make([]int16, n)
-	fifoV := make([]int16, n)
+	fifoH := grow16(&a.fifoH, n)
+	fifoV := grow16(&a.fifoV, n)
+	for i := range fifoH {
+		fifoH[i] = 0
+	}
 	for i := range fifoV {
 		fifoV[i] = negInf16
 	}
 
-	pes := make([]peState, a.Npe)
+	if cap(a.pes) < a.Npe {
+		a.pes = make([]peState, a.Npe)
+	}
+	pes := a.pes[:a.Npe]
 	var globalMax int16
 	var gMaxRow, gMaxCol int32
 
@@ -158,7 +188,7 @@ func (a *Array) AlignTile(rTile, qTile dna.Seq, firstTile bool, maxOff int) (ali
 			row := b*a.Npe + p
 			pes[p] = peState{hDiag: 0, hPrev: 0, horiz: negInf16, active: row < m}
 			if row < m {
-				pes[p].qBase = qTile[row]
+				pes[p].qBase = a.qCode[row]
 				pes[p].maxS = 0
 				pes[p].maxRow, pes[p].maxCol = -1, -1
 			}
@@ -169,8 +199,13 @@ func (a *Array) AlignTile(rTile, qTile dna.Seq, firstTile bool, maxOff int) (ali
 		if b == blocks-1 {
 			lastActive = (m - 1) % a.Npe
 		}
-		nextH := make([]int16, n)
-		nextV := make([]int16, n)
+		// nextH/nextV and hOut/vOut are reused dirty: every entry a PE
+		// reads was written earlier in the same block (PE p−1 computes
+		// column i one wavefront cycle before PE p consumes it), and
+		// the next block's FIFO is filled across all n columns by the
+		// last active PE.
+		nextH := grow16(&a.nextH, n)
+		nextV := grow16(&a.nextV, n)
 
 		// Wavefront: at cycle c, PE p computes column c-p of its row.
 		// Vertical dependencies come from PE p-1's output one cycle
@@ -179,11 +214,15 @@ func (a *Array) AlignTile(rTile, qTile dna.Seq, firstTile bool, maxOff int) (ali
 		// vOut[p][i] is (H, vGap) of PE p at column i, consumed by
 		// PE p+1; modelled with per-PE row buffers (the hardware's
 		// neighbour registers in time-unrolled form).
-		hOut := make([][]int16, a.Npe)
-		vOut := make([][]int16, a.Npe)
+		for len(a.hOut) < a.Npe {
+			a.hOut = append(a.hOut, nil)
+			a.vOut = append(a.vOut, nil)
+		}
+		hOut := a.hOut[:a.Npe]
+		vOut := a.vOut[:a.Npe]
 		for p := range hOut {
-			hOut[p] = make([]int16, n)
-			vOut[p] = make([]int16, n)
+			hOut[p] = grow16(&a.hOut[p], n)
+			vOut[p] = grow16(&a.vOut[p], n)
 		}
 		for c := 0; c < n+a.Npe; c++ {
 			for p := a.Npe - 1; p >= 0; p-- {
@@ -217,7 +256,7 @@ func (a *Array) AlignTile(rTile, qTile dna.Seq, firstTile bool, maxOff int) (ali
 					vGap = vOpen
 					ptr |= vertOpenBit
 				}
-				diagScore := pe.hDiag + int16(a.Scoring.Sub(rTile[i], pe.qBase))
+				diagScore := pe.hDiag + a.lut[(int(pe.qBase)&7)*align.LUTStride+(int(rc[i])&7)]
 				best, src := int16(0), byte(ptrNull)
 				if diagScore > best {
 					best, src = diagScore, ptrDiag
@@ -249,7 +288,11 @@ func (a *Array) AlignTile(rTile, qTile dna.Seq, firstTile bool, maxOff int) (ali
 			}
 		}
 		cyc.Fill += n + a.Npe
+		// Double-buffer swap: the consumed FIFO storage becomes the
+		// next block's producer buffer.
 		fifoH, fifoV = nextH, nextV
+		a.fifoH, a.nextH = a.nextH, a.fifoH
+		a.fifoV, a.nextV = a.nextV, a.fifoV
 
 		// Per-block contribution to the global max, reduced
 		// systolically at the end; done here in software order that
@@ -348,6 +391,16 @@ func (a *Array) AlignTile(rTile, qTile dna.Seq, firstTile bool, maxOff int) (ali
 done:
 	res.Cigar = res.Cigar.Reverse()
 	return res, cyc, nil
+}
+
+// grow16 returns *buf resized to length n, reallocating only when the
+// capacity is insufficient (monotonic growth, like the kernel buffers).
+func grow16(buf *[]int16, n int) []int16 {
+	if cap(*buf) < n {
+		*buf = make([]int16, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // storePtr writes a 4-bit pointer into PE p's bank.

@@ -121,6 +121,10 @@ func Align(ref, query dna.Seq, cfg Config) ([]Block, Stats, error) {
 	}
 	g := cfg.GACT
 	g.MinFirstTile = cfg.HTile
+	engine, err := gact.NewEngine(&g)
+	if err != nil {
+		return nil, stats, err
+	}
 
 	var blocks []Block
 	for _, rev := range []bool{false, true} {
@@ -141,7 +145,7 @@ func Align(ref, query dna.Seq, cfg Config) ([]Block, Stats, error) {
 			if coveredBy(accepted, c.RefPos, c.QueryPos) {
 				continue
 			}
-			res, gst, err := gact.Extend(ref, q, c.RefPos, c.QueryPos, &g)
+			res, gst, err := engine.Extend(ref, q, c.RefPos, c.QueryPos)
 			if err != nil {
 				continue
 			}

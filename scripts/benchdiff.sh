@@ -1,0 +1,12 @@
+#!/bin/sh
+# Compare two benchmark run reports (BENCH_*.json) and fail on
+# throughput regressions. Thin wrapper over cmd/benchdiff so CI and
+# humans share one entry point:
+#
+#   scripts/benchdiff.sh [-threshold 0.10] OLD.json NEW.json
+#
+# Exit status: 0 when no tracked rate drops more than the threshold,
+# nonzero on regression, usage error, or unreadable report.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchdiff "$@"
