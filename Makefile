@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet test-allocs bench bench-core bench-kernel benchdiff serve-smoke clean
+.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard benchdiff serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ bench-core:
 bench-kernel:
 	$(GO) test -bench='BenchmarkAlignTile$$|BenchmarkGACTTile$$|BenchmarkDSOFTQuery$$|BenchmarkMapRead$$' -benchmem -run '^$$' .
 	@echo "report: BENCH_kernel.json"
+
+# The sharded scatter-gather engine under a ¼-index residency budget
+# (the bounded-memory worst case: every batch rebuilds evicted shards).
+# Writes the BENCH_shard.json run report; diff two runs with
+# ./scripts/benchdiff.sh BENCH_shard_old.json BENCH_shard.json.
+bench-shard:
+	$(GO) test -bench='BenchmarkShardMapAll$$' -benchmem -run '^$$' .
+	@echo "report: BENCH_shard.json"
 
 # Compare the committed pre-kernel baseline against the current run;
 # exits non-zero on a >10% throughput regression.

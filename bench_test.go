@@ -25,6 +25,7 @@ import (
 	"darwin/internal/obs"
 	"darwin/internal/readsim"
 	"darwin/internal/seedtable"
+	"darwin/internal/shard"
 )
 
 // benchExperiment runs one experiment per iteration and reports a few
@@ -179,6 +180,53 @@ func BenchmarkMapRead(b *testing.B) {
 	b.ReportMetric(float64(cells)/b.Elapsed().Seconds()/1e6, "Mcells/s")
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
 	if err := run.Report().WriteJSON("BENCH_kernel.json"); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkShardMapAll measures the sharded scatter-gather engine in
+// its bounded-memory regime: an 8-shard index with a residency budget
+// of ~¼ the full seed table, so every MapAll batch rebuilds evicted
+// shards (the worst case the shard-major batch order amortizes). It
+// writes the obs run report to BENCH_shard.json (`make bench-shard`);
+// scripts/benchdiff.sh diffs two such reports via the shared
+// core/reads counter.
+func BenchmarkShardMapAll(b *testing.B) {
+	g, err := genome.Generate(genome.Config{Length: 2_000_000, GC: 0.45, Seed: 83})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(13, 600, 22)
+	// Size the budget from the monolithic table: ¼ of the full index.
+	mono, err := core.New(g.Seq, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := mono.Table().Bytes() / 4
+	engine, err := shard.New(g.Seq, cfg, shard.Config{Shards: 8, MaxResidentBytes: budget})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := readsim.SimulateN(g.Seq, 32, readsim.Config{Profile: readsim.PacBio, MeanLen: 3000, Seed: 84})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs := make([]dna.Seq, len(reads))
+	for i := range reads {
+		seqs[i] = reads[i].Seq
+	}
+	run := obs.NewRun("bench_shard")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.MapAll(seqs, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(seqs)*b.N)/b.Elapsed().Seconds(), "reads/s")
+	b.ReportMetric(float64(engine.Set().PeakResidentBytes())/float64(1<<20), "peak_MiB")
+	b.ReportMetric(float64(budget)/float64(1<<20), "budget_MiB")
+	if err := run.Report().WriteJSON("BENCH_shard.json"); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"darwin/internal/dna"
 	"darwin/internal/obs"
 	"darwin/internal/sam"
+	"darwin/internal/shard"
 )
 
 func main() {
@@ -39,6 +40,9 @@ func run() error {
 	out := flag.String("out", "", "output SAM path (default stdout)")
 	allAlignments := flag.Bool("all", false, "report all alignments, not just the best")
 	workers := flag.Int("workers", 1, "mapping worker goroutines")
+	shards := flag.Int("shards", 0, "split the reference index into this many shards (0 = monolithic)")
+	shardOverlap := flag.Int("shard-overlap", 0, "shard overlap margin in bases (0 = exactness minimum)")
+	shardMem := flag.String("shard-mem", "", "resident shard seed-table budget, e.g. 512M (empty = unbounded)")
 	progressEvery := flag.Int("progress", 0, "print mapping throughput and ETA to stderr every N reads (0 disables)")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -70,12 +74,34 @@ func run() error {
 	cfg.HTile = *hTile
 	cfg.GACT.T = *tileT
 	cfg.GACT.O = *tileO
-	engine, ref, err := core.NewMulti(refRecs, cfg)
-	if err != nil {
-		return err
+	var engine core.Mapper
+	var ref *core.Reference
+	if *shards > 0 {
+		scfg := shard.Config{Shards: *shards, Overlap: *shardOverlap}
+		if *shardMem != "" {
+			mem, err := shard.ParseBytes(*shardMem)
+			if err != nil {
+				return err
+			}
+			scfg.MaxResidentBytes = mem
+		}
+		sm, r, err := shard.NewMulti(refRecs, cfg, scfg)
+		if err != nil {
+			return err
+		}
+		engine, ref = sm, r
+		geo := sm.Set().Geometry()
+		fmt.Fprintf(os.Stderr, "darwin: partitioned %d sequences, %d bp into %d shards of %d bp (+%d bp overlap, k=%d); tables build lazily\n",
+			ref.NumSeqs(), len(ref.Seq()), len(geo.Parts), geo.ShardSize, geo.Overlap, *k)
+	} else {
+		d, r, err := core.NewMulti(refRecs, cfg)
+		if err != nil {
+			return err
+		}
+		engine, ref = d, r
+		fmt.Fprintf(os.Stderr, "darwin: indexed %d sequences, %d bp (k=%d) in %s\n",
+			ref.NumSeqs(), len(ref.Seq()), *k, d.TableBuildTime)
 	}
-	fmt.Fprintf(os.Stderr, "darwin: indexed %d sequences, %d bp (k=%d) in %s\n",
-		ref.NumSeqs(), len(ref.Seq()), *k, engine.TableBuildTime)
 
 	sqs := make([]sam.RefSeq, ref.NumSeqs())
 	for i := range sqs {

@@ -35,6 +35,7 @@ import (
 	"darwin/internal/core"
 	"darwin/internal/obs"
 	"darwin/internal/server"
+	"darwin/internal/shard"
 )
 
 func main() {
@@ -54,6 +55,9 @@ func run() error {
 	tileT := flag.Int("T", 320, "GACT tile size T")
 	tileO := flag.Int("O", 128, "GACT tile overlap O")
 	cacheSize := flag.Int("cache", 4, "max resident indexes (LRU)")
+	shards := flag.Int("shards", 0, "split each reference index into this many shards (0 = monolithic)")
+	shardOverlap := flag.Int("shard-overlap", 0, "shard overlap margin in bases (0 = exactness minimum)")
+	shardMem := flag.String("shard-mem", "", "resident shard seed-table budget, e.g. 512M (empty = unbounded)")
 	allowRefLoad := flag.Bool("allow-ref-load", false, "let requests name reference FASTA paths to load on demand")
 	batchReads := flag.Int("batch-reads", 64, "flush a micro-batch at this many reads")
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max time a partial batch waits for company")
@@ -79,9 +83,18 @@ func run() error {
 	cfg.HTile = *hTile
 	cfg.GACT.T = *tileT
 	cfg.GACT.O = *tileO
+	scfg := shard.Config{Shards: *shards, Overlap: *shardOverlap}
+	if *shardMem != "" {
+		mem, err := shard.ParseBytes(*shardMem)
+		if err != nil {
+			return err
+		}
+		scfg.MaxResidentBytes = mem
+	}
 	srv := server.New(server.Config{
 		DefaultRef: *refPath,
 		Core:       cfg,
+		Shard:      scfg,
 		CacheSize:  *cacheSize,
 		Batch: server.BatcherConfig{
 			MaxBatchReads:   *batchReads,

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -85,6 +86,56 @@ func DefaultConfig(k, n, h int) Config {
 		MaxCandidates: 256,
 		TableOptions:  seedtable.DefaultOptions(),
 	}
+}
+
+// Mapper is the read-mapping surface shared by the monolithic engine
+// (Darwin) and the sharded scatter-gather mapper (internal/shard): one
+// read or a batch in, score-sorted alignments in global reference
+// coordinates out, with Clone semantics for worker parallelism. The
+// serving layer holds this interface so an index cache entry can be
+// backed by either engine.
+type Mapper interface {
+	// MapRead maps one read, both strands; alignments are sorted by
+	// SortAlignments order.
+	MapRead(q dna.Seq) ([]ReadAlignment, MapStats)
+	// MapAll maps every read with the given worker parallelism,
+	// results in input order.
+	MapAll(reads []dna.Seq, workers int) ([]MapResult, error)
+	// MapAllContext is MapAll with cancellation between reads.
+	MapAllContext(ctx context.Context, reads []dna.Seq, workers int) ([]MapResult, error)
+	// CloneMapper returns an engine sharing immutable index state but
+	// with private mutable scratch, safe for another goroutine.
+	CloneMapper() (Mapper, error)
+	// Ref returns the indexed (concatenated) reference sequence.
+	Ref() dna.Seq
+	// IndexBuildTime reports cumulative index-construction time — the
+	// one-time cost the paper's Table 3 separates from per-read work.
+	IndexBuildTime() time.Duration
+}
+
+// SortAlignments orders alignments deterministically: descending
+// score, then ascending reference span, query span, and finally
+// forward before reverse strand. Every mapper output passes through
+// this one sort, so results are bit-stable across worker counts and
+// shard counts (equal-score ties used to fall in goroutine-scheduling
+// order under a non-stable sort).
+func SortAlignments(alns []ReadAlignment) {
+	sort.SliceStable(alns, func(a, b int) bool {
+		x, y := &alns[a], &alns[b]
+		if x.Result.Score != y.Result.Score {
+			return x.Result.Score > y.Result.Score
+		}
+		if x.Result.RefStart != y.Result.RefStart {
+			return x.Result.RefStart < y.Result.RefStart
+		}
+		if x.Result.RefEnd != y.Result.RefEnd {
+			return x.Result.RefEnd < y.Result.RefEnd
+		}
+		if x.Result.QueryStart != y.Result.QueryStart {
+			return x.Result.QueryStart < y.Result.QueryStart
+		}
+		return !x.Reverse && y.Reverse
+	})
 }
 
 // Darwin maps queries against one reference.
@@ -218,7 +269,7 @@ func (d *Darwin) MapRead(q dna.Seq) ([]ReadAlignment, MapStats) {
 		out = append(out, alns...)
 		stats.add(st)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Result.Score > out[b].Result.Score })
+	SortAlignments(out)
 	cReads.Inc()
 	cAlignments.Add(int64(len(out)))
 	if len(out) == 0 {

@@ -53,6 +53,13 @@ func (d *Darwin) Clone() (*Darwin, error) {
 	return &clone, nil
 }
 
+// CloneMapper implements the Mapper interface over Clone.
+func (d *Darwin) CloneMapper() (Mapper, error) { return d.Clone() }
+
+// IndexBuildTime implements the Mapper interface (seed-table
+// construction time).
+func (d *Darwin) IndexBuildTime() time.Duration { return d.TableBuildTime }
+
 // MapResult pairs one read's alignments with its index and statistics.
 type MapResult struct {
 	// Index is the read's position in the input slice.

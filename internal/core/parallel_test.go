@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"darwin/internal/dna"
@@ -47,6 +48,68 @@ func TestMapAllMatchesSequential(t *testing.T) {
 		if seq[i].Stats.DSOFT.Hits != par[i].Stats.DSOFT.Hits {
 			t.Fatalf("read %d: stats differ", i)
 		}
+	}
+}
+
+// TestMapAllDeterministicOrdering is the tie-breaking regression test:
+// a read matching two identical reference copies produces equal-score
+// alignments, whose order must be bit-stable across worker counts
+// (SortAlignments breaks score ties on reference span, query span,
+// then strand — a plain score sort left them in scheduling order).
+func TestMapAllDeterministicOrdering(t *testing.T) {
+	ref := testGenome(t, 60000, 195)
+	// Plant an exact duplicate so equal-score ties actually occur.
+	copy(ref[40000:43000], ref[10000:13000])
+	d, err := New(ref, DefaultConfig(11, 600, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := []dna.Seq{
+		ref[10200:12800].Clone(),
+		dna.RevComp(ref[10200:12800]),
+		ref[40500:42500].Clone(),
+		ref[5000:7000].Clone(),
+	}
+	var baseline []MapResult
+	sawTie := false
+	for _, workers := range []int{1, 2, 4} {
+		res, err := d.MapAll(reads, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res {
+			alns := res[i].Alignments
+			for j := 1; j < len(alns); j++ {
+				prev, cur := &alns[j-1], &alns[j]
+				if prev.Result.Score < cur.Result.Score {
+					t.Fatalf("workers=%d read %d: scores out of order at %d", workers, i, j)
+				}
+				if prev.Result.Score == cur.Result.Score {
+					sawTie = true
+					if prev.Result.RefStart > cur.Result.RefStart {
+						t.Fatalf("workers=%d read %d: equal-score tie not broken by RefStart", workers, i)
+					}
+				}
+			}
+		}
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		for i := range res {
+			// Alignments must be bit-identical; stats are compared on
+			// their deterministic work counts (stage times vary by run).
+			if !reflect.DeepEqual(res[i].Alignments, baseline[i].Alignments) {
+				t.Fatalf("workers=%d read %d: alignments differ from single-worker baseline", workers, i)
+			}
+			if res[i].Stats.Candidates != baseline[i].Stats.Candidates ||
+				res[i].Stats.Tiles != baseline[i].Stats.Tiles {
+				t.Fatalf("workers=%d read %d: work stats differ from single-worker baseline", workers, i)
+			}
+		}
+	}
+	if !sawTie {
+		t.Fatal("duplicate region produced no equal-score alignments; test is vacuous")
 	}
 }
 

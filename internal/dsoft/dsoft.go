@@ -133,6 +133,7 @@ func (s *Stats) publish() {
 type Filter struct {
 	table *seedtable.Table
 	cfg   Config
+	k     int // seed size, pinned at New so SetTable can't change it
 
 	// Bin state, sized to cover every possible diagonal. Diagonal
 	// d = i − j ranges over (−maxQ, refLen); bins are indexed by
@@ -163,7 +164,7 @@ func New(table *seedtable.Table, cfg Config) (*Filter, error) {
 	if cfg.Stride <= 0 {
 		cfg.Stride = 1
 	}
-	f := &Filter{table: table, cfg: cfg, saturateMax: 1<<31 - 1}
+	f := &Filter{table: table, cfg: cfg, k: table.K(), saturateMax: 1<<31 - 1}
 	if cfg.SaturateCounts {
 		f.saturateMax = 31 // 5-bit counter
 	}
@@ -172,6 +173,21 @@ func New(table *seedtable.Table, cfg Config) (*Filter, error) {
 
 // Config returns the filter's configuration.
 func (f *Filter) Config() Config { return f.cfg }
+
+// SetTable rebinds the filter to another seed table with the same seed
+// size — the sharded mapper's hot path, where one filter's bin-count
+// arrays are reused across every shard of a partitioned reference
+// (bins are sized to the largest table seen and smaller tables use a
+// prefix). Passing nil drops the table reference so an evictable
+// shard table is not pinned between queries; the filter must be
+// rebound before its next Query.
+func (f *Filter) SetTable(t *seedtable.Table) error {
+	if t != nil && t.K() != f.k {
+		return fmt.Errorf("dsoft: cannot rebind filter from k=%d to k=%d", f.k, t.K())
+	}
+	f.table = t
+	return nil
+}
 
 // ensureBins sizes the bin arrays for a query of length qLen.
 func (f *Filter) ensureBins(qLen int) {

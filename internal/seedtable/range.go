@@ -1,0 +1,65 @@
+package seedtable
+
+import (
+	"fmt"
+
+	"darwin/internal/dna"
+)
+
+// BuildRange constructs a seed table over the reference window
+// [start, end) — one shard of a physically partitioned index, the
+// software analogue of Darwin tiling its seed-position table across
+// four LPDDR4 channels (Section 5). Stored positions are window-local
+// (global position minus start) and RefLen reports the window length,
+// so a D-SOFT filter over the table sizes its bin state to the shard,
+// not the genome.
+//
+// Two properties make per-shard tables exactly composable into the
+// whole-reference table:
+//
+//   - Masking: pass opts.Mask = ComputeMask(ref, k, opts) so every
+//     shard masks exactly the globally high-frequency seeds. Without
+//     it, masking thresholds on the window length, and a seed's fate
+//     can differ between shard sizes.
+//   - Minimizers: with opts.MinimizerWindow = w ≥ 2 the scan warms up
+//     w−1 positions before start (clamped at the reference start), so
+//     the minimizer deque holds the same window state a
+//     whole-reference scan would hold when it reaches start; warm-up
+//     emissions are discarded. Stored minimizers in the window are
+//     then identical to the whole-reference table's.
+//
+// Under those conditions, Lookup(code) on this table returns exactly
+// the whole-reference hit list restricted to start positions in
+// [start, end−k], shifted by −start.
+func BuildRange(ref dna.Seq, start, end, k int, opts Options) (*Table, error) {
+	if k < 1 || k > dna.MaxSeedSize {
+		return nil, fmt.Errorf("seedtable: seed size %d out of range [1,%d]", k, dna.MaxSeedSize)
+	}
+	if start < 0 || end > len(ref) || start >= end {
+		return nil, fmt.Errorf("seedtable: window [%d,%d) outside reference [0,%d)", start, end, len(ref))
+	}
+	if end-start < k {
+		return nil, fmt.Errorf("seedtable: window length %d shorter than seed size %d", end-start, k)
+	}
+	warm := 0
+	if opts.MinimizerWindow >= 2 {
+		warm = opts.MinimizerWindow - 1
+		if warm > start {
+			warm = start
+		}
+	}
+	t := &Table{k: k, refLen: end - start, drop: warm}
+	if opts.Mask != nil {
+		t.mask = opts.Mask
+		t.maskMax = opts.Mask.Threshold()
+	} else {
+		t.maskMax = opts.maskThreshold(end-start, k)
+	}
+	t.sample = minimizerSampler(opts.MinimizerWindow)
+	if k <= directLimit {
+		t.buildDense(ref[start-warm : end])
+	} else {
+		t.buildSparse(ref[start-warm : end])
+	}
+	return t, nil
+}

@@ -43,6 +43,104 @@ type Options struct {
 	// consecutive seed positions retains at least one entry. Zero or
 	// one stores every position.
 	MinimizerWindow int
+	// Mask, when non-nil, replaces local frequency thresholding with a
+	// precomputed masked-seed set (ComputeMask). Sharded builds use
+	// this so every shard masks exactly the seeds a whole-reference
+	// table would mask — a shard-local count can never cross the
+	// global threshold on its own, and Darwin's ASIC likewise applies
+	// one reference-wide mask across all four DRAM-channel partitions.
+	Mask *MaskSet
+}
+
+// MaskSet is a precomputed set of high-frequency seed codes to mask,
+// derived from whole-reference occurrence counts by ComputeMask and
+// shared across per-shard tables.
+type MaskSet struct {
+	threshold int
+	codes     map[uint32]struct{}
+}
+
+// Masked reports whether code is in the set.
+func (m *MaskSet) Masked(code uint32) bool {
+	_, ok := m.codes[code]
+	return ok
+}
+
+// Len returns the number of masked seed codes.
+func (m *MaskSet) Len() int { return len(m.codes) }
+
+// Threshold returns the occurrence count above which seeds were masked
+// (0 when masking was disabled).
+func (m *MaskSet) Threshold() int { return m.threshold }
+
+// maskThreshold computes the occurrence cutoff Build applies for a
+// reference of the given length (0 = masking disabled).
+func (opts Options) maskThreshold(refLen int, k int) int {
+	if opts.NoMask {
+		return 0
+	}
+	mm := opts.MaskMultiplier
+	if mm == 0 {
+		mm = 32
+	}
+	floor := opts.MaskFloor
+	if floor == 0 {
+		floor = 8
+	}
+	max := mm * refLen / dna.NumSeeds(k)
+	if max < floor {
+		max = floor
+	}
+	return max
+}
+
+// ComputeMask counts stored seed occurrences over the whole reference
+// (after minimizer sampling, exactly as Build would store them) and
+// returns the set of codes Build would mask. The result is passed to
+// per-shard BuildRange calls via Options.Mask.
+func ComputeMask(ref dna.Seq, k int, opts Options) (*MaskSet, error) {
+	if k < 1 || k > dna.MaxSeedSize {
+		return nil, fmt.Errorf("seedtable: seed size %d out of range [1,%d]", k, dna.MaxSeedSize)
+	}
+	if len(ref) < k {
+		return nil, fmt.Errorf("seedtable: reference length %d shorter than seed size %d", len(ref), k)
+	}
+	m := &MaskSet{threshold: opts.maskThreshold(len(ref), k), codes: map[uint32]struct{}{}}
+	if m.threshold == 0 {
+		return m, nil
+	}
+	scan := func(fn func(code uint32, pos int)) {
+		if s := minimizerSampler(opts.MinimizerWindow); s != nil {
+			fn = s(fn)
+		}
+		forEachSeed(ref, k, fn)
+	}
+	if k <= directLimit {
+		counts := make([]uint32, dna.NumSeeds(k))
+		scan(func(code uint32, _ int) { counts[code]++ })
+		for c, n := range counts {
+			if int(n) > m.threshold {
+				m.codes[uint32(c)] = struct{}{}
+			}
+		}
+		return m, nil
+	}
+	// Sparse k: sort the code stream and run-length count, the same
+	// O(occurrences) strategy buildSparse uses.
+	codes := make([]uint32, 0, len(ref))
+	scan(func(code uint32, _ int) { codes = append(codes, code) })
+	sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+	for i := 0; i < len(codes); {
+		j := i
+		for j < len(codes) && codes[j] == codes[i] {
+			j++
+		}
+		if j-i > m.threshold {
+			m.codes[codes[i]] = struct{}{}
+		}
+		i = j
+	}
+	return m, nil
 }
 
 // DefaultOptions returns the paper's masking configuration.
@@ -53,6 +151,8 @@ type Table struct {
 	k       int
 	refLen  int
 	maskMax int
+	mask    *MaskSet // non-nil: precomputed global mask instead of local counts
+	drop    int      // range builds: scan warm-up positions to discard/shift
 	sample  func(emit func(code uint32, pos int)) func(code uint32, pos int)
 	pattern *SpacedPattern // non-nil for spaced-seed tables
 
@@ -81,18 +181,12 @@ func Build(ref dna.Seq, k int, opts Options) (*Table, error) {
 	if len(ref) < k {
 		return nil, fmt.Errorf("seedtable: reference length %d shorter than seed size %d", len(ref), k)
 	}
-	if opts.MaskMultiplier == 0 {
-		opts.MaskMultiplier = 32
-	}
-	if opts.MaskFloor == 0 {
-		opts.MaskFloor = 8
-	}
 	t := &Table{k: k, refLen: len(ref)}
-	if !opts.NoMask {
-		t.maskMax = opts.MaskMultiplier * len(ref) / dna.NumSeeds(k)
-		if t.maskMax < opts.MaskFloor {
-			t.maskMax = opts.MaskFloor
-		}
+	if opts.Mask != nil {
+		t.mask = opts.Mask
+		t.maskMax = opts.Mask.Threshold()
+	} else {
+		t.maskMax = opts.maskThreshold(len(ref), k)
 	}
 	t.sample = minimizerSampler(opts.MinimizerWindow)
 	if k <= directLimit {
@@ -157,8 +251,22 @@ func hashSeed(code uint32) uint32 {
 }
 
 // forEachStored visits every seed occurrence the table stores —
-// all positions, or only minimizers when sampling is enabled.
+// all positions, or only minimizers when sampling is enabled. Range
+// builds scan t.drop warm-up positions ahead of the window so the
+// minimizer deque reaches steady state before the first stored
+// position; warm-up emissions are discarded and survivors shifted to
+// window-local coordinates.
 func (t *Table) forEachStored(ref dna.Seq, fn func(code uint32, pos int)) {
+	if t.drop > 0 {
+		inner := fn
+		drop := t.drop
+		fn = func(code uint32, pos int) {
+			if pos < drop {
+				return
+			}
+			inner(code, pos-drop)
+		}
+	}
 	if t.sample != nil {
 		fn = t.sample(fn)
 	}
@@ -176,8 +284,19 @@ func (t *Table) buildDense(ref dna.Seq) {
 	t.forEachStored(ref, func(code uint32, _ int) {
 		counts[code+1]++
 	})
-	// Mask high-frequency seeds by zeroing their counts.
-	if t.maskMax > 0 {
+	// Mask high-frequency seeds by zeroing their counts: seeds in the
+	// precomputed global set when one was supplied, else seeds whose
+	// local count crosses the threshold.
+	switch {
+	case t.mask != nil:
+		for code := range t.mask.codes {
+			if int(code)+1 <= n && counts[code+1] > 0 {
+				t.maskedSeeds++
+				t.maskedHits += int(counts[code+1])
+				counts[code+1] = 0
+			}
+		}
+	case t.maskMax > 0:
 		for c := 1; c <= n; c++ {
 			if int(counts[c]) > t.maskMax {
 				t.maskedSeeds++
@@ -217,7 +336,9 @@ func (t *Table) buildSparse(ref dna.Seq) {
 		for j < len(pairs) && uint32(pairs[j]>>32) == code {
 			j++
 		}
-		if t.maskMax > 0 && j-i > t.maskMax {
+		masked := (t.mask != nil && t.mask.Masked(code)) ||
+			(t.mask == nil && t.maskMax > 0 && j-i > t.maskMax)
+		if masked {
 			t.maskedSeeds++
 			t.maskedHits += j - i
 			i = j
@@ -271,6 +392,14 @@ func (t *Table) MaskedHits() int { return t.maskedHits }
 
 // Positions returns the total number of stored (unmasked) positions.
 func (t *Table) Positions() int { return len(t.pos) }
+
+// Bytes returns the table's retained heap footprint (pointer table or
+// sparse code/span index plus the position table) — the quantity a
+// byte-budgeted shard set accounts against its MaxResidentBytes.
+func (t *Table) Bytes() int64 {
+	return int64(len(t.ptr))*4 + int64(len(t.pos))*4 +
+		int64(len(t.codes))*4 + int64(len(t.spans))*8
+}
 
 // Lookup returns the reference positions of the seed with the given
 // packed code, in ascending order. The returned slice aliases internal

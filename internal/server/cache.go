@@ -23,6 +23,7 @@ import (
 	"darwin/internal/dna"
 	"darwin/internal/obs"
 	"darwin/internal/sam"
+	"darwin/internal/shard"
 )
 
 // Index-cache observability.
@@ -41,23 +42,28 @@ var (
 type IndexEntry struct {
 	// Key identifies the entry in the cache.
 	Key string
-	// Engine is the warm engine. Never call MapRead on it directly
-	// from concurrent request paths — acquire a clone.
-	Engine *core.Darwin
+	// Engine is the warm engine — monolithic (*core.Darwin) or sharded
+	// (*shard.ScatterMapper). Never call MapRead on it directly from
+	// concurrent request paths — acquire a clone.
+	Engine core.Mapper
+	// Shards is the sharded engine's residency-managed set; nil for a
+	// monolithic index. Exposed for /v1/indexes reporting.
+	Shards *shard.Set
 	// Ref maps concatenated coordinates back to sequence names.
 	Ref *core.Reference
 	// SQ is the SAM @SQ header set for this reference.
 	SQ []sam.RefSeq
 	// BuildTime is the one-time index construction cost this cache
-	// amortizes (the paper's Table 3 accounting).
+	// amortizes (the paper's Table 3 accounting). For sharded indexes
+	// it covers the global mask pass; shard tables build lazily.
 	BuildTime time.Duration
 
-	clones chan *core.Darwin
+	clones chan core.Mapper
 }
 
 // newIndexEntry wraps a warm engine, keeping up to poolSize idle
 // clones.
-func newIndexEntry(key string, engine *core.Darwin, ref *core.Reference, poolSize int) *IndexEntry {
+func newIndexEntry(key string, engine core.Mapper, shards *shard.Set, ref *core.Reference, poolSize int) *IndexEntry {
 	if poolSize < 1 {
 		poolSize = 1
 	}
@@ -68,52 +74,64 @@ func newIndexEntry(key string, engine *core.Darwin, ref *core.Reference, poolSiz
 	return &IndexEntry{
 		Key:       key,
 		Engine:    engine,
+		Shards:    shards,
 		Ref:       ref,
 		SQ:        sqs,
-		BuildTime: engine.TableBuildTime,
-		clones:    make(chan *core.Darwin, poolSize),
+		BuildTime: engine.IndexBuildTime(),
+		clones:    make(chan core.Mapper, poolSize),
 	}
 }
 
 // Acquire returns an engine clone for exclusive use; pair with
-// Release. Clones share the immutable seed table, so this is cheap
-// relative to an index build but still worth pooling per batch.
-func (e *IndexEntry) Acquire() (*core.Darwin, error) {
+// Release. Clones share the immutable seed table (and, for sharded
+// indexes, the residency budget), so this is cheap relative to an
+// index build but still worth pooling per batch.
+func (e *IndexEntry) Acquire() (core.Mapper, error) {
 	select {
 	case c := <-e.clones:
 		return c, nil
 	default:
-		return e.Engine.Clone()
+		return e.Engine.CloneMapper()
 	}
 }
 
 // Release returns a clone to the pool (dropped if the pool is full).
-func (e *IndexEntry) Release(c *core.Darwin) {
+func (e *IndexEntry) Release(c core.Mapper) {
 	select {
 	case e.clones <- c:
 	default:
 	}
 }
 
-// IndexKey derives the cache key for a reference source and engine
-// configuration: two requests share an index only if every parameter
-// that shapes the seed table or filter matches.
-func IndexKey(source string, cfg core.Config) string {
-	return fmt.Sprintf("%s|k=%d n=%d stride=%d h=%d B=%d htile=%d gact=%+v table=%+v maxcand=%d",
+// IndexKey derives the cache key for a reference source, engine
+// configuration, and shard geometry: two requests share an index only
+// if every parameter that shapes the seed table, filter, or sharding
+// (shard count/size, overlap, residency budget) matches.
+func IndexKey(source string, cfg core.Config, scfg shard.Config) string {
+	return fmt.Sprintf("%s|k=%d n=%d stride=%d h=%d B=%d htile=%d gact=%+v table=%+v maxcand=%d shard=%+v",
 		source, cfg.SeedK, cfg.SeedN, cfg.SeedStride, cfg.Threshold, cfg.BinSize, cfg.HTile,
-		cfg.GACT, cfg.TableOptions, cfg.MaxCandidates)
+		cfg.GACT, cfg.TableOptions, cfg.MaxCandidates, scfg)
 }
 
 // BuildEntry indexes records under cfg and wraps them as a cache
 // entry (the build func used by both warmup and on-demand loads).
-func BuildEntry(key string, recs []dna.Record, cfg core.Config, clonePool int) (*IndexEntry, error) {
+// A non-zero shard geometry builds the bounded-memory scatter-gather
+// engine instead of the monolithic one.
+func BuildEntry(key string, recs []dna.Record, cfg core.Config, scfg shard.Config, clonePool int) (*IndexEntry, error) {
 	stop := tIndexBuild.Time()
+	defer stop()
+	if scfg.Enabled() {
+		engine, ref, err := shard.NewMulti(recs, cfg, scfg)
+		if err != nil {
+			return nil, err
+		}
+		return newIndexEntry(key, engine, engine.Set(), ref, clonePool), nil
+	}
 	engine, ref, err := core.NewMulti(recs, cfg)
-	stop()
 	if err != nil {
 		return nil, err
 	}
-	return newIndexEntry(key, engine, ref, clonePool), nil
+	return newIndexEntry(key, engine, nil, ref, clonePool), nil
 }
 
 // buildCall is one in-flight singleflight build.

@@ -3,12 +3,14 @@ package server
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/shard"
 )
 
 // testEntry builds a real (tiny) index entry for cache and batcher
@@ -16,7 +18,7 @@ import (
 func testEntry(t *testing.T, key string, seed int64, n int) *IndexEntry {
 	t.Helper()
 	ref := dna.Random(rand.New(rand.NewSource(seed)), n, 0.5)
-	entry, err := BuildEntry(key, []dna.Record{{Name: "chr1", Seq: ref}}, testCoreConfig(), 2)
+	entry, err := BuildEntry(key, []dna.Record{{Name: "chr1", Seq: ref}}, testCoreConfig(), shard.Config{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,14 +120,88 @@ func TestIndexKeyDistinguishesConfigs(t *testing.T) {
 	other := base
 	other.SeedK = 12
 	keys := map[string]bool{
-		IndexKey("ref.fa", base):  true,
-		IndexKey("ref.fa", other): true,
-		IndexKey("ref2.fa", base): true,
+		IndexKey("ref.fa", base, shard.Config{}):  true,
+		IndexKey("ref.fa", other, shard.Config{}): true,
+		IndexKey("ref2.fa", base, shard.Config{}): true,
 	}
 	if len(keys) != 3 {
 		t.Errorf("expected 3 distinct keys, got %d", len(keys))
 	}
-	if IndexKey("ref.fa", base) != IndexKey("ref.fa", testCoreConfig()) {
+	if IndexKey("ref.fa", base, shard.Config{}) != IndexKey("ref.fa", testCoreConfig(), shard.Config{}) {
 		t.Error("identical source+config must produce identical keys")
+	}
+}
+
+// TestIndexKeyDistinguishesShardGeometry: every sharding knob —
+// count/size, overlap, and the residency budget — must produce a
+// distinct cache key, or two deployments with different budgets would
+// alias to one resident index.
+func TestIndexKeyDistinguishesShardGeometry(t *testing.T) {
+	base := testCoreConfig()
+	variants := []shard.Config{
+		{},
+		{Shards: 4},
+		{Shards: 8},
+		{ShardSize: 1 << 20},
+		{Shards: 4, Overlap: 4096},
+		{Shards: 4, MaxResidentBytes: 64 << 20},
+	}
+	keys := map[string]bool{}
+	for _, v := range variants {
+		keys[IndexKey("ref.fa", base, v)] = true
+	}
+	if len(keys) != len(variants) {
+		t.Errorf("expected %d distinct keys, got %d", len(variants), len(keys))
+	}
+}
+
+// TestBuildEntrySharded checks a sharded entry serves the same
+// alignments as a monolithic one and exposes its residency snapshot.
+func TestBuildEntrySharded(t *testing.T) {
+	ref := dna.Random(rand.New(rand.NewSource(47)), 60000, 0.5)
+	recs := []dna.Record{{Name: "chr1", Seq: ref}}
+	mono, err := BuildEntry("m", recs, testCoreConfig(), shard.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := BuildEntry("s", recs, testCoreConfig(), shard.Config{Shards: 3, MaxResidentBytes: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Shards != nil {
+		t.Error("monolithic entry reports a shard set")
+	}
+	if sharded.Shards == nil {
+		t.Fatal("sharded entry has no shard set")
+	}
+	reads := []dna.Seq{ref[1000:3500].Clone(), ref[30000:32500].Clone(), dna.RevComp(ref[45000:47500])}
+	want, err := mono.Engine.MapAll(reads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Engine.MapAll(reads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if len(got[i].Alignments) != len(want[i].Alignments) {
+			t.Fatalf("read %d: %d alignments sharded vs %d monolithic", i, len(got[i].Alignments), len(want[i].Alignments))
+		}
+		if !reflect.DeepEqual(got[i].Alignments, want[i].Alignments) {
+			t.Fatalf("read %d: alignments differ between engines", i)
+		}
+	}
+	st, detail := sharded.Shards.Snapshot()
+	if st.Shards != 3 || st.Resident != 1 || len(detail) != 3 {
+		t.Errorf("snapshot = %+v with %d detail rows, want 3 shards / 1 resident", st, len(detail))
+	}
+	// Clones must share the set (and thus the budget).
+	c, err := sharded.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Release(c)
+	if c.(*shard.ScatterMapper).Set() != sharded.Shards {
+		t.Error("acquired clone does not share the entry's shard set")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"darwin/internal/dna"
 	"darwin/internal/obs"
 	"darwin/internal/sam"
+	"darwin/internal/shard"
 )
 
 // HTTP-layer observability.
@@ -34,6 +35,10 @@ type Config struct {
 	DefaultRef string
 	// Core is the engine configuration applied to every index.
 	Core core.Config
+	// Shard, when enabled, serves every index through the sharded
+	// scatter-gather engine with the given geometry and residency
+	// budget instead of the monolithic engine.
+	Shard shard.Config
 	// CacheSize bounds resident indexes (default 4).
 	CacheSize int
 	// Batch tunes micro-batching and admission control.
@@ -145,13 +150,13 @@ func (s *Server) Drain(ctx context.Context) error {
 // loadEntry resolves source (a FASTA path) to a warm index via the
 // cache.
 func (s *Server) loadEntry(source string) (*IndexEntry, bool, error) {
-	key := IndexKey(source, s.cfg.Core)
+	key := IndexKey(source, s.cfg.Core, s.cfg.Shard)
 	return s.cache.Get(key, func() (*IndexEntry, error) {
 		recs, err := readFASTAPath(source)
 		if err != nil {
 			return nil, err
 		}
-		return BuildEntry(key, recs, s.cfg.Core, s.cfg.Batch.Executors)
+		return BuildEntry(key, recs, s.cfg.Core, s.cfg.Shard, s.cfg.Batch.Executors)
 	})
 }
 
@@ -193,20 +198,30 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleIndexes(w http.ResponseWriter, _ *http.Request) {
+	type shardingInfo struct {
+		shard.Stats
+		Shards []shard.ShardInfo `json:"shard_detail"`
+	}
 	type indexInfo struct {
-		Key          string  `json:"key"`
-		Sequences    int     `json:"sequences"`
-		Bases        int     `json:"bases"`
-		BuildSeconds float64 `json:"build_seconds"`
+		Key          string        `json:"key"`
+		Sequences    int           `json:"sequences"`
+		Bases        int           `json:"bases"`
+		BuildSeconds float64       `json:"build_seconds"`
+		Sharding     *shardingInfo `json:"sharding,omitempty"`
 	}
 	out := []indexInfo{}
 	for _, e := range s.cache.Entries() {
-		out = append(out, indexInfo{
+		info := indexInfo{
 			Key:          e.Key,
 			Sequences:    e.Ref.NumSeqs(),
 			Bases:        len(e.Ref.Seq()),
 			BuildSeconds: e.BuildTime.Seconds(),
-		})
+		}
+		if e.Shards != nil {
+			st, detail := e.Shards.Snapshot()
+			info.Sharding = &shardingInfo{Stats: st, Shards: detail}
+		}
+		out = append(out, info)
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package shard
+
+// raceEnabled scales the equivalence sweeps down under the race
+// detector (10-15× slowdown): race runs keep full concurrency coverage
+// but iterate fewer shard-count/worker-count combinations.
+const raceEnabled = false

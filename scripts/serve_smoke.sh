@@ -4,7 +4,8 @@
 #   2. generate a synthetic genome + simulated reads
 #   3. start darwind, wait for /readyz
 #   4. fire darwin-client at it, assert non-empty SAM output
-#   5. SIGTERM darwind, assert clean drain (exit 0 + drain log line)
+#   5. assert /v1/indexes reports the sharded index's per-shard residency
+#   6. SIGTERM darwind, assert clean drain (exit 0 + drain log line)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +26,7 @@ echo "serve-smoke: generating synthetic genome and reads"
 
 "$tmp/bin/darwind" -addr 127.0.0.1:0 -ref "$tmp/ref.fa" \
     -k 11 -n 400 -h 20 -batch-wait 2ms \
+    -shards 4 -shard-mem 256M \
     -report "$tmp/darwind_report.json" 2> "$tmp/darwind.log" &
 pid=$!
 
@@ -59,6 +61,26 @@ if ! grep -qv '^@' "$tmp/out.sam"; then
 fi
 records=$(grep -cv '^@' "$tmp/out.sam")
 echo "serve-smoke: client received $records SAM records"
+
+# The index is served sharded (-shards 4): /v1/indexes must report the
+# shard geometry and per-shard residency after the mapping traffic.
+curl -fsS "http://$addr/v1/indexes" > "$tmp/indexes.json"
+if ! grep -q '"shards": 4' "$tmp/indexes.json"; then
+    echo "serve-smoke: FAIL — /v1/indexes reports no 4-shard geometry:" >&2
+    cat "$tmp/indexes.json" >&2
+    exit 1
+fi
+if ! grep -Eq '"resident": [1-9]' "$tmp/indexes.json"; then
+    echo "serve-smoke: FAIL — /v1/indexes reports no resident shards:" >&2
+    cat "$tmp/indexes.json" >&2
+    exit 1
+fi
+if ! grep -q '"shard_detail"' "$tmp/indexes.json" || ! grep -Eq '"resident": true' "$tmp/indexes.json"; then
+    echo "serve-smoke: FAIL — /v1/indexes has no per-shard residency detail:" >&2
+    cat "$tmp/indexes.json" >&2
+    exit 1
+fi
+echo "serve-smoke: sharded index residency reported on /v1/indexes"
 
 kill -TERM "$pid"
 if ! wait "$pid"; then
