@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard benchdiff serve-smoke clean
+.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard benchdiff serve-smoke chaos-smoke clean
 
 build:
 	$(GO) build ./...
@@ -25,12 +25,20 @@ race:
 test-allocs:
 	$(GO) test -run 'ZeroSteadyStateAllocs' ./internal/align/
 
-check: vet race test-allocs serve-smoke
+check: vet race test-allocs serve-smoke chaos-smoke
 
 # End-to-end serving check: darwind on a synthetic genome, load from
 # darwin-client, non-empty SAM back, clean drain on SIGTERM.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Resilience check: darwind under injected flush errors, per-read
+# panics, and stream hiccups must return only well-formed responses,
+# open the per-source circuit breaker within its threshold, refuse
+# -faults without DARWIN_ALLOW_FAULTS=1, and drain with goroutines
+# back at the pre-serve baseline.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

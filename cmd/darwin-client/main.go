@@ -17,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +41,9 @@ var (
 	cReadsOK     = obs.Default.Counter("client/reads_ok")
 	cReadsMapped = obs.Default.Counter("client/reads_mapped")
 	cRecords     = obs.Default.Counter("client/records")
+	cRetries     = obs.Default.Counter("client/retries")
+	cReadErrors  = obs.Default.Counter("client/read_errors")
+	cInvalid     = obs.Default.Counter("client/invalid_responses")
 	hLatency     = obs.Default.Histogram("client/request_latency_ms", 0, 10000, 100)
 )
 
@@ -53,6 +58,35 @@ type result struct {
 	status  int
 	latency time.Duration
 	err     error
+	retries int
+}
+
+// backoffWait derives how long to wait before retry attempt (0-based).
+// A server-provided Retry-After (seconds) wins; otherwise exponential
+// backoff from 100ms doubling per attempt. Both paths are capped at
+// maxWait and jittered ±50% so a burst of rejected clients does not
+// reconverge on the server in lockstep.
+func backoffWait(retryAfter string, attempt int, maxWait time.Duration) time.Duration {
+	wait := 100 * time.Millisecond << uint(attempt)
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		wait = time.Duration(secs) * time.Second
+	}
+	if wait > maxWait {
+		wait = maxWait
+	}
+	// Jitter to 50–150% of the base wait.
+	return wait/2 + time.Duration(rand.Int63n(int64(wait)))
+}
+
+// retryableStatus reports whether a response status is worth retrying:
+// explicit pushback (429 queue full, 503 draining/warming/breaker) and
+// 504 deadline, where a later attempt may land in a quieter window.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 func run() error {
@@ -66,6 +100,10 @@ func run() error {
 	all := flag.Bool("all", false, "request all alignments per read")
 	timeoutMS := flag.Int("timeout-ms", 0, "per-request timeout_ms field (0 = server default)")
 	outPath := flag.String("out", "", "append response SAM text to this file (requests ?format=sam)")
+	reference := flag.String("reference", "", "reference field sent with each request (non-default needs darwind -allow-ref-load)")
+	retries := flag.Int("retries", 3, "max retries per request on 429/503/504 (0 disables)")
+	retryMaxWait := flag.Duration("retry-max-wait", 2*time.Second, "cap on a single retry backoff wait")
+	strict := flag.Bool("strict", false, "validate 200 NDJSON responses; malformed or per-read error lines fail the run")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -108,6 +146,7 @@ func run() error {
 		Seq  string `json:"seq"`
 	}
 	type wireReq struct {
+		Reference string     `json:"reference,omitempty"`
 		Reads     []wireRead `json:"reads"`
 		All       bool       `json:"all,omitempty"`
 		TimeoutMS int        `json:"timeout_ms,omitempty"`
@@ -117,6 +156,7 @@ func run() error {
 	readsPerBody := make([]int, nBodies)
 	for b := 0; b < nBodies; b++ {
 		var wr wireReq
+		wr.Reference = *reference
 		wr.All = *all
 		wr.TimeoutMS = *timeoutMS
 		for i := b * (*batch); i < (b+1)*(*batch) && i < len(reads); i++ {
@@ -133,35 +173,45 @@ func run() error {
 	fire := func() result {
 		b := int(seq.Add(1)-1) % nBodies
 		cReadsSent.Add(int64(readsPerBody[b]))
-		start := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[b]))
-		if err != nil {
-			cReqFailed.Inc()
-			return result{err: err}
-		}
-		defer resp.Body.Close()
-		var body []byte
-		body, err = io.ReadAll(resp.Body)
-		lat := time.Since(start)
-		r := result{status: resp.StatusCode, latency: lat, err: err}
-		switch {
-		case err != nil || resp.StatusCode >= 500:
-			cReqFailed.Inc()
-		case resp.StatusCode == http.StatusTooManyRequests:
-			cReqRejected.Inc()
-		case resp.StatusCode == http.StatusOK:
-			cReqOK.Inc()
-			hLatency.Observe(float64(lat) / float64(time.Millisecond))
-			tally(body, out != nil)
-			if out != nil {
-				outMu.Lock()
-				out.Write(body)
-				outMu.Unlock()
+		for attempt := 0; ; attempt++ {
+			start := time.Now()
+			resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[b]))
+			if err != nil {
+				cReqFailed.Inc()
+				return result{err: err, retries: attempt}
 			}
-		default:
-			cReqFailed.Inc()
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			lat := time.Since(start)
+			// Pushback (429/503) and deadline (504) responses are retried
+			// with Retry-After-aware capped backoff: the server told us
+			// when to come back, so honoring it converts rejected load
+			// into delayed completions instead of failures.
+			if retryableStatus(resp.StatusCode) && attempt < *retries {
+				cRetries.Inc()
+				time.Sleep(backoffWait(resp.Header.Get("Retry-After"), attempt, *retryMaxWait))
+				continue
+			}
+			r := result{status: resp.StatusCode, latency: lat, err: err, retries: attempt}
+			switch {
+			case err != nil || resp.StatusCode >= 500:
+				cReqFailed.Inc()
+			case resp.StatusCode == http.StatusTooManyRequests:
+				cReqRejected.Inc()
+			case resp.StatusCode == http.StatusOK:
+				cReqOK.Inc()
+				hLatency.Observe(float64(lat) / float64(time.Millisecond))
+				tally(body, out != nil)
+				if out != nil {
+					outMu.Lock()
+					out.Write(body)
+					outMu.Unlock()
+				}
+			default:
+				cReqFailed.Inc()
+			}
+			return r
 		}
-		return r
 	}
 
 	fmt.Fprintf(os.Stderr, "darwin-client: %d reads in %d request bodies of ≤%d reads against %s\n",
@@ -213,20 +263,30 @@ func run() error {
 	wall := time.Since(wallStart)
 
 	summarize(os.Stdout, results, wall)
+	if *strict {
+		if inv, rerr := cInvalid.Value(), cReadErrors.Value(); inv > 0 || rerr > 0 {
+			return fmt.Errorf("strict: %d malformed response lines, %d per-read errors", inv, rerr)
+		}
+	}
 	return nil
 }
 
-// tally counts mapped reads and records from a 200 response body.
+// tally counts mapped reads, records, per-read error lines, and
+// malformed lines from a 200 response body.
 func tally(body []byte, isSAM bool) {
 	if isSAM {
 		for _, line := range strings.Split(string(body), "\n") {
 			if line == "" || strings.HasPrefix(line, "@") {
 				continue
 			}
+			fields := strings.Split(line, "\t")
+			if len(fields) < 11 {
+				cInvalid.Inc()
+				continue
+			}
 			cRecords.Inc()
 			cReadsOK.Inc()
-			fields := strings.SplitN(line, "\t", 3)
-			if len(fields) >= 2 && fields[1] != "4" {
+			if fields[1] != "4" {
 				cReadsMapped.Inc()
 			}
 		}
@@ -237,10 +297,19 @@ func tally(body []byte, isSAM bool) {
 			continue
 		}
 		var parsed struct {
+			Read    string            `json:"read"`
 			Mapped  bool              `json:"mapped"`
 			Records []json.RawMessage `json:"records"`
+			Error   string            `json:"error"`
 		}
 		if json.Unmarshal(line, &parsed) != nil {
+			cInvalid.Inc()
+			continue
+		}
+		if parsed.Error != "" {
+			// A structured per-read error: the service degraded one read
+			// instead of failing the request — count it separately.
+			cReadErrors.Inc()
 			continue
 		}
 		cRecords.Add(int64(len(parsed.Records)))
@@ -254,38 +323,59 @@ func tally(body []byte, isSAM bool) {
 // summarize prints the throughput/latency digest. Percentiles come
 // from the raw latency samples, not histogram bins.
 func summarize(w io.Writer, results []result, wall time.Duration) {
-	var ok, rejected, failed int
-	var lats []time.Duration
+	var ok, rejected, failed, retried int
+	var lats, failLats []time.Duration
 	for _, r := range results {
+		retried += r.retries
 		switch {
 		case r.err != nil || r.status >= 500:
 			failed++
+			if r.err == nil {
+				failLats = append(failLats, r.latency)
+			}
 		case r.status == http.StatusTooManyRequests:
 			rejected++
+			failLats = append(failLats, r.latency)
 		case r.status == http.StatusOK:
 			ok++
 			lats = append(lats, r.latency)
 		default:
 			failed++
+			failLats = append(failLats, r.latency)
 		}
 	}
-	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-	pct := func(p float64) time.Duration {
-		if len(lats) == 0 {
+	pctOf := func(samples []time.Duration, p float64) time.Duration {
+		if len(samples) == 0 {
 			return 0
 		}
-		i := int(p * float64(len(lats)-1))
-		return lats[i]
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
 	}
-	fmt.Fprintf(w, "requests: %d ok, %d rejected (429), %d failed in %.2fs\n",
-		ok, rejected, failed, wall.Seconds())
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	sort.Slice(failLats, func(a, b int) bool { return failLats[a] < failLats[b] })
+	fmt.Fprintf(w, "requests: %d ok, %d rejected (429), %d failed, %d retries in %.2fs\n",
+		ok, rejected, failed, retried, wall.Seconds())
 	fmt.Fprintf(w, "throughput: %.1f req/s, %.1f reads/s (%d records, %d/%d reads mapped)\n",
 		float64(ok)/wall.Seconds(), float64(cReadsOK.Value())/wall.Seconds(),
 		cRecords.Value(), cReadsMapped.Value(), cReadsOK.Value())
 	if len(lats) > 0 {
 		fmt.Fprintf(w, "latency: p50=%s p90=%s p99=%s max=%s\n",
-			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+			pctOf(lats, 0.50).Round(time.Microsecond), pctOf(lats, 0.90).Round(time.Microsecond),
+			pctOf(lats, 0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	// Failure latency matters for resilience tuning: fast structured
+	// failures (breaker open, queue full) versus slow timeouts show up
+	// here, not in the success percentiles.
+	if len(failLats) > 0 {
+		fmt.Fprintf(w, "failure latency: p50=%s p99=%s max=%s\n",
+			pctOf(failLats, 0.50).Round(time.Microsecond), pctOf(failLats, 0.99).Round(time.Microsecond),
+			failLats[len(failLats)-1].Round(time.Microsecond))
+	}
+	if v := cReadErrors.Value(); v > 0 {
+		fmt.Fprintf(w, "per-read errors: %d (structured error lines in 200 responses)\n", v)
+	}
+	if v := cInvalid.Value(); v > 0 {
+		fmt.Fprintf(w, "malformed lines: %d\n", v)
 	}
 }
 

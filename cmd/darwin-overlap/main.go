@@ -10,13 +10,18 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/faults"
 	"darwin/internal/obs"
 )
 
@@ -36,11 +41,17 @@ func run() error {
 	minOverlap := flag.Int("min-overlap", 1000, "minimum reported overlap length")
 	out := flag.String("out", "", "output TSV path (default stdout)")
 	progressEvery := flag.Int("progress", 0, "print overlap throughput and ETA to stderr every N reads (0 disables)")
+	faultSpec := flag.String("faults", "", "fault-injection spec (requires DARWIN_ALLOW_FAULTS=1); see internal/faults")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *readsPath == "" {
 		return fmt.Errorf("-reads is required")
+	}
+	if spec, err := faults.Setup(*faultSpec); err != nil {
+		return err
+	} else if spec != "" {
+		fmt.Fprintf(os.Stderr, "darwin-overlap: fault injection active: %s\n", spec)
 	}
 	session, err := obsFlags.Start("darwin-overlap")
 	if err != nil {
@@ -78,7 +89,17 @@ func run() error {
 			obs.Default.Counter("overlap/reads_done"), int64(len(seqs)), int64(*progressEvery))
 		defer p.Stop()
 	}
-	overlaps, stats := ov.FindOverlaps(*minOverlap)
+	// SIGTERM/SIGINT cancels between reads: the overlaps found so far
+	// are still written, so a long run interrupted late is not wasted.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	overlaps, stats, cerr := ov.FindOverlapsContext(ctx, *minOverlap)
+	if cerr != nil && !errors.Is(cerr, context.Canceled) {
+		return cerr
+	}
+	if cerr != nil {
+		fmt.Fprintln(os.Stderr, "darwin-overlap: interrupted, writing partial overlaps")
+	}
 	fmt.Fprintf(os.Stderr, "darwin-overlap: table build %s, %d overlaps among %d reads\n",
 		stats.TableBuildTime, len(overlaps), len(recs))
 

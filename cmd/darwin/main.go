@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/faults"
 	"darwin/internal/obs"
 	"darwin/internal/sam"
 	"darwin/internal/shard"
@@ -44,11 +46,17 @@ func run() error {
 	shardOverlap := flag.Int("shard-overlap", 0, "shard overlap margin in bases (0 = exactness minimum)")
 	shardMem := flag.String("shard-mem", "", "resident shard seed-table budget, e.g. 512M (empty = unbounded)")
 	progressEvery := flag.Int("progress", 0, "print mapping throughput and ETA to stderr every N reads (0 disables)")
+	faultSpec := flag.String("faults", "", "fault-injection spec (requires DARWIN_ALLOW_FAULTS=1); see internal/faults")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *refPath == "" || *readsPath == "" {
 		return fmt.Errorf("-ref and -reads are required")
+	}
+	if spec, err := faults.Setup(*faultSpec); err != nil {
+		return err
+	} else if spec != "" {
+		fmt.Fprintf(os.Stderr, "darwin: fault injection active: %s\n", spec)
 	}
 	session, err := obsFlags.Start("darwin")
 	if err != nil {
@@ -74,33 +82,25 @@ func run() error {
 	cfg.HTile = *hTile
 	cfg.GACT.T = *tileT
 	cfg.GACT.O = *tileO
-	var engine core.Mapper
-	var ref *core.Reference
-	if *shards > 0 {
-		scfg := shard.Config{Shards: *shards, Overlap: *shardOverlap}
-		if *shardMem != "" {
-			mem, err := shard.ParseBytes(*shardMem)
-			if err != nil {
-				return err
-			}
-			scfg.MaxResidentBytes = mem
-		}
-		sm, r, err := shard.NewMulti(refRecs, cfg, scfg)
+	spec := core.ShardSpec{Shards: *shards, Overlap: *shardOverlap}
+	if *shardMem != "" {
+		mem, err := shard.ParseBytes(*shardMem)
 		if err != nil {
 			return err
 		}
-		engine, ref = sm, r
+		spec.MaxResidentBytes = mem
+	}
+	engine, ref, err := core.Open(core.OpenConfig{Records: refRecs, Core: cfg, Shard: spec})
+	if err != nil {
+		return err
+	}
+	if sm, ok := engine.(*shard.ScatterMapper); ok {
 		geo := sm.Set().Geometry()
 		fmt.Fprintf(os.Stderr, "darwin: partitioned %d sequences, %d bp into %d shards of %d bp (+%d bp overlap, k=%d); tables build lazily\n",
 			ref.NumSeqs(), len(ref.Seq()), len(geo.Parts), geo.ShardSize, geo.Overlap, *k)
 	} else {
-		d, r, err := core.NewMulti(refRecs, cfg)
-		if err != nil {
-			return err
-		}
-		engine, ref = d, r
 		fmt.Fprintf(os.Stderr, "darwin: indexed %d sequences, %d bp (k=%d) in %s\n",
-			ref.NumSeqs(), len(ref.Seq()), *k, d.TableBuildTime)
+			ref.NumSeqs(), len(ref.Seq()), *k, engine.IndexBuildTime())
 	}
 
 	sqs := make([]sam.RefSeq, ref.NumSeqs())
@@ -131,15 +131,22 @@ func run() error {
 	for i := range reads {
 		seqs[i] = reads[i].Seq
 	}
-	results, err := engine.MapAll(seqs, *workers)
+	results, err := engine.Map(context.Background(), seqs, core.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}
 
 	tEmit := obs.Default.Timer("stage/emit")
-	mapped := 0
+	mapped, failed := 0, 0
 	for ri, rec := range reads {
 		alns := results[ri].Alignments
+		if results[ri].Err != nil {
+			// Per-read isolation: a poisoned read degrades to an
+			// unmapped record instead of killing the whole run.
+			failed++
+			fmt.Fprintf(os.Stderr, "darwin: read %q failed: %v\n", rec.Name, results[ri].Err)
+			alns = nil
+		}
 		stopEmit := tEmit.Time()
 		if len(alns) == 0 {
 			err := w.Write(sam.Record{QName: rec.Name, Flag: sam.FlagUnmapped, Seq: rec.Seq})
@@ -184,7 +191,11 @@ func run() error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "darwin: mapped %d/%d reads\n", mapped, len(reads))
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "darwin: mapped %d/%d reads (%d failed)\n", mapped, len(reads), failed)
+	} else {
+		fmt.Fprintf(os.Stderr, "darwin: mapped %d/%d reads\n", mapped, len(reads))
+	}
 	return nil
 }
 

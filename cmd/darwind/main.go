@@ -29,10 +29,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"darwin/internal/core"
+	"darwin/internal/faults"
 	"darwin/internal/obs"
 	"darwin/internal/server"
 	"darwin/internal/shard"
@@ -63,15 +65,27 @@ func run() error {
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max time a partial batch waits for company")
 	queueBound := flag.Int("queue", 256, "admission queue bound (overflow → 429)")
 	executors := flag.Int("executors", 0, "concurrent batch executors (0 = NumCPU)")
-	batchWorkers := flag.Int("batch-workers", 1, "MapAll workers within one batch")
+	batchWorkers := flag.Int("batch-workers", 1, "mapping workers within one batch")
 	reqTimeout := flag.Duration("req-timeout", 60*time.Second, "per-request deadline cap")
 	maxReads := flag.Int("max-reads", 1024, "max reads per request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to flush in-flight work on shutdown")
+	readDeadline := flag.Duration("read-deadline", 0, "per-read mapping deadline within a batch (0 = none)")
+	indexBudget := flag.Float64("index-budget", 0.5, "fraction of a request's deadline an on-demand index load may consume")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive index-build failures that open a source's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects before admitting a probe build")
+	shedWatermark := flag.Float64("shed-watermark", 0.75, "queue-depth fraction that triggers batch-size shedding under sustained load")
+	leakCheck := flag.Bool("leak-check", false, "after drain, verify goroutines returned to the pre-serve baseline (exit 1 on leak)")
+	faultSpec := flag.String("faults", "", "fault-injection spec (requires DARWIN_ALLOW_FAULTS=1); see internal/faults")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *refPath == "" {
 		return fmt.Errorf("-ref is required")
+	}
+	if spec, err := faults.Setup(*faultSpec); err != nil {
+		return err
+	} else if spec != "" {
+		fmt.Fprintf(os.Stderr, "darwind: fault injection active: %s\n", spec)
 	}
 	session, err := obsFlags.Start("darwind")
 	if err != nil {
@@ -102,11 +116,21 @@ func run() error {
 			QueueBound:      *queueBound,
 			Executors:       *executors,
 			WorkersPerBatch: *batchWorkers,
+			ReadDeadline:    *readDeadline,
+			ShedHighWater:   *shedWatermark,
 		},
 		RequestTimeout:     *reqTimeout,
 		MaxReadsPerRequest: *maxReads,
 		AllowRefLoad:       *allowRefLoad,
+		IndexBudgetFrac:    *indexBudget,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
 	})
+
+	// The leak-check baseline is taken after server assembly (batcher
+	// executors are long-lived by design) but before warm/serve, so it
+	// measures exactly the goroutines the drain is supposed to reclaim.
+	baselineGoroutines := runtime.NumGoroutine()
 
 	warmStart := time.Now()
 	if err := srv.Warm(context.Background()); err != nil {
@@ -149,5 +173,33 @@ func run() error {
 		return fmt.Errorf("batcher drain: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "darwind: drain complete, all in-flight work flushed")
+
+	if *leakCheck {
+		if leaked := checkGoroutineLeak(baselineGoroutines); leaked > 0 {
+			return fmt.Errorf("leak check: %d goroutines above pre-serve baseline %d after drain", leaked, baselineGoroutines)
+		}
+		fmt.Fprintln(os.Stderr, "darwind: leak check passed, goroutines back to baseline")
+	}
 	return nil
+}
+
+// checkGoroutineLeak waits (up to ~3s) for the goroutine count to
+// settle back to the pre-serve baseline. A small tolerance absorbs
+// runtime helpers (signal handling, finalizers) that come and go
+// outside our control; anything beyond it is a real leak — an executor
+// or watchdog the drain failed to reclaim. Returns the excess count,
+// or 0 if the process settled.
+func checkGoroutineLeak(baseline int) int {
+	const tolerance = 3
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		excess := runtime.NumGoroutine() - baseline - tolerance
+		if excess <= 0 {
+			return 0
+		}
+		if time.Now().After(deadline) {
+			return excess
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }

@@ -91,25 +91,50 @@ func DefaultConfig(k, n, h int) Config {
 // Mapper is the read-mapping surface shared by the monolithic engine
 // (Darwin) and the sharded scatter-gather mapper (internal/shard): one
 // read or a batch in, score-sorted alignments in global reference
-// coordinates out, with Clone semantics for worker parallelism. The
-// serving layer holds this interface so an index cache entry can be
-// backed by either engine.
+// coordinates out, bit-identical across the two implementations.
+// Construct one with Open, which selects the implementation from
+// shard geometry; the serving layer holds this interface so an index
+// cache entry can be backed by either engine.
+//
+// The surface splits into three concerns:
+//
+//   - Mapping: Map is the primary batch entrypoint (context-first,
+//     functional options); MapRead maps a single read inline on the
+//     receiver. MapAll/MapAllContext remain for compatibility only.
+//   - Concurrency: CloneMapper derives an engine that shares the
+//     immutable index (seed tables, reference bytes) but owns private
+//     mutable scratch — D-SOFT bin state, GACT traceback, candidate
+//     buffers — so clones map concurrently without locks. This
+//     mirrors the hardware split between replicated read-only DRAM
+//     seed tables and per-array SRAM.
+//   - Introspection: Ref exposes the indexed (concatenated)
+//     reference; IndexBuildTime reports cumulative index-construction
+//     time, the one-time cost the paper's Table 3 separates from
+//     per-read work (for a sharded mapper it grows as shards are
+//     (re)built on demand).
 type Mapper interface {
 	// MapRead maps one read, both strands; alignments are sorted by
 	// SortAlignments order.
 	MapRead(q dna.Seq) ([]ReadAlignment, MapStats)
-	// MapAll maps every read with the given worker parallelism,
-	// results in input order.
+	// Map maps every read under ctx, results in input order. Options:
+	// WithWorkers, WithDeadlinePerRead, WithProgress. Per-read
+	// failures land in MapResult.Err; batch-level failures (cancelled
+	// context) are returned as the error.
+	Map(ctx context.Context, reads []dna.Seq, options ...MapOption) ([]MapResult, error)
+	// MapAll maps every read with the given worker parallelism.
+	//
+	// Deprecated: use Map with WithWorkers.
 	MapAll(reads []dna.Seq, workers int) ([]MapResult, error)
 	// MapAllContext is MapAll with cancellation between reads.
+	//
+	// Deprecated: use Map with WithWorkers.
 	MapAllContext(ctx context.Context, reads []dna.Seq, workers int) ([]MapResult, error)
 	// CloneMapper returns an engine sharing immutable index state but
 	// with private mutable scratch, safe for another goroutine.
 	CloneMapper() (Mapper, error)
 	// Ref returns the indexed (concatenated) reference sequence.
 	Ref() dna.Seq
-	// IndexBuildTime reports cumulative index-construction time — the
-	// one-time cost the paper's Table 3 separates from per-read work.
+	// IndexBuildTime reports cumulative index-construction time.
 	IndexBuildTime() time.Duration
 }
 
@@ -164,6 +189,9 @@ func New(ref dna.Seq, cfg Config) (*Darwin, error) {
 		return nil, fmt.Errorf("core: empty reference")
 	}
 	start := time.Now()
+	if err := fpIndexBuild.Fire(); err != nil {
+		return nil, fmt.Errorf("core: building seed table: %w", err)
+	}
 	endSpan := obs.Trace.Start("core.index")
 	table, err := seedtable.Build(ref, cfg.SeedK, cfg.TableOptions)
 	endSpan()

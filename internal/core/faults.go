@@ -1,0 +1,17 @@
+package core
+
+import "darwin/internal/faults"
+
+// Fault injection points for the core pipeline (armed only via
+// faults.Setup; a single atomic load each when disarmed):
+//
+//   - index/build fires at the top of seed-table construction — a
+//     delay models a slow index build (the breaker experiment's
+//     workload), an error a corrupt reference.
+//   - core/map_read fires once per read inside the panic-isolation
+//     scope, so injected errors and panics exercise exactly the
+//     per-read blast-radius containment that organic failures get.
+var (
+	fpIndexBuild = faults.Default.Point("index/build")
+	fpMapRead    = faults.Default.Point("core/map_read")
+)

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"darwin/internal/dna"
+)
+
+// ShardSpec is the shard geometry part of OpenConfig, mirrored from
+// internal/shard.Config so core can describe a sharded deployment
+// without importing the shard package (which imports core).
+type ShardSpec struct {
+	// Shards is the number of shards to split the reference into.
+	// Mutually exclusive with ShardSize.
+	Shards int
+	// ShardSize is the shard core size in bases (rounded up to the
+	// D-SOFT bin size). Used when Shards is zero.
+	ShardSize int
+	// Overlap is the margin each shard's extent extends beyond its
+	// core; values below the candidate-exactness minimum are raised.
+	Overlap int
+	// MaxResidentBytes bounds resident shard seed-table bytes (LRU
+	// eviction). Zero means unbounded.
+	MaxResidentBytes int64
+}
+
+// Enabled reports whether the spec asks for sharding at all. A zero
+// ShardSpec means "use the monolithic engine".
+func (s ShardSpec) Enabled() bool { return s.Shards > 0 || s.ShardSize > 0 }
+
+// OpenConfig describes one reference index to construct: the records
+// to concatenate, the engine parameters, and the shard geometry that
+// selects the implementation.
+type OpenConfig struct {
+	// Records is the multi-sequence reference, concatenated with the
+	// engine's N-padding separator invariant.
+	Records []dna.Record
+	// Core holds the full Darwin parameter set.
+	Core Config
+	// Shard selects the sharded scatter-gather mapper when Enabled;
+	// otherwise the monolithic engine is built.
+	Shard ShardSpec
+}
+
+// shardedFactory is installed by internal/shard's init so Open can
+// build a ScatterMapper without core importing shard (shard imports
+// core, so the dependency must point this way).
+var shardedFactory func(recs []dna.Record, cfg Config, spec ShardSpec) (Mapper, *Reference, error)
+
+// RegisterSharded installs the sharded-mapper constructor. Called from
+// internal/shard's init; last registration wins.
+func RegisterSharded(f func(recs []dna.Record, cfg Config, spec ShardSpec) (Mapper, *Reference, error)) {
+	shardedFactory = f
+}
+
+// Open is the single construction entrypoint for a Mapper: it
+// concatenates the records and selects monolithic Darwin or the
+// sharded scatter-gather mapper from cfg.Shard, so callers (CLIs, the
+// serving layer's index cache) never branch on geometry themselves.
+// The two implementations are alignment-bit-identical; geometry only
+// changes memory residency and build scheduling.
+func Open(cfg OpenConfig) (Mapper, *Reference, error) {
+	if len(cfg.Records) == 0 {
+		return nil, nil, fmt.Errorf("core: open: no reference records")
+	}
+	if cfg.Shard.Enabled() {
+		if shardedFactory == nil {
+			return nil, nil, fmt.Errorf("core: open: sharded mapper requested but not linked (import darwin/internal/shard)")
+		}
+		return shardedFactory(cfg.Records, cfg.Core, cfg.Shard)
+	}
+	eng, ref, err := NewMulti(cfg.Records, cfg.Core)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, ref, nil
+}

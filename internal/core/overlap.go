@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -114,13 +115,28 @@ func (o *Overlapper) readAt(p int) int {
 // hardware's Σext semantics), so an unclipped extension would silently
 // bridge adjacent reads and misattribute the overlap.
 func (o *Overlapper) FindOverlaps(minOverlap int) ([]Overlap, OverlapStats) {
+	out, stats, _ := o.FindOverlapsContext(context.Background(), minOverlap)
+	return out, stats
+}
+
+// FindOverlapsContext is FindOverlaps with cooperative cancellation:
+// ctx is checked between reads (each read is the unit of work, so
+// cancellation latency is one read's overlap pass). On cancellation it
+// returns the overlaps found so far together with ctx.Err(), so a
+// partial run still yields usable output.
+func (o *Overlapper) FindOverlapsContext(ctx context.Context, minOverlap int) ([]Overlap, OverlapStats, error) {
 	stats := OverlapStats{TableBuildTime: o.darwin.TableBuildTime}
 	type key struct {
 		a, b int
 		rev  bool
 	}
+	var ctxErr error
 	best := map[key]Overlap{}
 	for q := range o.reads {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
 		endSpan := obs.Trace.Start("overlap.read")
 		for _, rev := range []bool{false, true} {
 			query := o.reads[q]
@@ -175,5 +191,5 @@ func (o *Overlapper) FindOverlaps(minOverlap int) ([]Overlap, OverlapStats) {
 		return !out[a].QueryRev && out[b].QueryRev
 	})
 	cOverlapsOut.Add(int64(len(out)))
-	return out, stats
+	return out, stats, ctxErr
 }

@@ -19,6 +19,8 @@ import (
 var (
 	gWorkers    = obs.Default.Gauge("core/workers")
 	tWorkerBusy = obs.Default.Timer("core/worker_busy")
+	cReadPanics = obs.Default.Counter("core/read_panics")
+	cReadExpiry = obs.Default.Counter("core/read_deadline_expired")
 )
 
 // Clone returns an engine sharing this one's (immutable) seed table
@@ -27,6 +29,13 @@ var (
 // the hardware, where the seed tables are replicated read-only across
 // DRAM channels while each query stream owns its bin-count SRAM and
 // each GACT array its traceback SRAM.
+//
+// Clone reads only fields that are immutable after New (reference,
+// seed table, config, build time) — never the mutable scratch — so it
+// is safe to call even while another goroutine is still mapping on
+// the receiver. The per-read deadline watchdog relies on this: an
+// abandoned read's goroutine may keep mutating its engine's scratch,
+// and the worker recovers by cloning a fresh engine from the original.
 func (d *Darwin) Clone() (*Darwin, error) {
 	stride := d.cfg.SeedStride
 	if stride < 1 {
@@ -45,12 +54,14 @@ func (d *Darwin) Clone() (*Darwin, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: cloning GACT engine: %w", err)
 	}
-	clone := *d
-	clone.filter = filter
-	clone.engine = engine
-	clone.cands = nil
-	clone.revBuf = nil
-	return &clone, nil
+	return &Darwin{
+		ref:            d.ref,
+		table:          d.table,
+		filter:         filter,
+		engine:         engine,
+		cfg:            d.cfg,
+		TableBuildTime: d.TableBuildTime,
+	}, nil
 }
 
 // CloneMapper implements the Mapper interface over Clone.
@@ -68,23 +79,163 @@ type MapResult struct {
 	Alignments []ReadAlignment
 	// Stats instruments the read's mapping.
 	Stats MapStats
+	// Err is set when this read individually failed — it panicked
+	// mid-pipeline, blew its per-read deadline (wraps
+	// context.DeadlineExceeded), or hit an injected fault — while the
+	// rest of the batch completed normally. A batch-level failure
+	// (cancelled context, clone failure) is returned by Map itself.
+	Err error
 }
 
-// MapAll maps every read using the given number of worker goroutines
-// (1 runs inline; <= 0 defaults to runtime.NumCPU()). Results are
-// returned in input order; workers use cloned engines so bin state
-// never races.
-func (d *Darwin) MapAll(reads []dna.Seq, workers int) ([]MapResult, error) {
-	return d.MapAllContext(context.Background(), reads, workers)
+// MapSettings is the resolved option set for one Map call. Mapper
+// implementations outside this package (internal/shard) interpret
+// options through ResolveMapOptions, so the two engines read one
+// option vocabulary.
+type MapSettings struct {
+	// Workers is the worker-goroutine count (0 = one per CPU).
+	Workers int
+	// DeadlinePerRead bounds one read's wall-clock mapping time
+	// (0 = unbounded).
+	DeadlinePerRead time.Duration
+	// Progress, when non-nil, is invoked after each read completes.
+	Progress func(done, total int)
 }
 
-// MapAllContext is MapAll with cancellation: it stops dispatching new
-// reads once ctx is cancelled or its deadline passes, waits for
-// in-flight reads to finish, and returns ctx.Err(). A read that has
-// already entered the pipeline always completes — cancellation is
-// checked between reads, the granularity a served request can be
-// abandoned at without corrupting shared engine state.
-func (d *Darwin) MapAllContext(ctx context.Context, reads []dna.Seq, workers int) ([]MapResult, error) {
+// MapOption configures a Map call.
+type MapOption func(*MapSettings)
+
+// ResolveMapOptions folds options into a MapSettings.
+func ResolveMapOptions(options []MapOption) MapSettings {
+	var o MapSettings
+	for _, opt := range options {
+		opt(&o)
+	}
+	return o
+}
+
+// WithWorkers sets the number of worker goroutines. 1 runs inline on
+// the receiver; <= 0 (and the default) uses one worker per CPU.
+// Workers beyond len(reads) are not spawned.
+func WithWorkers(n int) MapOption {
+	return func(o *MapSettings) { o.Workers = n }
+}
+
+// WithDeadlinePerRead bounds each individual read's wall-clock mapping
+// time. A read that exceeds the budget gets MapResult.Err wrapping
+// context.DeadlineExceeded while the rest of the batch proceeds: the
+// stuck read's goroutine is abandoned (it cannot be interrupted
+// mid-DP-tile) and its worker continues on a freshly cloned engine, so
+// one pathological read costs one engine clone, never the batch. (The
+// sharded mapper instead checks the budget cooperatively between
+// candidate extensions — its deadline granularity is one GACT
+// extension, not one tile.) Zero or negative disables the bound (the
+// default).
+func WithDeadlinePerRead(d time.Duration) MapOption {
+	return func(o *MapSettings) { o.DeadlinePerRead = d }
+}
+
+// WithProgress registers a callback invoked after each read completes
+// with (reads done so far, total reads). Calls are serialized; the
+// callback must be fast — it runs on the mapping workers' critical
+// path.
+func WithProgress(fn func(done, total int)) MapOption {
+	return func(o *MapSettings) { o.Progress = fn }
+}
+
+// ProgressSink serializes WithProgress callbacks across workers. A nil
+// *ProgressSink is valid and does nothing, so callers can construct
+// one only when a callback was given.
+type ProgressSink struct {
+	mu    sync.Mutex
+	fn    func(done, total int)
+	done  int
+	total int
+}
+
+// NewProgressSink returns a sink for fn over total reads, or nil when
+// fn is nil.
+func NewProgressSink(fn func(done, total int), total int) *ProgressSink {
+	if fn == nil {
+		return nil
+	}
+	return &ProgressSink{fn: fn, total: total}
+}
+
+// Step records one completed read and invokes the callback.
+func (p *ProgressSink) Step() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.fn(p.done, p.total)
+	p.mu.Unlock()
+}
+
+// readOutcome is one guarded read's result.
+type readOutcome struct {
+	alns []ReadAlignment
+	st   MapStats
+	err  error
+}
+
+// mapReadRecovered maps one read with panic isolation: a panic
+// anywhere in the filter/extend pipeline (or injected at the
+// core/map_read fault point) becomes this read's Err instead of
+// killing the worker. The fault point fires inside the recover scope
+// so injected panics exercise the same containment as organic ones.
+func mapReadRecovered(e *Darwin, q dna.Seq) (out readOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			cReadPanics.Inc()
+			out = readOutcome{err: fmt.Errorf("core: read mapping panicked: %v", r)}
+		}
+	}()
+	if err := fpMapRead.Fire(); err != nil {
+		return readOutcome{err: err}
+	}
+	alns, st := e.MapRead(q)
+	return readOutcome{alns: alns, st: st}
+}
+
+// runRead maps one read under an optional wall-clock budget. With no
+// budget it runs inline. With a budget it runs under a watchdog: on
+// expiry the read's goroutine is abandoned (reported via abandoned so
+// the caller retires the engine — its scratch may still be mutated by
+// the stray goroutine) and the read fails with a deadline error.
+func runRead(e *Darwin, q dna.Seq, budget time.Duration) (out readOutcome, abandoned bool) {
+	if budget <= 0 {
+		return mapReadRecovered(e, q), false
+	}
+	ch := make(chan readOutcome, 1)
+	go func() { ch <- mapReadRecovered(e, q) }()
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o, false
+	case <-timer.C:
+		cReadExpiry.Inc()
+		return readOutcome{err: fmt.Errorf("core: read exceeded per-read deadline %v: %w", budget, context.DeadlineExceeded)}, true
+	}
+}
+
+// Map maps every read, in input order, under ctx. It is the primary
+// batch entrypoint; MapAll and MapAllContext are deprecated wrappers
+// over it.
+//
+// Cancellation is checked between reads — a read that has entered the
+// pipeline always completes (unless WithDeadlinePerRead abandons it),
+// the granularity a served request can be dropped at without
+// corrupting shared engine state. On cancellation Map returns
+// ctx.Err() and no results.
+//
+// Per-read failures (panics, per-read deadline expiry, injected
+// faults) are confined to that read's MapResult.Err; the rest of the
+// batch completes normally.
+func (d *Darwin) Map(ctx context.Context, reads []dna.Seq, options ...MapOption) ([]MapResult, error) {
+	o := ResolveMapOptions(options)
+	workers := o.Workers
 	if workers <= 0 {
 		// A zero or negative worker count is a configuration accident,
 		// not a request for zero concurrency: default to one worker per
@@ -98,16 +249,26 @@ func (d *Darwin) MapAllContext(ctx context.Context, reads []dna.Seq, workers int
 		return nil, err
 	}
 	out := make([]MapResult, len(reads))
+	prog := NewProgressSink(o.Progress, len(reads))
 	if workers <= 1 || len(reads) <= 1 {
 		gWorkers.Set(1)
+		e := d
 		for i, r := range reads {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			busy := time.Now()
-			alns, st := d.MapRead(r)
+			oc, abandoned := runRead(e, r, o.DeadlinePerRead)
 			tWorkerBusy.Observe(time.Since(busy))
-			out[i] = MapResult{Index: i, Alignments: alns, Stats: st}
+			out[i] = MapResult{Index: i, Alignments: oc.alns, Stats: oc.st, Err: oc.err}
+			if abandoned {
+				ne, cerr := d.Clone()
+				if cerr != nil {
+					return nil, cerr
+				}
+				e = ne
+			}
+			prog.Step()
 		}
 		return out, nil
 	}
@@ -120,6 +281,7 @@ func (d *Darwin) MapAllContext(ctx context.Context, reads []dna.Seq, workers int
 		}
 		engines[w] = e
 	}
+	workerErrs := make([]error, workers)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -127,15 +289,24 @@ func (d *Darwin) MapAllContext(ctx context.Context, reads []dna.Seq, workers int
 		go func(e *Darwin, tid int) {
 			defer wg.Done()
 			for i := range next {
-				if ctx.Err() != nil {
+				if ctx.Err() != nil || workerErrs[tid-1] != nil {
 					continue // drain remaining indices without mapping
 				}
 				endSpan := obs.Trace.StartTID("core.map_read.worker", tid)
 				busy := time.Now()
-				alns, st := e.MapRead(reads[i])
+				oc, abandoned := runRead(e, reads[i], o.DeadlinePerRead)
 				tWorkerBusy.Observe(time.Since(busy))
 				endSpan()
-				out[i] = MapResult{Index: i, Alignments: alns, Stats: st}
+				out[i] = MapResult{Index: i, Alignments: oc.alns, Stats: oc.st, Err: oc.err}
+				if abandoned {
+					ne, cerr := d.Clone()
+					if cerr != nil {
+						workerErrs[tid-1] = cerr
+						continue
+					}
+					e = ne
+				}
+				prog.Step()
 			}
 		}(engines[w], w+1)
 	}
@@ -152,5 +323,27 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	for _, err := range workerErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
+}
+
+// MapAll maps every read using the given number of worker goroutines
+// (1 runs inline; <= 0 defaults to runtime.NumCPU()). Results are
+// returned in input order; workers use cloned engines so bin state
+// never races.
+//
+// Deprecated: use Map with WithWorkers.
+func (d *Darwin) MapAll(reads []dna.Seq, workers int) ([]MapResult, error) {
+	return d.Map(context.Background(), reads, WithWorkers(workers))
+}
+
+// MapAllContext is MapAll with cancellation between reads.
+//
+// Deprecated: use Map with WithWorkers.
+func (d *Darwin) MapAllContext(ctx context.Context, reads []dna.Seq, workers int) ([]MapResult, error) {
+	return d.Map(ctx, reads, WithWorkers(workers))
 }

@@ -1,0 +1,404 @@
+// Package faults is a deterministic fault-injection registry for the
+// serving pipeline. Code under test declares named injection points
+// (package-level, one atomic load when disarmed); an operator arms a
+// subset of them with a spec string — via the -faults flag or the
+// DARWIN_FAULTS environment variable, both gated on
+// DARWIN_ALLOW_FAULTS=1 so injection can never ship on by accident —
+// and each armed point can delay, fail, or panic with a configured
+// probability or deterministic cadence.
+//
+// Darwin's pipeline (D-SOFT filter → tiled GACT, Section 5) gives the
+// natural injection boundaries: seed-table and shard builds, per-read
+// map work, GACT tile extension, batch flush, request admission, and
+// response streaming each have a registered point, so a chaos run can
+// prove the blast radius of a fault at any stage is bounded — one
+// read, one request, or one index build, never the process.
+//
+// Spec grammar (clauses joined by ';'):
+//
+//	spec    := clause (';' clause)*
+//	clause  := "seed" '=' int64          — registry RNG seed (default 1)
+//	         | point '=' action (',' action)*
+//	action  := "p" '=' float             — fire probability in [0,1]
+//	         | "every" '=' int           — fire on every Nth call (overrides p)
+//	         | "after" '=' int           — skip the first N calls
+//	         | "times" '=' int           — fire at most N times
+//	         | "delay" '=' duration      — sleep before acting (Go duration)
+//	         | "error" ['=' message]     — return an *InjectedError
+//	         | "panic" ['=' message]     — panic
+//
+// Example:
+//
+//	DARWIN_FAULTS='shard/build=p=0.1,delay=200ms;core/map_read=every=29,panic=poisoned read'
+//
+// With no p/every given, an armed point fires on every call past
+// `after`. Probabilistic points draw from a per-point RNG seeded with
+// the registry seed mixed with the point name, so runs are reproducible
+// regardless of the order points fire in. Every fire increments the
+// point's obs counter ("faults/<point>") and the global "faults/fired",
+// so run reports and benchdiff see exactly what was injected.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darwin/internal/obs"
+)
+
+// AllowEnv must be "1" in the environment for Setup to accept a spec.
+const AllowEnv = "DARWIN_ALLOW_FAULTS"
+
+// SpecEnv is consulted by Setup when no -faults flag value is given.
+const SpecEnv = "DARWIN_FAULTS"
+
+var cFired = obs.Default.Counter("faults/fired")
+
+// InjectedError is the error returned by an armed point's error
+// action, distinguishable from organic failures so the serving layer
+// can label it in structured error responses.
+type InjectedError struct {
+	// Point is the injection point that fired.
+	Point string
+	// Msg is the configured message (default "injected fault").
+	Msg string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("injected fault at %s: %s", e.Point, e.Msg)
+}
+
+// IsInjected reports whether err (or anything it wraps) came from a
+// fault injection point.
+func IsInjected(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie)
+}
+
+// pointConfig is one armed point's behaviour.
+type pointConfig struct {
+	prob     float64 // fire probability; <0 means "not set"
+	every    int64   // fire on every Nth eligible call (overrides prob)
+	after    int64   // skip the first N calls
+	times    int64   // max fires (0 = unlimited)
+	delay    time.Duration
+	errMsg   string
+	hasErr   bool
+	panicMsg string
+	hasPanic bool
+}
+
+// Point is one named injection point. Construct with Registry.Point at
+// package init; the disarmed fast path is a single atomic load.
+type Point struct {
+	name  string
+	fired *obs.Counter
+	armed atomic.Bool
+
+	mu    sync.Mutex
+	cfg   pointConfig
+	rng   *rand.Rand
+	calls int64
+	fires int64
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Fires returns how many times this point has fired since it was last
+// armed.
+func (p *Point) Fires() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fires
+}
+
+// Fire consults the point: disarmed it returns nil at the cost of one
+// atomic load; armed it may sleep (delay action), panic (panic
+// action), or return an *InjectedError (error action), in that
+// precedence. Call it at the top of the guarded operation.
+func (p *Point) Fire() error {
+	if !p.armed.Load() {
+		return nil
+	}
+	return p.fire()
+}
+
+func (p *Point) fire() error {
+	p.mu.Lock()
+	p.calls++
+	cfg := p.cfg
+	eligible := p.calls > cfg.after && (cfg.times == 0 || p.fires < cfg.times)
+	should := false
+	if eligible {
+		switch {
+		case cfg.every > 0:
+			should = (p.calls-cfg.after)%cfg.every == 0
+		case cfg.prob < 0 || cfg.prob >= 1:
+			should = true
+		default:
+			should = p.rng.Float64() < cfg.prob
+		}
+	}
+	if should {
+		p.fires++
+	}
+	p.mu.Unlock()
+	if !should {
+		return nil
+	}
+	p.fired.Inc()
+	cFired.Inc()
+	if cfg.delay > 0 {
+		time.Sleep(cfg.delay)
+	}
+	if cfg.hasPanic {
+		msg := cfg.panicMsg
+		if msg == "" {
+			msg = "injected panic"
+		}
+		panic(fmt.Sprintf("faults: injected panic at %s: %s", p.name, msg))
+	}
+	if cfg.hasErr {
+		msg := cfg.errMsg
+		if msg == "" {
+			msg = "injected fault"
+		}
+		return &InjectedError{Point: p.name, Msg: msg}
+	}
+	return nil
+}
+
+// Registry holds the process's injection points. Points register
+// themselves at package init via Point; Enable arms a subset from a
+// spec string; Reset disarms everything (tests).
+type Registry struct {
+	mu     sync.Mutex
+	seed   int64
+	points map[string]*Point
+}
+
+// NewRegistry returns an empty registry with seed 1.
+func NewRegistry() *Registry {
+	return &Registry{seed: 1, points: map[string]*Point{}}
+}
+
+// Default is the process-wide registry every pipeline package
+// registers its injection points in.
+var Default = NewRegistry()
+
+// Point returns (registering if needed) the named injection point.
+func (r *Registry) Point(name string) *Point {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.points[name]; ok {
+		return p
+	}
+	p := &Point{name: name, fired: obs.Default.Counter("faults/" + name)}
+	r.points[name] = p
+	return p
+}
+
+// Names returns the registered point names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.points))
+	for n := range r.points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Enable parses spec and arms the named points, resetting their call
+// and fire counters so cadence actions (every/after/times) count from
+// this arming. Unknown point names are an error listing the known
+// points — a misspelled spec must not silently inject nothing.
+func (r *Registry) Enable(spec string) error {
+	type armReq struct {
+		p   *Point
+		cfg pointConfig
+	}
+	var reqs []armReq
+	seed := r.seed
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, "=")
+		if !ok {
+			return fmt.Errorf("faults: clause %q is not point=actions", clause)
+		}
+		name = strings.TrimSpace(name)
+		if name == "seed" {
+			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return fmt.Errorf("faults: bad seed %q: %v", rest, err)
+			}
+			seed = v
+			continue
+		}
+		r.mu.Lock()
+		p, ok := r.points[name]
+		r.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("faults: unknown point %q (known: %s)", name, strings.Join(r.Names(), ", "))
+		}
+		cfg, err := parseActions(rest)
+		if err != nil {
+			return fmt.Errorf("faults: point %s: %w", name, err)
+		}
+		reqs = append(reqs, armReq{p: p, cfg: cfg})
+	}
+	r.mu.Lock()
+	r.seed = seed
+	r.mu.Unlock()
+	for _, req := range reqs {
+		req.p.mu.Lock()
+		req.p.cfg = req.cfg
+		req.p.rng = rand.New(rand.NewSource(seed ^ int64(hashName(req.p.name))))
+		req.p.calls = 0
+		req.p.fires = 0
+		req.p.mu.Unlock()
+		req.p.armed.Store(true)
+	}
+	return nil
+}
+
+// Reset disarms every point and clears its counters.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	points := make([]*Point, 0, len(r.points))
+	for _, p := range r.points {
+		points = append(points, p)
+	}
+	r.mu.Unlock()
+	for _, p := range points {
+		p.armed.Store(false)
+		p.mu.Lock()
+		p.cfg = pointConfig{}
+		p.calls, p.fires = 0, 0
+		p.mu.Unlock()
+	}
+}
+
+// PointStatus is one point's state for reporting.
+type PointStatus struct {
+	Name  string `json:"name"`
+	Armed bool   `json:"armed"`
+	Calls int64  `json:"calls"`
+	Fires int64  `json:"fires"`
+}
+
+// Snapshot returns every point's status, sorted by name.
+func (r *Registry) Snapshot() []PointStatus {
+	r.mu.Lock()
+	points := make([]*Point, 0, len(r.points))
+	for _, p := range r.points {
+		points = append(points, p)
+	}
+	r.mu.Unlock()
+	out := make([]PointStatus, 0, len(points))
+	for _, p := range points {
+		p.mu.Lock()
+		out = append(out, PointStatus{Name: p.name, Armed: p.armed.Load(), Calls: p.calls, Fires: p.fires})
+		p.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+func parseActions(s string) (pointConfig, error) {
+	cfg := pointConfig{prob: -1}
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		key, val, _ := strings.Cut(a, "=")
+		key = strings.TrimSpace(key)
+		switch key {
+		case "p", "prob":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return cfg, fmt.Errorf("bad probability %q (want [0,1])", val)
+			}
+			cfg.prob = f
+		case "every":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return cfg, fmt.Errorf("bad every %q (want >= 1)", val)
+			}
+			cfg.every = n
+		case "after":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("bad after %q (want >= 0)", val)
+			}
+			cfg.after = n
+		case "times":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return cfg, fmt.Errorf("bad times %q (want >= 1)", val)
+			}
+			cfg.times = n
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return cfg, fmt.Errorf("bad delay %q: %v", val, err)
+			}
+			cfg.delay = d
+		case "error":
+			cfg.hasErr = true
+			cfg.errMsg = strings.TrimSpace(val)
+		case "panic":
+			cfg.hasPanic = true
+			cfg.panicMsg = strings.TrimSpace(val)
+		default:
+			return cfg, fmt.Errorf("unknown action %q", key)
+		}
+	}
+	if !cfg.hasErr && !cfg.hasPanic && cfg.delay == 0 {
+		return cfg, fmt.Errorf("no action (want at least one of delay, error, panic)")
+	}
+	return cfg, nil
+}
+
+func hashName(name string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32()
+}
+
+// Setup arms the Default registry from the -faults flag value, falling
+// back to the DARWIN_FAULTS environment variable. A non-empty spec is
+// rejected unless DARWIN_ALLOW_FAULTS=1 — injection is an explicit,
+// per-deployment opt-in, never an accidental ship. Returns the active
+// spec ("" when injection is off) for startup logging.
+func Setup(flagSpec string) (string, error) {
+	spec := flagSpec
+	if spec == "" {
+		spec = os.Getenv(SpecEnv)
+	}
+	if spec == "" {
+		return "", nil
+	}
+	if os.Getenv(AllowEnv) != "1" {
+		return "", fmt.Errorf("faults: injection spec given but %s=1 is not set; refusing to arm fault points", AllowEnv)
+	}
+	if err := Default.Enable(spec); err != nil {
+		return "", err
+	}
+	return spec, nil
+}

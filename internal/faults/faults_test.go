@@ -1,0 +1,266 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedPointIsNil(t *testing.T) {
+	r := NewRegistry()
+	p := r.Point("test/a")
+	for i := 0; i < 100; i++ {
+		if err := p.Fire(); err != nil {
+			t.Fatalf("disarmed point fired: %v", err)
+		}
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	r := NewRegistry()
+	p := r.Point("test/err")
+	if err := r.Enable("test/err=error=boom"); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Fire()
+	if err == nil {
+		t.Fatal("armed error point returned nil")
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InjectedError, got %T: %v", err, err)
+	}
+	if ie.Point != "test/err" || ie.Msg != "boom" {
+		t.Fatalf("bad injected error: %+v", ie)
+	}
+	if !IsInjected(err) {
+		t.Fatal("IsInjected(err) = false")
+	}
+}
+
+func TestEveryAndAfter(t *testing.T) {
+	r := NewRegistry()
+	p := r.Point("test/cadence")
+	if err := r.Enable("test/cadence=after=2,every=3,error"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if p.Fire() != nil {
+			fired = append(fired, i)
+		}
+	}
+	// after=2 skips calls 1,2; every=3 then fires on eligible calls 5,8,11.
+	want := []int{5, 8, 11}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on calls %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on calls %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestTimesCap(t *testing.T) {
+	r := NewRegistry()
+	p := r.Point("test/times")
+	if err := r.Enable("test/times=times=2,error"); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i := 0; i < 10; i++ {
+		if p.Fire() != nil {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("fired %d times, want 2", n)
+	}
+	if p.Fires() != 2 {
+		t.Fatalf("Fires() = %d, want 2", p.Fires())
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	run := func() []int {
+		r := NewRegistry()
+		p := r.Point("test/prob")
+		if err := r.Enable("seed=42;test/prob=p=0.3,error"); err != nil {
+			t.Fatal(err)
+		}
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if p.Fire() != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("p=0.3 fired %d/200 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fire counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different fire pattern at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	r := NewRegistry()
+	p := r.Point("test/panic")
+	if err := r.Enable("test/panic=panic=kaboom"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("armed panic point did not panic")
+		}
+		if !strings.Contains(v.(string), "kaboom") {
+			t.Fatalf("panic value %q missing message", v)
+		}
+	}()
+	p.Fire()
+}
+
+func TestDelayAction(t *testing.T) {
+	r := NewRegistry()
+	p := r.Point("test/delay")
+	if err := r.Enable("test/delay=delay=30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := p.Fire(); err != nil {
+		t.Fatalf("delay-only point returned error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay fired in %v, want >= 30ms", d)
+	}
+}
+
+func TestUnknownPointRejected(t *testing.T) {
+	r := NewRegistry()
+	r.Point("test/known")
+	err := r.Enable("test/misspelled=error")
+	if err == nil || !strings.Contains(err.Error(), "unknown point") {
+		t.Fatalf("want unknown-point error, got %v", err)
+	}
+	// A failed Enable must not arm anything.
+	if r.Point("test/known").armed.Load() {
+		t.Fatal("failed Enable armed a point")
+	}
+}
+
+func TestBadSpecsRejected(t *testing.T) {
+	r := NewRegistry()
+	r.Point("x")
+	for _, spec := range []string{
+		"x",               // no '='
+		"x=p=2,error",     // probability out of range
+		"x=every=0,error", // every < 1
+		"x=delay=nope",    // bad duration
+		"x=frobnicate=1",  // unknown action
+		"x=p=0.5",         // no action
+		"seed=zzz",        // bad seed
+	} {
+		if err := r.Enable(spec); err == nil {
+			t.Errorf("spec %q accepted, want error", spec)
+		}
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	r := NewRegistry()
+	p := r.Point("test/reset")
+	if err := r.Enable("test/reset=error"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Fire() == nil {
+		t.Fatal("armed point did not fire")
+	}
+	r.Reset()
+	if err := p.Fire(); err != nil {
+		t.Fatalf("reset point still fires: %v", err)
+	}
+	if p.Fires() != 0 {
+		t.Fatalf("Fires() = %d after Reset, want 0", p.Fires())
+	}
+}
+
+func TestEnableResetsCounters(t *testing.T) {
+	r := NewRegistry()
+	p := r.Point("test/rearm")
+	if err := r.Enable("test/rearm=every=2,error"); err != nil {
+		t.Fatal(err)
+	}
+	p.Fire()
+	p.Fire()
+	p.Fire()
+	// Re-arm: cadence must restart from call 1.
+	if err := r.Enable("test/rearm=every=2,error"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Fire() != nil {
+		t.Fatal("call 1 after re-arm fired (cadence not reset)")
+	}
+	if p.Fire() == nil {
+		t.Fatal("call 2 after re-arm did not fire")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Point("b/two")
+	p := r.Point("a/one")
+	if err := r.Enable("a/one=error"); err != nil {
+		t.Fatal(err)
+	}
+	p.Fire()
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a/one" || snap[1].Name != "b/two" {
+		t.Fatalf("bad snapshot order: %+v", snap)
+	}
+	if !snap[0].Armed || snap[0].Calls != 1 || snap[0].Fires != 1 {
+		t.Fatalf("bad armed status: %+v", snap[0])
+	}
+	if snap[1].Armed {
+		t.Fatalf("unarmed point reported armed: %+v", snap[1])
+	}
+}
+
+func TestSetupGate(t *testing.T) {
+	t.Setenv(AllowEnv, "")
+	Default.Point("gate/test")
+	if _, err := Setup("gate/test=error"); err == nil {
+		t.Fatal("Setup accepted spec without DARWIN_ALLOW_FAULTS=1")
+	}
+	t.Setenv(AllowEnv, "1")
+	spec, err := Setup("gate/test=error")
+	if err != nil || spec != "gate/test=error" {
+		t.Fatalf("Setup with gate set: spec=%q err=%v", spec, err)
+	}
+	Default.Reset()
+
+	// Env fallback.
+	t.Setenv(SpecEnv, "gate/test=error")
+	spec, err = Setup("")
+	if err != nil || spec != "gate/test=error" {
+		t.Fatalf("Setup env fallback: spec=%q err=%v", spec, err)
+	}
+	Default.Reset()
+
+	// Empty spec: injection off, no error regardless of gate.
+	t.Setenv(SpecEnv, "")
+	t.Setenv(AllowEnv, "")
+	spec, err = Setup("")
+	if err != nil || spec != "" {
+		t.Fatalf("Setup with no spec: spec=%q err=%v", spec, err)
+	}
+}

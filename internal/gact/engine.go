@@ -6,8 +6,15 @@ import (
 
 	"darwin/internal/align"
 	"darwin/internal/dna"
+	"darwin/internal/faults"
 	"darwin/internal/obs"
 )
+
+// gact/extend fires per candidate extension: an error drops just that
+// candidate (core treats it like bad anchor geometry), a delay models
+// a stuck tile pipeline (caught by core's per-read watchdog), a panic
+// is contained by core's per-read recover.
+var fpExtend = faults.Default.Point("gact/extend")
 
 // engStep is one extension tile the Engine has consumed. The tile's
 // path lives in the Engine's step arena as [cigOff, cigOff+cigLen)
@@ -74,6 +81,9 @@ func (e *Engine) Config() *Config { return &e.cfg }
 func (e *Engine) Extend(R, Q dna.Seq, iSeed, jSeed int) (*align.Result, Stats, error) {
 	var stats Stats
 	cfg := &e.cfg
+	if err := fpExtend.Fire(); err != nil {
+		return nil, stats, err
+	}
 	if iSeed < 0 || iSeed >= len(R) || jSeed < 0 || jSeed >= len(Q) {
 		return nil, stats, fmt.Errorf("gact: seed position (%d,%d) outside R[0,%d) × Q[0,%d)", iSeed, jSeed, len(R), len(Q))
 	}

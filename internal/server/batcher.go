@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -21,7 +22,10 @@ var (
 	cBatches       = obs.Default.Counter("server/batches")
 	cBatchedReads  = obs.Default.Counter("server/batched_reads")
 	cJobsCancelled = obs.Default.Counter("server/jobs_cancelled")
+	cBatchPanics   = obs.Default.Counter("server/batch_panics")
+	cShedEvents    = obs.Default.Counter("server/shed_events")
 	gQueueDepth    = obs.Default.Gauge("server/queue_depth")
+	gEffBatchReads = obs.Default.Gauge("server/effective_batch_reads")
 	hBatchSize     = obs.Default.Histogram("server/batch_size_reads", 0, 1024, 64)
 	hQueueWait     = obs.Default.Histogram("server/queue_wait_ms", 0, 1000, 50)
 )
@@ -50,10 +54,27 @@ type BatcherConfig struct {
 	// Executors is the number of concurrent batch executors (default
 	// runtime.NumCPU(), min 1).
 	Executors int
-	// WorkersPerBatch is the MapAllContext parallelism within one
-	// batch (default 1: micro-batching already provides cross-request
+	// WorkersPerBatch is the Map parallelism within one batch
+	// (default 1: micro-batching already provides cross-request
 	// parallelism via executors; raise it for few large requests).
 	WorkersPerBatch int
+	// ReadDeadline bounds one read's wall-clock mapping time inside a
+	// batch (core.WithDeadlinePerRead); zero disables it. One stuck
+	// read then fails individually instead of stalling its batch.
+	ReadDeadline time.Duration
+	// ShedHighWater is the queue-depth fraction of QueueBound at which
+	// sustained growth triggers load shedding (default 0.75).
+	ShedHighWater float64
+	// ShedLowWater is the fraction below which shedding recovers
+	// (default 0.25).
+	ShedLowWater float64
+	// ShedTicks is how many consecutive dispatcher ticks the depth
+	// must sit past a watermark before the effective batch size halves
+	// (or doubles back); default 4.
+	ShedTicks int
+	// MinBatchReads floors the effective batch size under shedding
+	// (default 8).
+	MinBatchReads int
 }
 
 func (c BatcherConfig) withDefaults() BatcherConfig {
@@ -71,6 +92,21 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	}
 	if c.WorkersPerBatch <= 0 {
 		c.WorkersPerBatch = 1
+	}
+	if c.ShedHighWater <= 0 || c.ShedHighWater > 1 {
+		c.ShedHighWater = 0.75
+	}
+	if c.ShedLowWater <= 0 || c.ShedLowWater >= c.ShedHighWater {
+		c.ShedLowWater = c.ShedHighWater / 3
+	}
+	if c.ShedTicks <= 0 {
+		c.ShedTicks = 4
+	}
+	if c.MinBatchReads <= 0 {
+		c.MinBatchReads = 8
+	}
+	if c.MinBatchReads > c.MaxBatchReads {
+		c.MinBatchReads = c.MaxBatchReads
 	}
 	return c
 }
@@ -94,7 +130,7 @@ type JobResult struct {
 }
 
 // batch is a flush unit: jobs against the same index entry executed
-// as one MapAllContext call.
+// as one context-bounded Map call.
 type batch struct {
 	entry *IndexEntry
 	jobs  []*Job
@@ -191,6 +227,16 @@ func (j *Job) Wait() JobResult {
 // per-batch timers. Ticking at MaxWait/2 and flushing batches older
 // than MaxWait/2 keeps the worst-case wait under MaxWait (threshold +
 // one tick period), honoring the documented bound.
+//
+// The same ticker drives load shedding: when the admission queue sits
+// at or above ShedHighWater×QueueBound for ShedTicks consecutive
+// ticks, the effective batch-size threshold halves (floored at
+// MinBatchReads) — smaller batches flush sooner, trading peak
+// throughput for queue turnover and tail latency while the burst
+// lasts. Once depth falls to the low watermark for as many ticks, the
+// threshold doubles back toward MaxBatchReads. The current threshold
+// is exported as the server/effective_batch_reads gauge and every
+// halving counts on server/shed_events.
 func (b *Batcher) dispatch() {
 	defer close(b.dispatcherDone)
 	pending := make(map[*IndexEntry]*batch)
@@ -200,6 +246,15 @@ func (b *Batcher) dispatch() {
 	}
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
+
+	effective := b.cfg.MaxBatchReads
+	gEffBatchReads.Set(int64(effective))
+	high := int(float64(b.cfg.QueueBound) * b.cfg.ShedHighWater)
+	if high < 1 {
+		high = 1
+	}
+	low := int(float64(b.cfg.QueueBound) * b.cfg.ShedLowWater)
+	hotTicks, coolTicks := 0, 0
 
 	flush := func(bt *batch) {
 		delete(pending, bt.entry)
@@ -215,8 +270,38 @@ func (b *Batcher) dispatch() {
 		}
 		bt.jobs = append(bt.jobs, job)
 		bt.reads += len(job.reads)
-		if bt.reads >= b.cfg.MaxBatchReads {
+		if bt.reads >= effective {
 			flush(bt)
+		}
+	}
+	shed := func() {
+		depth := len(b.queue)
+		switch {
+		case depth >= high:
+			hotTicks++
+			coolTicks = 0
+			if hotTicks >= b.cfg.ShedTicks && effective > b.cfg.MinBatchReads {
+				effective /= 2
+				if effective < b.cfg.MinBatchReads {
+					effective = b.cfg.MinBatchReads
+				}
+				cShedEvents.Inc()
+				gEffBatchReads.Set(int64(effective))
+				hotTicks = 0
+			}
+		case depth <= low:
+			coolTicks++
+			hotTicks = 0
+			if coolTicks >= b.cfg.ShedTicks && effective < b.cfg.MaxBatchReads {
+				effective *= 2
+				if effective > b.cfg.MaxBatchReads {
+					effective = b.cfg.MaxBatchReads
+				}
+				gEffBatchReads.Set(int64(effective))
+				coolTicks = 0
+			}
+		default:
+			hotTicks, coolTicks = 0, 0
 		}
 	}
 
@@ -240,12 +325,20 @@ func (b *Batcher) dispatch() {
 					flush(bt)
 				}
 			}
+			shed()
 		}
 	}
 }
 
 // runBatch executes one batch: concatenate live jobs' reads, run one
-// MapAllContext on a pooled clone, slice results back per job.
+// Map call on a pooled clone, slice results back per job.
+//
+// The executor is the shared resource a faulty batch must not take
+// down: a panic anywhere in the flush (or injected at server/flush)
+// is recovered and answered to every still-unanswered member job as a
+// structured error, so the executor survives to run the next batch.
+// Per-read failures never reach this level — core.Map confines them
+// to MapResult.Err, which flows through JobResult.Results untouched.
 func (b *Batcher) runBatch(bt *batch) {
 	endSpan := obs.Trace.Start("server.batch")
 	defer endSpan()
@@ -265,58 +358,91 @@ func (b *Batcher) runBatch(bt *batch) {
 		return
 	}
 
-	var reads []dna.Seq
-	for _, j := range live {
-		reads = append(reads, j.reads...)
-	}
-	cBatches.Inc()
-	cBatchedReads.Add(int64(len(reads)))
-	hBatchSize.Observe(float64(len(reads)))
-
-	// The batch runs until every member's context is done: one
-	// impatient client must not cancel work other clients still want.
-	batchCtx, cancel := context.WithCancel(context.Background())
-	stopWatch := make(chan struct{})
-	go func() {
-		defer cancel()
-		for _, j := range live {
-			select {
-			case <-j.ctx.Done():
-			case <-stopWatch:
-				return
+	// answered guards the buffered (size-1) resp channels: the panic
+	// path must answer exactly the jobs the normal path has not, or a
+	// double send would block the executor forever.
+	answered := make([]bool, len(live))
+	defer func() {
+		if r := recover(); r != nil {
+			cBatchPanics.Inc()
+			perr := fmt.Errorf("server: batch execution panicked: %v", r)
+			for i, j := range live {
+				if !answered[i] {
+					j.resp <- JobResult{Err: perr}
+					answered[i] = true
+				}
 			}
 		}
 	}()
 
-	engine, err := bt.entry.Acquire()
+	err := fpFlush.Fire()
 	if err == nil {
-		var results []core.MapResult
-		results, err = engine.MapAllContext(batchCtx, reads, b.cfg.WorkersPerBatch)
-		bt.entry.Release(engine)
-		if err == nil {
-			off := 0
+		var reads []dna.Seq
+		for _, j := range live {
+			reads = append(reads, j.reads...)
+		}
+		cBatches.Inc()
+		cBatchedReads.Add(int64(len(reads)))
+		hBatchSize.Observe(float64(len(reads)))
+
+		// The batch runs until every member's context is done: one
+		// impatient client must not cancel work other clients still want.
+		batchCtx, cancel := context.WithCancel(context.Background())
+		stopWatch := make(chan struct{})
+		var stopOnce sync.Once
+		stopWatcher := func() {
+			stopOnce.Do(func() { close(stopWatch) })
+			cancel()
+		}
+		defer stopWatcher()
+		go func() {
+			defer cancel()
 			for _, j := range live {
-				sub := results[off : off+len(j.reads)]
-				// Re-base indices from batch order to the job's own
-				// read order.
-				for k := range sub {
-					sub[k].Index = k
+				select {
+				case <-j.ctx.Done():
+				case <-stopWatch:
+					return
 				}
-				j.resp <- JobResult{Results: sub}
-				off += len(j.reads)
+			}
+		}()
+
+		var engine core.Mapper
+		engine, err = bt.entry.Acquire()
+		if err == nil {
+			var results []core.MapResult
+			results, err = engine.Map(batchCtx, reads,
+				core.WithWorkers(b.cfg.WorkersPerBatch),
+				core.WithDeadlinePerRead(b.cfg.ReadDeadline))
+			bt.entry.Release(engine)
+			if err == nil {
+				off := 0
+				for i, j := range live {
+					sub := results[off : off+len(j.reads)]
+					// Re-base indices from batch order to the job's own
+					// read order.
+					for k := range sub {
+						sub[k].Index = k
+					}
+					j.resp <- JobResult{Results: sub}
+					answered[i] = true
+					off += len(j.reads)
+				}
 			}
 		}
+		stopWatcher()
 	}
-	close(stopWatch)
-	cancel()
 	if err != nil {
-		for _, j := range live {
+		for i, j := range live {
+			if answered[i] {
+				continue
+			}
 			if jerr := j.ctx.Err(); jerr != nil {
 				cJobsCancelled.Inc()
 				j.resp <- JobResult{Err: jerr}
 			} else {
 				j.resp <- JobResult{Err: err}
 			}
+			answered[i] = true
 		}
 	}
 }

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"darwin/internal/obs"
+)
+
+// Breaker observability: transitions and the number of sources
+// currently open.
+var (
+	cBreakerOpens = obs.Default.Counter("server/breaker_opens")
+	cBreakerFast  = obs.Default.Counter("server/breaker_fast_fails")
+	gBreakerOpen  = obs.Default.Gauge("server/breakers_open")
+)
+
+// ErrCircuitOpen is returned (wrapped) when a source's breaker is
+// rejecting work; the HTTP layer maps it to a structured 503 with the
+// cooldown as Retry-After.
+var ErrCircuitOpen = errors.New("server: index build circuit open")
+
+// Breaker is a per-source circuit breaker over index builds. Repeated
+// consecutive build failures for one reference mean the source is
+// doomed (missing file, corrupt FASTA, injected fault) — re-running
+// the build for every request just burns an executor-side build slot
+// per request. After Threshold consecutive failures the breaker opens:
+// requests fail fast with ErrCircuitOpen until Cooldown passes, then a
+// single probe build is allowed through (half-open); its outcome
+// closes or re-opens the circuit.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	failures int
+	state    breakerState
+	openedAt time.Time
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// NewBreaker returns a closed breaker (threshold min 1, cooldown min
+// 1ms).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a build attempt may proceed. In the open
+// state it returns false until the cooldown elapses, then admits
+// exactly one probe (half-open); while that probe is in flight every
+// other caller keeps failing fast.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		cBreakerFast.Inc()
+		return false
+	default: // half-open: a probe is already in flight
+		cBreakerFast.Inc()
+		return false
+	}
+}
+
+// Success records a successful build, closing the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		gBreakerOpen.Add(-1)
+	}
+	b.state = breakerClosed
+	b.failures = 0
+}
+
+// Failure records a failed build: in the closed state it opens the
+// circuit once Threshold consecutive failures accumulate; a failed
+// half-open probe re-opens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case breakerClosed:
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			cBreakerOpens.Inc()
+			gBreakerOpen.Add(1)
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		cBreakerOpens.Inc()
+	}
+}
+
+// State returns the current state name (for tests and debug output).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,7 +1,7 @@
 // Package server is the darwind serving layer: a resident index
 // cache, a micro-batcher that coalesces small requests into
-// MapAllContext batches, and the HTTP/JSON front end with admission
-// control and graceful drain.
+// context-bounded Map batches, and the HTTP/JSON front end with
+// admission control and graceful drain.
 //
 // The paper's co-processor only reaches its headline throughput
 // because the host amortizes index construction: the reference seed
@@ -15,6 +15,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -115,23 +116,30 @@ func IndexKey(source string, cfg core.Config, scfg shard.Config) string {
 
 // BuildEntry indexes records under cfg and wraps them as a cache
 // entry (the build func used by both warmup and on-demand loads).
-// A non-zero shard geometry builds the bounded-memory scatter-gather
-// engine instead of the monolithic one.
+// Engine selection — monolithic vs the bounded-memory scatter-gather
+// engine — is core.Open's job; this layer only recovers the shard set
+// for /v1/indexes residency reporting.
 func BuildEntry(key string, recs []dna.Record, cfg core.Config, scfg shard.Config, clonePool int) (*IndexEntry, error) {
 	stop := tIndexBuild.Time()
 	defer stop()
-	if scfg.Enabled() {
-		engine, ref, err := shard.NewMulti(recs, cfg, scfg)
-		if err != nil {
-			return nil, err
-		}
-		return newIndexEntry(key, engine, engine.Set(), ref, clonePool), nil
-	}
-	engine, ref, err := core.NewMulti(recs, cfg)
+	engine, ref, err := core.Open(core.OpenConfig{
+		Records: recs,
+		Core:    cfg,
+		Shard: core.ShardSpec{
+			Shards:           scfg.Shards,
+			ShardSize:        scfg.ShardSize,
+			Overlap:          scfg.Overlap,
+			MaxResidentBytes: scfg.MaxResidentBytes,
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	return newIndexEntry(key, engine, nil, ref, clonePool), nil
+	var set *shard.Set
+	if sm, ok := engine.(*shard.ScatterMapper); ok {
+		set = sm.Set()
+	}
+	return newIndexEntry(key, engine, set, ref, clonePool), nil
 }
 
 // buildCall is one in-flight singleflight build.
@@ -170,7 +178,14 @@ func NewIndexCache(capacity int) *IndexCache {
 // Concurrent Gets for the same missing key run build exactly once and
 // share its result (including its error — a failed build is not
 // cached, so a later Get retries).
-func (c *IndexCache) Get(key string, build func() (*IndexEntry, error)) (*IndexEntry, bool, error) {
+//
+// The build runs in its own goroutine: every waiter — the leader
+// included — selects on the build finishing or its own ctx ending, so
+// a request's index-stage budget bounds how long it waits for a slow
+// build without killing the build itself (the finished index is still
+// inserted for future requests). A panicking build is recovered into
+// a build error; the panic poisons nothing but that attempt.
+func (c *IndexCache) Get(ctx context.Context, key string, build func() (*IndexEntry, error)) (*IndexEntry, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
@@ -178,36 +193,51 @@ func (c *IndexCache) Get(key string, build func() (*IndexEntry, error)) (*IndexE
 		cCacheHits.Inc()
 		return el.Value.(*IndexEntry), true, nil
 	}
-	if call, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		<-call.done
-		if call.err != nil {
-			return nil, false, call.err
-		}
-		// The leader inserted the entry; count ourselves as a hit on
+	call, shared := c.inflight[key]
+	if !shared {
+		call = &buildCall{done: make(chan struct{})}
+		c.inflight[key] = call
+		cCacheMisses.Inc()
+		go func() {
+			entry, err := buildRecovered(build)
+			call.entry, call.err = entry, err
+			c.mu.Lock()
+			delete(c.inflight, key)
+			if err == nil {
+				c.insertLocked(key, entry)
+			}
+			c.mu.Unlock()
+			close(call.done)
+		}()
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-call.done:
+	case <-ctx.Done():
+		return nil, false, fmt.Errorf("server: waiting for index build: %w", ctx.Err())
+	}
+	if call.err != nil {
+		return nil, false, call.err
+	}
+	if shared {
+		// The leader's build satisfied us too; count it as a hit on
 		// the shared build.
 		cCacheHits.Inc()
-		return call.entry, true, nil
 	}
-	call := &buildCall{done: make(chan struct{})}
-	c.inflight[key] = call
-	c.mu.Unlock()
+	return call.entry, shared, nil
+}
 
-	cCacheMisses.Inc()
-	entry, err := build()
-	call.entry, call.err = entry, err
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if err == nil {
-		c.insertLocked(key, entry)
-	}
-	c.mu.Unlock()
-	close(call.done)
-	if err != nil {
-		return nil, false, err
-	}
-	return entry, false, nil
+// buildRecovered runs build with panic containment: an index build
+// that panics (poisoned input, injected fault) fails that one build
+// attempt instead of crashing the process.
+func buildRecovered(build func() (*IndexEntry, error)) (entry *IndexEntry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			entry, err = nil, fmt.Errorf("server: index build panicked: %v", r)
+		}
+	}()
+	return build()
 }
 
 // insertLocked adds an entry, evicting from the LRU tail past

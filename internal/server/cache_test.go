@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -43,7 +44,7 @@ func TestIndexCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e, _, err := cache.Get("k", build)
+			e, _, err := cache.Get(context.Background(), "k", build)
 			if err != nil {
 				t.Error(err)
 				return
@@ -68,15 +69,15 @@ func TestIndexCacheLRUEviction(t *testing.T) {
 		return func() (*IndexEntry, error) { return testEntry(t, key, 43, 20000), nil }
 	}
 	for _, k := range []string{"a", "b"} {
-		if _, hit, err := cache.Get(k, mk(k)); err != nil || hit {
+		if _, hit, err := cache.Get(context.Background(), k, mk(k)); err != nil || hit {
 			t.Fatalf("Get(%s) = hit=%v err=%v, want fresh build", k, hit, err)
 		}
 	}
 	// Touch "a" so "b" becomes least recently used, then insert "c".
-	if _, hit, err := cache.Get("a", mk("a")); err != nil || !hit {
+	if _, hit, err := cache.Get(context.Background(), "a", mk("a")); err != nil || !hit {
 		t.Fatalf("Get(a) again = hit=%v err=%v, want cache hit", hit, err)
 	}
-	if _, hit, err := cache.Get("c", mk("c")); err != nil || hit {
+	if _, hit, err := cache.Get(context.Background(), "c", mk("c")); err != nil || hit {
 		t.Fatalf("Get(c) = hit=%v err=%v, want fresh build", hit, err)
 	}
 	if cache.Len() != 2 {
@@ -91,7 +92,7 @@ func TestIndexCacheLRUEviction(t *testing.T) {
 	}
 	// "b" must rebuild.
 	var rebuilt bool
-	if _, hit, err := cache.Get("b", func() (*IndexEntry, error) {
+	if _, hit, err := cache.Get(context.Background(), "b", func() (*IndexEntry, error) {
 		rebuilt = true
 		return testEntry(t, "b", 44, 20000), nil
 	}); err != nil || hit || !rebuilt {
@@ -102,14 +103,14 @@ func TestIndexCacheLRUEviction(t *testing.T) {
 func TestIndexCacheBuildErrorNotCached(t *testing.T) {
 	cache := NewIndexCache(2)
 	boom := errors.New("boom")
-	if _, _, err := cache.Get("k", func() (*IndexEntry, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := cache.Get(context.Background(), "k", func() (*IndexEntry, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("Get with failing build = %v, want boom", err)
 	}
 	if cache.Len() != 0 {
 		t.Fatal("failed build left a cache entry")
 	}
 	// A later Get retries the build.
-	e, hit, err := cache.Get("k", func() (*IndexEntry, error) { return testEntry(t, "k", 45, 20000), nil })
+	e, hit, err := cache.Get(context.Background(), "k", func() (*IndexEntry, error) { return testEntry(t, "k", 45, 20000), nil })
 	if err != nil || hit || e == nil {
 		t.Fatalf("retry after failed build: entry=%v hit=%v err=%v", e, hit, err)
 	}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Error codes on the wire. Clients branch on the code, not the
+// message: the code set is the API, the message is diagnostics.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeMethodNotAllow  = "method_not_allowed"
+	CodeTooManyReads    = "too_many_reads"
+	CodeRefLoadDisabled = "ref_load_disabled"
+	CodeRefLoadFailed   = "ref_load_failed"
+	CodeCircuitOpen     = "circuit_open"
+	CodeFaultInjected   = "fault_injected"
+	CodeQueueFull       = "queue_full"
+	CodeDraining        = "draining"
+	CodeWarming         = "warming"
+	CodeNoIndex         = "no_index"
+	CodeDeadline        = "deadline_exceeded"
+	CodeInternal        = "internal"
+)
+
+// ErrorBody is the structured JSON error envelope every non-200
+// response carries: {"error":{"code":...,"message":...}}.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the code + human-readable message pair.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// httpError writes a structured JSON error with status code. Headers
+// (Retry-After etc.) must be set before calling.
+func httpError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}

@@ -1,0 +1,22 @@
+package server
+
+import "darwin/internal/faults"
+
+// Fault injection points for the serving layer (armed only via
+// faults.Setup):
+//
+//   - server/admit fires per admitted /v1/map request before it is
+//     submitted to the batcher — an error turns into a structured 503,
+//     a delay models slow admission control.
+//   - server/flush fires per batch flush inside the executor — an
+//     error or panic must fail only that batch's jobs with structured
+//     errors, never the executor pool (the recover wrapper in runBatch
+//     is what a chaos run is proving).
+//   - server/stream fires per NDJSON response line — an error replaces
+//     that read's line with a structured error line, a delay models a
+//     slow client connection.
+var (
+	fpAdmit  = faults.Default.Point("server/admit")
+	fpFlush  = faults.Default.Point("server/flush")
+	fpStream = faults.Default.Point("server/stream")
+)

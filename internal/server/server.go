@@ -3,15 +3,18 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/faults"
 	"darwin/internal/obs"
 	"darwin/internal/sam"
 	"darwin/internal/shard"
@@ -54,6 +57,18 @@ type Config struct {
 	// loading them on demand into the cache. Off by default: a serving
 	// deployment usually pins its reference set.
 	AllowRefLoad bool
+	// IndexBudgetFrac splits a request's deadline across its stages:
+	// an on-demand index load may consume at most this fraction of the
+	// request timeout before the request gives up waiting (the build
+	// itself continues for future requests); the map stage gets
+	// whatever remains of the total. Default 0.5.
+	IndexBudgetFrac float64
+	// BreakerThreshold is how many consecutive build failures for one
+	// reference source open its circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// admitting a probe build (default 5s).
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +83,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.IndexBudgetFrac <= 0 || c.IndexBudgetFrac > 1 {
+		c.IndexBudgetFrac = 0.5
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
 	}
 	c.Batch = c.Batch.withDefaults()
 	return c
@@ -84,6 +108,11 @@ type Server struct {
 	ready        atomic.Bool
 	draining     atomic.Bool
 	defaultEntry atomic.Pointer[IndexEntry]
+
+	// breakers holds one circuit breaker per index key, so one doomed
+	// reference fails fast without touching any other source's builds.
+	brMu     sync.Mutex
+	breakers map[string]*Breaker
 }
 
 // New assembles a server; call Warm to load the default index and
@@ -91,9 +120,10 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   NewIndexCache(cfg.CacheSize),
-		batcher: NewBatcher(cfg.Batch),
+		cfg:      cfg,
+		cache:    NewIndexCache(cfg.CacheSize),
+		batcher:  NewBatcher(cfg.Batch),
+		breakers: make(map[string]*Breaker),
 	}
 	s.batcher.Start()
 	s.mux = http.NewServeMux()
@@ -114,7 +144,7 @@ func (s *Server) Warm(ctx context.Context) error {
 	if s.cfg.DefaultRef == "" {
 		return fmt.Errorf("server: no default reference configured")
 	}
-	entry, _, err := s.loadEntry(s.cfg.DefaultRef)
+	entry, _, err := s.loadEntry(ctx, s.cfg.DefaultRef)
 	if err != nil {
 		return err
 	}
@@ -147,17 +177,58 @@ func (s *Server) Drain(ctx context.Context) error {
 	return s.batcher.Drain(ctx)
 }
 
+// breakerFor returns (creating if needed) the circuit breaker for an
+// index key.
+func (s *Server) breakerFor(key string) *Breaker {
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	br, ok := s.breakers[key]
+	if !ok {
+		br = NewBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown)
+		s.breakers[key] = br
+	}
+	return br
+}
+
 // loadEntry resolves source (a FASTA path) to a warm index via the
-// cache.
-func (s *Server) loadEntry(source string) (*IndexEntry, bool, error) {
+// cache. ctx bounds only how long this caller waits — a build that
+// outlives it still completes and is cached for future requests. The
+// source's circuit breaker wraps the build: once it opens, requests
+// fail fast with ErrCircuitOpen instead of re-queuing a doomed build,
+// and a breaker rejection is never itself counted as a build failure.
+func (s *Server) loadEntry(ctx context.Context, source string) (*IndexEntry, bool, error) {
 	key := IndexKey(source, s.cfg.Core, s.cfg.Shard)
-	return s.cache.Get(key, func() (*IndexEntry, error) {
-		recs, err := readFASTAPath(source)
+	br := s.breakerFor(key)
+	return s.cache.Get(ctx, key, func() (*IndexEntry, error) {
+		if !br.Allow() {
+			return nil, fmt.Errorf("%w: reference %q (retry after %v)", ErrCircuitOpen, source, s.cfg.BreakerCooldown)
+		}
+		// buildRecovered here (not just in the cache) so a panicking
+		// build counts as a breaker failure like any other.
+		entry, err := buildRecovered(func() (*IndexEntry, error) {
+			recs, err := readFASTAPath(source)
+			if err != nil {
+				return nil, err
+			}
+			return BuildEntry(key, recs, s.cfg.Core, s.cfg.Shard, s.cfg.Batch.Executors)
+		})
 		if err != nil {
+			br.Failure()
 			return nil, err
 		}
-		return BuildEntry(key, recs, s.cfg.Core, s.cfg.Shard, s.cfg.Batch.Executors)
+		br.Success()
+		return entry, nil
 	})
+}
+
+// retryAfterSeconds rounds a cooldown up to whole seconds for the
+// Retry-After header (minimum 1).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func readFASTAPath(path string) ([]dna.Record, error) {
@@ -256,11 +327,6 @@ type MapResponseLine struct {
 	Error   string       `json:"error,omitempty"`
 }
 
-// httpError writes a plain-text error with status code.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	http.Error(w, fmt.Sprintf(format, args...), code)
-}
-
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	cRequests.Inc()
@@ -270,19 +336,19 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 
 	if r.Method != http.MethodPost {
 		cRequestsFailed.Inc()
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		httpError(w, http.StatusMethodNotAllowed, CodeMethodNotAllow, "POST required")
 		return
 	}
 	if s.draining.Load() {
 		cRejectedDraining.Inc()
 		w.Header().Set("Retry-After", "5")
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		httpError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
 		return
 	}
 	if !s.ready.Load() {
 		cRequestsFailed.Inc()
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "index warming")
+		httpError(w, http.StatusServiceUnavailable, CodeWarming, "index warming")
 		return
 	}
 
@@ -290,53 +356,41 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
 		cRequestsFailed.Inc()
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if len(req.Reads) == 0 {
 		cRequestsFailed.Inc()
-		httpError(w, http.StatusBadRequest, "no reads")
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "no reads")
 		return
 	}
 	if len(req.Reads) > s.cfg.MaxReadsPerRequest {
 		cRequestsFailed.Inc()
-		httpError(w, http.StatusRequestEntityTooLarge,
+		httpError(w, http.StatusRequestEntityTooLarge, CodeTooManyReads,
 			"%d reads exceeds per-request limit %d", len(req.Reads), s.cfg.MaxReadsPerRequest)
 		return
 	}
 	for i, rd := range req.Reads {
 		if len(rd.Seq) == 0 {
 			cRequestsFailed.Inc()
-			httpError(w, http.StatusBadRequest, "read %d (%q) has an empty sequence", i, rd.Name)
+			httpError(w, http.StatusBadRequest, CodeBadRequest, "read %d (%q) has an empty sequence", i, rd.Name)
 			return
 		}
 	}
 
-	// Resolve the index: warm default, or an on-demand load when the
-	// deployment allows it.
-	entry := s.defaultEntry.Load()
-	if req.Reference != "" && req.Reference != s.cfg.DefaultRef {
-		if !s.cfg.AllowRefLoad {
-			cRequestsFailed.Inc()
-			httpError(w, http.StatusForbidden, "on-demand reference loading is disabled (-allow-ref-load)")
-			return
-		}
-		var err error
-		entry, _, err = s.loadEntry(req.Reference)
-		if err != nil {
-			cRequestsFailed.Inc()
-			httpError(w, http.StatusBadRequest, "loading reference %q: %v", req.Reference, err)
-			return
-		}
-	}
-	if entry == nil {
+	// Admission fault point: an injected error here exercises the
+	// structured-error path before any stage budget is spent.
+	if err := fpAdmit.Fire(); err != nil {
 		cRequestsFailed.Inc()
-		httpError(w, http.StatusServiceUnavailable, "no default index")
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, CodeFaultInjected, "%v", err)
 		return
 	}
 
 	// Per-request deadline: the server cap, shortened by the client's
-	// timeout_ms, threaded through the batcher into MapAllContext.
+	// timeout_ms. The total budget is split across stages — an
+	// on-demand index load may consume at most IndexBudgetFrac of it,
+	// the map stage gets whatever remains.
 	timeout := s.cfg.RequestTimeout
 	if req.TimeoutMS > 0 {
 		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
@@ -345,6 +399,43 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+
+	// Resolve the index: warm default, or an on-demand load when the
+	// deployment allows it.
+	entry := s.defaultEntry.Load()
+	if req.Reference != "" && req.Reference != s.cfg.DefaultRef {
+		if !s.cfg.AllowRefLoad {
+			cRequestsFailed.Inc()
+			httpError(w, http.StatusForbidden, CodeRefLoadDisabled, "on-demand reference loading is disabled (-allow-ref-load)")
+			return
+		}
+		indexBudget := time.Duration(float64(timeout) * s.cfg.IndexBudgetFrac)
+		ictx, icancel := context.WithTimeout(ctx, indexBudget)
+		var err error
+		entry, _, err = s.loadEntry(ictx, req.Reference)
+		icancel()
+		if err != nil {
+			cRequestsFailed.Inc()
+			switch {
+			case errors.Is(err, ErrCircuitOpen):
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.BreakerCooldown)))
+				httpError(w, http.StatusServiceUnavailable, CodeCircuitOpen, "reference %q: %v", req.Reference, err)
+			case errors.Is(err, context.DeadlineExceeded):
+				httpError(w, http.StatusGatewayTimeout, CodeDeadline,
+					"index build for %q exceeded its stage budget (%v of the request deadline)", req.Reference, indexBudget)
+			case faults.IsInjected(err):
+				httpError(w, http.StatusServiceUnavailable, CodeFaultInjected, "loading reference %q: %v", req.Reference, err)
+			default:
+				httpError(w, http.StatusBadRequest, CodeRefLoadFailed, "loading reference %q: %v", req.Reference, err)
+			}
+			return
+		}
+	}
+	if entry == nil {
+		cRequestsFailed.Inc()
+		httpError(w, http.StatusServiceUnavailable, CodeNoIndex, "no default index")
+		return
+	}
 
 	reads := make([]dna.Seq, len(req.Reads))
 	for i := range req.Reads {
@@ -358,22 +449,25 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case err == ErrQueueFull:
 			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+			httpError(w, http.StatusTooManyRequests, CodeQueueFull, "admission queue full, retry later")
 		case err == ErrDraining:
 			w.Header().Set("Retry-After", "5")
-			httpError(w, http.StatusServiceUnavailable, "draining")
+			httpError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
 		default:
-			httpError(w, http.StatusInternalServerError, "%v", err)
+			httpError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		}
 		return
 	}
 	res := job.Wait()
 	if res.Err != nil {
 		cRequestsFailed.Inc()
-		if res.Err == context.DeadlineExceeded || res.Err == context.Canceled {
-			httpError(w, http.StatusGatewayTimeout, "request deadline exceeded")
-		} else {
-			httpError(w, http.StatusInternalServerError, "%v", res.Err)
+		switch {
+		case res.Err == context.DeadlineExceeded || res.Err == context.Canceled:
+			httpError(w, http.StatusGatewayTimeout, CodeDeadline, "request deadline exceeded")
+		case faults.IsInjected(res.Err):
+			httpError(w, http.StatusServiceUnavailable, CodeFaultInjected, "%v", res.Err)
+		default:
+			httpError(w, http.StatusInternalServerError, CodeInternal, "%v", res.Err)
 		}
 		return
 	}
@@ -426,27 +520,42 @@ func recordsFor(entry *IndexEntry, name string, seq dna.Seq, alns []core.ReadAli
 }
 
 // writeNDJSON streams one MapResponseLine per read, flushing after
-// each line so clients see results as they are encoded.
+// each line so clients see results as they are encoded. A read that
+// failed (panic isolation, per-read deadline, injected fault) gets an
+// error line instead of records — the other reads in the request are
+// unaffected, which is the whole point of per-read isolation.
 func (s *Server) writeNDJSON(w http.ResponseWriter, entry *IndexEntry, req MapRequest, results []core.MapResult) {
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for i, rd := range req.Reads {
-		recs := recordsFor(entry, rd.Name, rd.Seq, results[i].Alignments, req.All)
-		// Mapped reflects the emitted records, not the raw alignment
-		// count: recordsFor can drop every alignment (degenerate
-		// cross-sequence spans) and emit an unmapped placeholder.
-		mapped := false
-		for _, rec := range recs {
-			if rec.Flag&sam.FlagUnmapped == 0 {
-				mapped = true
+		var line MapResponseLine
+		switch {
+		case results[i].Err != nil:
+			line = MapResponseLine{Read: rd.Name, Error: results[i].Err.Error()}
+		default:
+			if err := fpStream.Fire(); err != nil {
+				// Injected stream fault: degrade this one line to a
+				// structured error, keep streaming the rest.
+				line = MapResponseLine{Read: rd.Name, Error: err.Error()}
 				break
 			}
-		}
-		line := MapResponseLine{
-			Read:    rd.Name,
-			Mapped:  mapped,
-			Records: recs,
+			recs := recordsFor(entry, rd.Name, rd.Seq, results[i].Alignments, req.All)
+			// Mapped reflects the emitted records, not the raw alignment
+			// count: recordsFor can drop every alignment (degenerate
+			// cross-sequence spans) and emit an unmapped placeholder.
+			mapped := false
+			for _, rec := range recs {
+				if rec.Flag&sam.FlagUnmapped == 0 {
+					mapped = true
+					break
+				}
+			}
+			line = MapResponseLine{
+				Read:    rd.Name,
+				Mapped:  mapped,
+				Records: recs,
+			}
 		}
 		if err := enc.Encode(line); err != nil {
 			return // client went away
@@ -466,7 +575,13 @@ func (s *Server) writeSAM(w http.ResponseWriter, entry *IndexEntry, req MapReque
 	}
 	flusher, _ := w.(http.Flusher)
 	for i, rd := range req.Reads {
-		for _, rec := range recordsFor(entry, rd.Name, rd.Seq, results[i].Alignments, req.All) {
+		// SAM has no per-record error channel; a failed read becomes an
+		// unmapped placeholder so record count still matches read count.
+		alns := results[i].Alignments
+		if results[i].Err != nil {
+			alns = nil
+		}
+		for _, rec := range recordsFor(entry, rd.Name, rd.Seq, alns, req.All) {
 			fmt.Fprintln(w, rec.Line())
 		}
 		if flusher != nil {

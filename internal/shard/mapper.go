@@ -25,6 +25,8 @@ var (
 	cReads      = obs.Default.Counter("core/reads")
 	cAlignments = obs.Default.Counter("core/alignments")
 	cUnmapped   = obs.Default.Counter("core/unmapped")
+	cReadPanics = obs.Default.Counter("core/read_panics")
+	cReadExpiry = obs.Default.Counter("core/read_deadline_expired")
 	hCandidates = obs.Default.Histogram("core/candidates_per_read", 0, 512, 64)
 	tScatter    = obs.Default.Timer("shard/scatter")
 	tGather     = obs.Default.Timer("shard/gather")
@@ -50,6 +52,9 @@ type workerState struct {
 type perRead struct {
 	strand [2][]gcand // forward, reverse
 	stats  core.MapStats
+	// err poisons this read only: a panic in its scatter work (or an
+	// injected per-read fault) fails the read, never the batch.
+	err error
 }
 
 // ScatterMapper implements core.Mapper over a shard Set. Batch mapping
@@ -161,8 +166,8 @@ func (m *ScatterMapper) ensureWorkers(n int) error {
 // read's seeds are issued against every shard's table), so SeedsIssued
 // and friends scale with the shard count.
 func (m *ScatterMapper) MapRead(q dna.Seq) ([]core.ReadAlignment, core.MapStats) {
-	res, err := m.MapAllContext(context.Background(), []dna.Seq{q}, 1)
-	if err != nil || len(res) != 1 {
+	res, err := m.Map(context.Background(), []dna.Seq{q}, core.WithWorkers(1))
+	if err != nil || len(res) != 1 || res[0].Err != nil {
 		// Background context never cancels; shard builds were validated
 		// at construction. Treat any residual failure as unmapped.
 		return nil, core.MapStats{}
@@ -171,16 +176,35 @@ func (m *ScatterMapper) MapRead(q dna.Seq) ([]core.ReadAlignment, core.MapStats)
 }
 
 // MapAll maps every read with the given worker parallelism.
+//
+// Deprecated: use Map with core.WithWorkers.
 func (m *ScatterMapper) MapAll(reads []dna.Seq, workers int) ([]core.MapResult, error) {
-	return m.MapAllContext(context.Background(), reads, workers)
+	return m.Map(context.Background(), reads, core.WithWorkers(workers))
 }
 
-// MapAllContext maps a batch with cancellation between reads and
-// between shards. Results are in input order and deterministic for any
-// worker count and any shard geometry: each read's merged candidates
-// are sorted into the monolithic engine's emission order before
-// truncation, and alignments pass through core.SortAlignments.
+// MapAllContext is MapAll with cancellation between reads.
+//
+// Deprecated: use Map with core.WithWorkers.
 func (m *ScatterMapper) MapAllContext(ctx context.Context, reads []dna.Seq, workers int) ([]core.MapResult, error) {
+	return m.Map(ctx, reads, core.WithWorkers(workers))
+}
+
+// Map maps a batch with cancellation between reads and between shards.
+// Results are in input order and deterministic for any worker count
+// and any shard geometry: each read's merged candidates are sorted
+// into the monolithic engine's emission order before truncation, and
+// alignments pass through core.SortAlignments.
+//
+// Per-read failures — a panic in a read's filter or extension work, an
+// injected core/map_read fault, or a core.WithDeadlinePerRead budget
+// blown — land in that read's MapResult.Err while the rest of the
+// batch completes. The per-read deadline is enforced cooperatively
+// between candidate extensions (this engine has no goroutine to
+// abandon: its workers own shard-set state), so its granularity is one
+// GACT extension.
+func (m *ScatterMapper) Map(ctx context.Context, reads []dna.Seq, options ...core.MapOption) ([]core.MapResult, error) {
+	o := core.ResolveMapOptions(options)
+	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -230,18 +254,14 @@ func (m *ScatterMapper) MapAllContext(ctx context.Context, reads []dna.Seq, work
 				return ferr
 			}
 			pr := &acc[i]
-			for strand, query := range []dna.Seq{reads[i], revs[i]} {
-				start := time.Now()
-				cands, dst := w.filter.QueryInto(query, w.buf[:0])
-				w.buf = cands
-				pr.stats.DSOFT.Add(dst)
-				for _, c := range cands {
-					gpos := c.RefPos + part.Extent.Start
-					if part.Core.Contains(gpos) {
-						pr.strand[strand] = append(pr.strand[strand], gcand{RefPos: gpos, QueryPos: c.QueryPos})
-					}
-				}
-				pr.stats.FiltrationTime += time.Since(start)
+			if pr.err != nil {
+				return nil // poisoned by an earlier shard's pass; skip
+			}
+			if perr := m.scatterRead(w, pr, reads[i], revs[i], part); perr != nil {
+				pr.err = perr
+				// The filter's bin state may be mid-update after a
+				// panic; rebuild it before the worker's next read.
+				w.filter = nil
 			}
 			return nil
 		})
@@ -261,58 +281,11 @@ func (m *ScatterMapper) MapAllContext(ctx context.Context, reads []dna.Seq, work
 	// Gather: per-read candidate merge, truncation, GACT extension
 	// against the full resident reference at global anchors.
 	gatherStart := time.Now()
+	prog := core.NewProgressSink(o.Progress, len(reads))
 	out := make([]core.MapResult, len(reads))
 	err := m.runStriped(ctx, workers, len(reads), func(w *workerState, i int) error {
-		pr := &acc[i]
-		var alns []core.ReadAlignment
-		stats := pr.stats
-		for strand := range pr.strand {
-			cs := pr.strand[strand]
-			// The monolithic filter emits candidates in ascending
-			// (QueryPos, RefPos) order — seeds advance through the query
-			// and each seed's hit list is position-sorted — and no two
-			// candidates share a (QueryPos, RefPos) pair. Sorting the
-			// merged per-shard lists by the same key reproduces that
-			// order exactly, so MaxCandidates truncates the same prefix.
-			sort.Slice(cs, func(a, b int) bool {
-				if cs[a].QueryPos != cs[b].QueryPos {
-					return cs[a].QueryPos < cs[b].QueryPos
-				}
-				return cs[a].RefPos < cs[b].RefPos
-			})
-			stats.Candidates += len(cs)
-			if m.cfg.MaxCandidates > 0 && len(cs) > m.cfg.MaxCandidates {
-				cs = cs[:m.cfg.MaxCandidates]
-			}
-			query := reads[i]
-			if strand == 1 {
-				query = revs[i]
-			}
-			start := time.Now()
-			for _, c := range cs {
-				res, gst, err := w.engine.Extend(m.set.ref, query, c.RefPos, c.QueryPos)
-				if err != nil {
-					continue // invalid anchor geometry; candidate is unusable
-				}
-				stats.Tiles += gst.Tiles
-				stats.Cells += gst.Cells
-				stats.FirstTileScores = append(stats.FirstTileScores, gst.FirstTileScore)
-				if res == nil {
-					continue
-				}
-				stats.PassedHTile++
-				alns = append(alns, core.ReadAlignment{Result: *res, Reverse: strand == 1, FirstTileScore: gst.FirstTileScore})
-			}
-			stats.AlignmentTime += time.Since(start)
-		}
-		core.SortAlignments(alns)
-		cReads.Inc()
-		cAlignments.Add(int64(len(alns)))
-		if len(alns) == 0 {
-			cUnmapped.Inc()
-		}
-		hCandidates.Observe(float64(stats.Candidates))
-		out[i] = core.MapResult{Index: i, Alignments: alns, Stats: stats}
+		out[i] = m.gatherRead(w, i, reads[i], revs[i], &acc[i], o.DeadlinePerRead)
+		prog.Step()
 		return nil
 	})
 	tGather.Observe(time.Since(gatherStart))
@@ -323,6 +296,111 @@ func (m *ScatterMapper) MapAllContext(ctx context.Context, reads []dna.Seq, work
 		return nil, err
 	}
 	return out, nil
+}
+
+// scatterRead runs one read's D-SOFT pass over one shard with panic
+// isolation: a panic (a poisoned read crashing the filter) fails the
+// read, never the batch or the worker.
+func (m *ScatterMapper) scatterRead(w *workerState, pr *perRead, fwd, rev dna.Seq, part Part) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cReadPanics.Inc()
+			err = fmt.Errorf("shard: read scatter panicked: %v", r)
+		}
+	}()
+	for strand, query := range []dna.Seq{fwd, rev} {
+		start := time.Now()
+		cands, dst := w.filter.QueryInto(query, w.buf[:0])
+		w.buf = cands
+		pr.stats.DSOFT.Add(dst)
+		for _, c := range cands {
+			gpos := c.RefPos + part.Extent.Start
+			if part.Core.Contains(gpos) {
+				pr.strand[strand] = append(pr.strand[strand], gcand{RefPos: gpos, QueryPos: c.QueryPos})
+			}
+		}
+		pr.stats.FiltrationTime += time.Since(start)
+	}
+	return nil
+}
+
+// gatherRead merges, truncates, and extends one read's candidates,
+// with panic isolation and a cooperative per-read deadline checked
+// between candidate extensions. The core/map_read fault point fires
+// inside the recover scope, so injected errors and panics exercise the
+// same per-read containment as organic ones.
+func (m *ScatterMapper) gatherRead(w *workerState, i int, fwd, rev dna.Seq, pr *perRead, budget time.Duration) (out core.MapResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			cReadPanics.Inc()
+			// The engine's scratch may be mid-update; retire it so the
+			// worker's next read starts clean.
+			if e, eerr := gact.NewEngine(&m.gcfg); eerr == nil {
+				w.engine = e
+			}
+			out = core.MapResult{Index: i, Err: fmt.Errorf("shard: read mapping panicked: %v", r)}
+		}
+	}()
+	if pr.err != nil {
+		return core.MapResult{Index: i, Err: pr.err}
+	}
+	if err := fpMapRead.Fire(); err != nil {
+		return core.MapResult{Index: i, Err: err}
+	}
+	readStart := time.Now()
+	var alns []core.ReadAlignment
+	stats := pr.stats
+	for strand := range pr.strand {
+		cs := pr.strand[strand]
+		// The monolithic filter emits candidates in ascending
+		// (QueryPos, RefPos) order — seeds advance through the query
+		// and each seed's hit list is position-sorted — and no two
+		// candidates share a (QueryPos, RefPos) pair. Sorting the
+		// merged per-shard lists by the same key reproduces that
+		// order exactly, so MaxCandidates truncates the same prefix.
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].QueryPos != cs[b].QueryPos {
+				return cs[a].QueryPos < cs[b].QueryPos
+			}
+			return cs[a].RefPos < cs[b].RefPos
+		})
+		stats.Candidates += len(cs)
+		if m.cfg.MaxCandidates > 0 && len(cs) > m.cfg.MaxCandidates {
+			cs = cs[:m.cfg.MaxCandidates]
+		}
+		query := fwd
+		if strand == 1 {
+			query = rev
+		}
+		start := time.Now()
+		for _, c := range cs {
+			if budget > 0 && time.Since(readStart) > budget {
+				cReadExpiry.Inc()
+				return core.MapResult{Index: i, Err: fmt.Errorf("shard: read exceeded per-read deadline %v: %w", budget, context.DeadlineExceeded)}
+			}
+			res, gst, err := w.engine.Extend(m.set.ref, query, c.RefPos, c.QueryPos)
+			if err != nil {
+				continue // invalid anchor geometry; candidate is unusable
+			}
+			stats.Tiles += gst.Tiles
+			stats.Cells += gst.Cells
+			stats.FirstTileScores = append(stats.FirstTileScores, gst.FirstTileScore)
+			if res == nil {
+				continue
+			}
+			stats.PassedHTile++
+			alns = append(alns, core.ReadAlignment{Result: *res, Reverse: strand == 1, FirstTileScore: gst.FirstTileScore})
+		}
+		stats.AlignmentTime += time.Since(start)
+	}
+	core.SortAlignments(alns)
+	cReads.Inc()
+	cAlignments.Add(int64(len(alns)))
+	if len(alns) == 0 {
+		cUnmapped.Inc()
+	}
+	hCandidates.Observe(float64(stats.Candidates))
+	return core.MapResult{Index: i, Alignments: alns, Stats: stats}
 }
 
 // runStriped applies fn(worker, i) for every read index i, striping

@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"darwin/internal/core"
+	"darwin/internal/dna"
+	"darwin/internal/readsim"
+)
+
+// TestOpenSelectsEngine: core.Open with an empty ShardSpec returns the
+// monolithic engine; any sharding knob selects the scatter-gather
+// engine (this package's init registered the factory). Both must serve
+// bit-identical results for the same inputs.
+func TestOpenSelectsEngine(t *testing.T) {
+	ref := testGenome(t, 90000, 501)
+	recs := []dna.Record{{Name: "chr1", Seq: ref}}
+	cfg := smallConfig()
+
+	mono, monoRef, err := core.Open(core.OpenConfig{Records: recs, Core: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mono.(*core.Darwin); !ok {
+		t.Fatalf("empty ShardSpec selected %T, want *core.Darwin", mono)
+	}
+	sharded, shardedRef, err := core.Open(core.OpenConfig{
+		Records: recs, Core: cfg,
+		Shard: core.ShardSpec{Shards: 3, MaxResidentBytes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, ok := sharded.(*ScatterMapper)
+	if !ok {
+		t.Fatalf("sharded spec selected %T, want *ScatterMapper", sharded)
+	}
+	if st, _ := sm.Set().Snapshot(); st.Shards != 3 {
+		t.Fatalf("spec geometry not honored: %d shards, want 3", st.Shards)
+	}
+	if monoRef.NumSeqs() != shardedRef.NumSeqs() || len(monoRef.Seq()) != len(shardedRef.Seq()) {
+		t.Fatal("references differ between engines")
+	}
+
+	simulated, err := readsim.SimulateN(ref, 8, readsim.Config{Profile: readsim.PacBio, MeanLen: 1500, Seed: 502})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := make([]dna.Seq, len(simulated))
+	for i := range simulated {
+		reads[i] = simulated[i].Seq
+	}
+	want, err := mono.Map(context.Background(), reads, core.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Map(context.Background(), reads, core.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i].Alignments, want[i].Alignments) {
+			t.Errorf("read %d: alignments differ between Open-selected engines", i)
+		}
+	}
+}
+
+// TestOpenRejectsEmptyRecords: Open must fail loudly on no input, not
+// build an empty index.
+func TestOpenRejectsEmptyRecords(t *testing.T) {
+	if _, _, err := core.Open(core.OpenConfig{Core: smallConfig()}); err == nil {
+		t.Fatal("Open with no records must error")
+	}
+}

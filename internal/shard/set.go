@@ -93,6 +93,9 @@ func NewSet(ref dna.Seq, cfg core.Config, scfg Config) (*Set, error) {
 		return nil, err
 	}
 	start := time.Now()
+	if err := fpIndexBuild.Fire(); err != nil {
+		return nil, fmt.Errorf("shard: computing global mask: %w", err)
+	}
 	mask, err := seedtable.ComputeMask(ref, cfg.SeedK, cfg.TableOptions)
 	if err != nil {
 		return nil, fmt.Errorf("shard: computing global mask: %w", err)
@@ -154,6 +157,9 @@ func (s *Set) Acquire(i int) (*seedtable.Table, error) {
 	s.mu.Unlock()
 
 	start := time.Now()
+	if err := fpShardBuild.Fire(); err != nil {
+		return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+	}
 	endSpan := obs.Trace.Start("shard.build")
 	t, err := seedtable.BuildRange(s.ref, sh.part.Extent.Start, sh.part.Extent.End, s.k, s.opts)
 	endSpan()

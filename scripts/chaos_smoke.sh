@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# chaos-smoke: fault-injection check of the darwind resilience layer.
+#   1. build darwind, darwin-client, genomesim, readsim
+#   2. assert -faults is refused without DARWIN_ALLOW_FAULTS=1
+#   3. start darwind with injected flush errors, per-read panics, and
+#      stream hiccups, plus -leak-check
+#   4. drive load through darwin-client (retries on) and assert every
+#      response was well-formed: NDJSON lines or structured errors,
+#      never a malformed body
+#   5. assert the circuit breaker on a doomed reference opens within
+#      -breaker-threshold attempts and fails fast with circuit_open
+#   6. SIGTERM darwind, assert clean drain AND goroutines back to the
+#      pre-serve baseline (-leak-check)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "chaos-smoke: building binaries"
+go build -o "$tmp/bin/" ./cmd/darwind ./cmd/darwin-client ./cmd/genomesim ./cmd/readsim
+
+echo "chaos-smoke: generating synthetic genome and reads"
+"$tmp/bin/genomesim" -len 150000 -seed 7 -out "$tmp/ref.fa" 2>/dev/null
+"$tmp/bin/readsim" -ref "$tmp/ref.fa" -n 48 -len 1200 -seed 9 -out "$tmp/reads.fq" 2>/dev/null
+
+# Injection must be an explicit opt-in: without DARWIN_ALLOW_FAULTS=1
+# a -faults spec is refused at startup, before anything is armed.
+if env -u DARWIN_ALLOW_FAULTS "$tmp/bin/darwind" -addr 127.0.0.1:0 -ref "$tmp/ref.fa" \
+    -faults 'server/admit=error' 2> "$tmp/gate.log"; then
+    echo "chaos-smoke: FAIL — darwind accepted -faults without DARWIN_ALLOW_FAULTS=1" >&2
+    exit 1
+fi
+if ! grep -q "refusing to arm" "$tmp/gate.log"; then
+    echo "chaos-smoke: FAIL — no refusal message for ungated -faults:" >&2
+    cat "$tmp/gate.log" >&2
+    exit 1
+fi
+echo "chaos-smoke: ungated -faults correctly refused"
+
+spec='server/flush=p=0.15,error=chaos flush;core/map_read=every=9,panic=poisoned read;server/stream=p=0.02,error=stream hiccup;seed=11'
+DARWIN_ALLOW_FAULTS=1 "$tmp/bin/darwind" -addr 127.0.0.1:0 -ref "$tmp/ref.fa" \
+    -k 11 -n 400 -h 20 -batch-wait 2ms \
+    -allow-ref-load -breaker-threshold 2 -breaker-cooldown 60s \
+    -leak-check -faults "$spec" 2> "$tmp/darwind.log" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's|.*serving on http://\([^/]*\)/.*|\1|p' "$tmp/darwind.log" | head -1)
+    if [ -n "$addr" ]; then
+        if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
+            break
+        fi
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "chaos-smoke: FAIL — darwind exited early:" >&2
+        cat "$tmp/darwind.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "chaos-smoke: FAIL — darwind never became ready:" >&2
+    cat "$tmp/darwind.log" >&2
+    exit 1
+fi
+if ! grep -q "fault injection active" "$tmp/darwind.log"; then
+    echo "chaos-smoke: FAIL — no fault-injection startup line:" >&2
+    cat "$tmp/darwind.log" >&2
+    exit 1
+fi
+echo "chaos-smoke: darwind ready on $addr with faults armed"
+
+# Load under chaos. The client validates every NDJSON line; a body the
+# server half-wrote would show up as "malformed lines" in the summary.
+"$tmp/bin/darwin-client" -addr "$addr" -reads "$tmp/reads.fq" \
+    -requests 30 -concurrency 4 -batch 4 -retries 4 > "$tmp/client.out"
+cat "$tmp/client.out"
+if grep -q "malformed lines" "$tmp/client.out"; then
+    echo "chaos-smoke: FAIL — client saw malformed response lines under faults" >&2
+    exit 1
+fi
+ok=$(awk '/^requests:/{print $2}' "$tmp/client.out")
+if [ -z "$ok" ] || [ "$ok" -lt 1 ]; then
+    echo "chaos-smoke: FAIL — no successful requests under chaos (ok=$ok)" >&2
+    exit 1
+fi
+echo "chaos-smoke: $ok requests succeeded under injected faults, all responses well-formed"
+
+# Circuit breaker: a doomed on-demand reference must fail structured
+# (ref_load_failed) for exactly -breaker-threshold attempts, then fail
+# fast with circuit_open.
+doomed='{"reference":"/nonexistent/doomed.fa","reads":[{"name":"r","seq":"ACGTACGTACGTACGT"}]}'
+for i in 1 2; do
+    body=$(curl -sS -X POST -d "$doomed" "http://$addr/v1/map")
+    if ! echo "$body" | grep -q 'ref_load_failed'; then
+        echo "chaos-smoke: FAIL — attempt $i: expected ref_load_failed, got: $body" >&2
+        exit 1
+    fi
+done
+body=$(curl -sS -X POST -d "$doomed" "http://$addr/v1/map")
+if ! echo "$body" | grep -q 'circuit_open'; then
+    echo "chaos-smoke: FAIL — breaker did not open after 2 failures, got: $body" >&2
+    exit 1
+fi
+echo "chaos-smoke: breaker opened after exactly 2 doomed build attempts"
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "chaos-smoke: FAIL — darwind exited non-zero on SIGTERM (drain or leak check failed):" >&2
+    cat "$tmp/darwind.log" >&2
+    exit 1
+fi
+pid=""
+if ! grep -q "drain complete" "$tmp/darwind.log"; then
+    echo "chaos-smoke: FAIL — no clean-drain log line:" >&2
+    cat "$tmp/darwind.log" >&2
+    exit 1
+fi
+if ! grep -q "leak check passed" "$tmp/darwind.log"; then
+    echo "chaos-smoke: FAIL — no leak-check pass line:" >&2
+    cat "$tmp/darwind.log" >&2
+    exit 1
+fi
+echo "chaos-smoke: OK (clean drain, goroutines back to baseline)"
