@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard benchdiff serve-smoke chaos-smoke clean
+.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard bench-traced benchdiff benchdiff-traced serve-smoke chaos-smoke metrics-lint clean
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ race:
 test-allocs:
 	$(GO) test -run 'ZeroSteadyStateAllocs' ./internal/align/
 
-check: vet race test-allocs serve-smoke chaos-smoke
+check: vet race test-allocs serve-smoke chaos-smoke metrics-lint
 
 # End-to-end serving check: darwind on a synthetic genome, load from
 # darwin-client, non-empty SAM back, clean drain on SIGTERM.
@@ -39,6 +39,12 @@ serve-smoke:
 # back at the pre-serve baseline.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# Observability exposition check: a live darwind's /metrics must be
+# valid OpenMetrics with no duplicate or undeclared families, and
+# /v1/stats must serve the rolling SLO windows.
+metrics-lint:
+	./scripts/metrics_lint.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -63,10 +69,22 @@ bench-shard:
 	$(GO) test -bench='BenchmarkShardMapAll$$' -benchmem -run '^$$' .
 	@echo "report: BENCH_shard.json"
 
+# MapRead under a live request span — the tracing-overhead guard's
+# traced half. Writes BENCH_kernel_traced.json.
+bench-traced:
+	$(GO) test -bench='BenchmarkMapReadTraced$$' -benchmem -run '^$$' .
+	@echo "report: BENCH_kernel_traced.json"
+
 # Compare the committed pre-kernel baseline against the current run;
 # exits non-zero on a >10% throughput regression.
 benchdiff:
 	./scripts/benchdiff.sh BENCH_kernel_before.json BENCH_kernel.json
+
+# Tracing-overhead gate: traced MapRead must stay within 3% of the
+# untraced kernel run. Regenerate both sides on the same machine
+# (`make bench-kernel bench-traced`) before judging a diff.
+benchdiff-traced:
+	./scripts/benchdiff.sh -threshold 0.03 BENCH_kernel.json BENCH_kernel_traced.json
 
 clean:
 	rm -f BENCH_core.json

@@ -8,6 +8,7 @@
 package darwin_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -180,6 +181,53 @@ func BenchmarkMapRead(b *testing.B) {
 	b.ReportMetric(float64(cells)/b.Elapsed().Seconds()/1e6, "Mcells/s")
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
 	if err := run.Report().WriteJSON("BENCH_kernel.json"); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMapReadTraced is BenchmarkMapRead with every read mapped
+// under a live request span, the way darwind's serving path maps it:
+// a root span in the context, a core.map/core.read tree growing under
+// it, and the GACT engine recording per-extension attributes. Writes
+// BENCH_kernel_traced.json; `make benchdiff-traced` gates the tracing
+// overhead at 3% against BENCH_kernel.json.
+func BenchmarkMapReadTraced(b *testing.B) {
+	g, err := genome.Generate(genome.Config{Length: 300_000, GC: 0.45, Seed: 81})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.New(g.Seq, core.DefaultConfig(11, 600, 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := readsim.SimulateN(g.Seq, 16, readsim.Config{Profile: readsim.PacBio, MeanLen: 3000, Seed: 82})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := make([][]dna.Seq, len(reads))
+	for i, r := range reads {
+		batches[i] = []dna.Seq{r.Seq}
+	}
+	run := obs.NewRun("bench_kernel_traced")
+	b.ResetTimer()
+	var cells int64
+	for i := 0; i < b.N; i++ {
+		span := obs.NewRequestSpan(obs.NewRequestID(), "bench POST /v1/map")
+		ctx := obs.ContextWithSpan(context.Background(), span)
+		res, err := engine.Map(ctx, batches[i%len(batches)], core.WithWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells += res[0].Stats.Cells
+		if len(res[0].Alignments) == 0 {
+			b.Fatal("read did not map")
+		}
+		span.End()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+	if err := run.Report().WriteJSON("BENCH_kernel_traced.json"); err != nil {
 		b.Fatal(err)
 	}
 }

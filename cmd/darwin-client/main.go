@@ -59,6 +59,48 @@ type result struct {
 	latency time.Duration
 	err     error
 	retries int
+	// reqID is the server-assigned request identity (X-Request-ID on
+	// the response, which echoes the one we sent) — the join key into
+	// darwind's access log, error envelopes, and /debug/slow captures.
+	reqID string
+}
+
+// timingAgg accumulates per-stage server-side durations parsed from
+// Server-Timing response headers, so the client summary can split
+// "where did p99 go" into admit / queue_wait / batch without a
+// server-side debug endpoint round-trip.
+type timingAgg struct {
+	mu     sync.Mutex
+	stages map[string][]float64 // stage → per-request ms samples
+}
+
+// record parses one Server-Timing header value ("admit;dur=0.3,
+// queue_wait;dur=1.2, total;dur=9.9") into the aggregate. Malformed
+// entries are skipped: the header is advisory.
+func (t *timingAgg) record(header string) {
+	if header == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stages == nil {
+		t.stages = make(map[string][]float64)
+	}
+	for _, entry := range strings.Split(header, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ";")
+		if len(parts) < 2 || parts[0] == "" {
+			continue
+		}
+		for _, p := range parts[1:] {
+			p = strings.TrimSpace(p)
+			if !strings.HasPrefix(p, "dur=") {
+				continue
+			}
+			if ms, err := strconv.ParseFloat(p[len("dur="):], 64); err == nil {
+				t.stages[parts[0]] = append(t.stages[parts[0]], ms)
+			}
+		}
+	}
 }
 
 // backoffWait derives how long to wait before retry attempt (0-based).
@@ -169,16 +211,31 @@ func run() error {
 	}
 
 	client := &http.Client{}
+	timing := &timingAgg{}
 	var seq atomic.Int64
 	fire := func() result {
 		b := int(seq.Add(1)-1) % nBodies
 		cReadsSent.Add(int64(readsPerBody[b]))
+		// One identity per logical request, reused across retries, so
+		// every server-side record of the attempts joins to one client
+		// request.
+		reqID := obs.NewRequestID()
 		for attempt := 0; ; attempt++ {
 			start := time.Now()
-			resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[b]))
+			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(bodies[b]))
 			if err != nil {
 				cReqFailed.Inc()
-				return result{err: err, retries: attempt}
+				return result{err: err, retries: attempt, reqID: reqID}
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Request-ID", reqID)
+			resp, err := client.Do(req)
+			if err != nil {
+				cReqFailed.Inc()
+				return result{err: err, retries: attempt, reqID: reqID}
+			}
+			if id := resp.Header.Get("X-Request-ID"); id != "" {
+				reqID = id // server's view wins (it sanitizes)
 			}
 			body, err := io.ReadAll(resp.Body)
 			resp.Body.Close()
@@ -192,7 +249,7 @@ func run() error {
 				time.Sleep(backoffWait(resp.Header.Get("Retry-After"), attempt, *retryMaxWait))
 				continue
 			}
-			r := result{status: resp.StatusCode, latency: lat, err: err, retries: attempt}
+			r := result{status: resp.StatusCode, latency: lat, err: err, retries: attempt, reqID: reqID}
 			switch {
 			case err != nil || resp.StatusCode >= 500:
 				cReqFailed.Inc()
@@ -201,6 +258,7 @@ func run() error {
 			case resp.StatusCode == http.StatusOK:
 				cReqOK.Inc()
 				hLatency.Observe(float64(lat) / float64(time.Millisecond))
+				timing.record(resp.Header.Get("Server-Timing"))
 				tally(body, out != nil)
 				if out != nil {
 					outMu.Lock()
@@ -262,7 +320,7 @@ func run() error {
 	}
 	wall := time.Since(wallStart)
 
-	summarize(os.Stdout, results, wall)
+	summarize(os.Stdout, results, wall, timing)
 	if *strict {
 		if inv, rerr := cInvalid.Value(), cReadErrors.Value(); inv > 0 || rerr > 0 {
 			return fmt.Errorf("strict: %d malformed response lines, %d per-read errors", inv, rerr)
@@ -322,26 +380,34 @@ func tally(body []byte, isSAM bool) {
 
 // summarize prints the throughput/latency digest. Percentiles come
 // from the raw latency samples, not histogram bins.
-func summarize(w io.Writer, results []result, wall time.Duration) {
+func summarize(w io.Writer, results []result, wall time.Duration, timing *timingAgg) {
 	var ok, rejected, failed, retried int
 	var lats, failLats []time.Duration
+	var failIDs []string
 	for _, r := range results {
 		retried += r.retries
+		isFailure := false
 		switch {
 		case r.err != nil || r.status >= 500:
 			failed++
+			isFailure = true
 			if r.err == nil {
 				failLats = append(failLats, r.latency)
 			}
 		case r.status == http.StatusTooManyRequests:
 			rejected++
+			isFailure = true
 			failLats = append(failLats, r.latency)
 		case r.status == http.StatusOK:
 			ok++
 			lats = append(lats, r.latency)
 		default:
 			failed++
+			isFailure = true
 			failLats = append(failLats, r.latency)
+		}
+		if isFailure && r.reqID != "" && len(failIDs) < 5 {
+			failIDs = append(failIDs, r.reqID)
 		}
 	}
 	pctOf := func(samples []time.Duration, p float64) time.Duration {
@@ -370,6 +436,34 @@ func summarize(w io.Writer, results []result, wall time.Duration) {
 		fmt.Fprintf(w, "failure latency: p50=%s p99=%s max=%s\n",
 			pctOf(failLats, 0.50).Round(time.Microsecond), pctOf(failLats, 0.99).Round(time.Microsecond),
 			failLats[len(failLats)-1].Round(time.Microsecond))
+	}
+	// Server-assigned request IDs join client-side failures to the
+	// server's access log, error envelopes, and /debug/slow captures.
+	if len(failIDs) > 0 {
+		fmt.Fprintf(w, "failed request ids (sample): %s\n", strings.Join(failIDs, ", "))
+	}
+	// Server-side stage split, from Server-Timing response headers:
+	// where the server says the successful requests' time went.
+	if timing != nil && len(timing.stages) > 0 {
+		names := make([]string, 0, len(timing.stages))
+		for name := range timing.stages {
+			if name != "total" {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		if _, hasTotal := timing.stages["total"]; hasTotal {
+			names = append(names, "total") // total reads best last
+		}
+		fmt.Fprintf(w, "server timing (ms):")
+		for _, name := range names {
+			samples := timing.stages[name]
+			sort.Float64s(samples)
+			p50 := samples[int(0.50*float64(len(samples)-1))]
+			p95 := samples[int(0.95*float64(len(samples)-1))]
+			fmt.Fprintf(w, " %s p50=%.1f p95=%.1f", name, p50, p95)
+		}
+		fmt.Fprintln(w)
 	}
 	if v := cReadErrors.Value(); v > 0 {
 		fmt.Fprintf(w, "per-read errors: %d (structured error lines in 200 responses)\n", v)

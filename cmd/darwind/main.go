@@ -23,8 +23,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -76,16 +78,23 @@ func run() error {
 	shedWatermark := flag.Float64("shed-watermark", 0.75, "queue-depth fraction that triggers batch-size shedding under sustained load")
 	leakCheck := flag.Bool("leak-check", false, "after drain, verify goroutines returned to the pre-serve baseline (exit 1 on leak)")
 	faultSpec := flag.String("faults", "", "fault-injection spec (requires DARWIN_ALLOW_FAULTS=1); see internal/faults")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	slowCapture := flag.Int("slow-capture", 16, "slowest /v1/map requests to keep span trees for (/debug/slow; 0 disables)")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	log, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 	if *refPath == "" {
 		return fmt.Errorf("-ref is required")
 	}
 	if spec, err := faults.Setup(*faultSpec); err != nil {
 		return err
 	} else if spec != "" {
-		fmt.Fprintf(os.Stderr, "darwind: fault injection active: %s\n", spec)
+		log.Warn("fault injection active: " + spec)
 	}
 	session, err := obsFlags.Start("darwind")
 	if err != nil {
@@ -125,6 +134,8 @@ func run() error {
 		IndexBudgetFrac:    *indexBudget,
 		BreakerThreshold:   *breakerThreshold,
 		BreakerCooldown:    *breakerCooldown,
+		Logger:             log,
+		SlowCapture:        *slowCapture,
 	})
 
 	// The leak-check baseline is taken after server assembly (batcher
@@ -136,7 +147,7 @@ func run() error {
 	if err := srv.Warm(context.Background()); err != nil {
 		return fmt.Errorf("warming default index: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "darwind: default index warm (k=%d) in %s\n", *k, time.Since(warmStart).Round(time.Millisecond))
+	log.Info("default index warm", "k", *k, "took", time.Since(warmStart).Round(time.Millisecond))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -149,7 +160,9 @@ func run() error {
 			errCh <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "darwind: serving on http://%s/ (POST /v1/map, /healthz, /readyz)\n", ln.Addr())
+	// The message keeps the full URL inline (not an attr): the smoke
+	// scripts and operators scrape the bound address out of this line.
+	log.Info(fmt.Sprintf("serving on http://%s/ (POST /v1/map, /healthz, /readyz, /metrics, /v1/stats)", ln.Addr()))
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
@@ -157,7 +170,7 @@ func run() error {
 	case err := <-errCh:
 		return err
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "darwind: %s received, draining (stop accepting, flush in-flight)\n", sig)
+		log.Info("signal received, draining (stop accepting, flush in-flight)", "signal", sig.String())
 	}
 
 	// Drain sequence: stop admitting (readyz → 503, map → 503), let
@@ -172,15 +185,56 @@ func run() error {
 	if err := srv.Drain(ctx); err != nil {
 		return fmt.Errorf("batcher drain: %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "darwind: drain complete, all in-flight work flushed")
+	log.Info("drain complete, all in-flight work flushed")
+	dumpSlowCaptures(log, srv.SlowCaptures())
 
 	if *leakCheck {
 		if leaked := checkGoroutineLeak(baselineGoroutines); leaked > 0 {
 			return fmt.Errorf("leak check: %d goroutines above pre-serve baseline %d after drain", leaked, baselineGoroutines)
 		}
-		fmt.Fprintln(os.Stderr, "darwind: leak check passed, goroutines back to baseline")
+		log.Info("leak check passed, goroutines back to baseline")
 	}
 	return nil
+}
+
+// newLogger builds the process logger on w. Text is the operator
+// default; json feeds log pipelines. Either way each /v1/map access
+// line carries its request_id, so grep by ID works across formats.
+func newLogger(w *os.File, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
+
+// dumpSlowCaptures flushes the slow-request ring into the log on
+// drain, one line per capture with its full span tree, so the
+// slowest requests of a finished process survive it — /debug/slow
+// dies with the listener.
+func dumpSlowCaptures(log *slog.Logger, caps []obs.SlowCapture) {
+	if len(caps) == 0 {
+		return
+	}
+	log.Info("slow-request captures at drain", "count", len(caps))
+	for _, c := range caps {
+		tree, err := json.Marshal(c.Span)
+		if err != nil {
+			continue
+		}
+		log.Info("slow request",
+			"request_id", c.RequestID,
+			"duration_us", c.DurationUS,
+			"span", string(tree))
+	}
 }
 
 // checkGoroutineLeak waits (up to ~3s) for the goroutine count to

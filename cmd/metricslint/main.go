@@ -1,0 +1,57 @@
+// Command metricslint validates an OpenMetrics exposition — the text
+// darwind serves on /metrics — against the subset of the format the
+// repo's exporter promises: every sample belongs to a declared
+// family, no family is declared twice, counters end in _total,
+// histogram buckets are cumulative with +Inf equal to _count, and the
+// exposition ends with # EOF. CI runs it against a live darwind (see
+// scripts/metrics_lint.sh) so a metric registered with a name the
+// exporter mangles, or exported twice, fails the build rather than a
+// fleet scrape.
+//
+// Usage:
+//
+//	metricslint [-url http://127.0.0.1:8844/metrics]   (default: stdin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"darwin/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	url := flag.String("url", "", "scrape this /metrics URL instead of reading stdin")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *url != "" {
+		resp, err := http.Get(*url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", *url, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "" && ct != "application/openmetrics-text; version=1.0.0; charset=utf-8" {
+			return fmt.Errorf("unexpected Content-Type %q", ct)
+		}
+		r = resp.Body
+	}
+	if err := obs.LintOpenMetrics(r); err != nil {
+		return err
+	}
+	fmt.Println("metricslint: ok")
+	return nil
+}

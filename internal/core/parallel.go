@@ -179,6 +179,28 @@ type readOutcome struct {
 	err  error
 }
 
+// finishReadSpan closes one read's trace span: work attributes from
+// the read's MapStats, plus synthesized stage/filter and stage/align
+// children carrying the same per-read durations the Registry's stage
+// timers aggregate — so a captured tree splits one read's latency the
+// same way the process-wide timers split the fleet's. The filter span
+// is anchored at the read's start and the align span immediately
+// after it, matching the pipeline's actual phase order.
+func finishReadSpan(sp *obs.Span, busy time.Time, oc readOutcome) {
+	st := oc.st
+	sp.SetAttr("candidates", int64(st.Candidates))
+	sp.SetAttr("passed_htile", int64(st.PassedHTile))
+	sp.SetAttr("tiles", int64(st.Tiles))
+	sp.SetAttr("cells", st.Cells)
+	sp.SetAttr("alignments", int64(len(oc.alns)))
+	if oc.err != nil {
+		sp.SetAttr("failed", 1)
+	}
+	sp.AddTimedChild("stage/filter", busy, st.FiltrationTime)
+	sp.AddTimedChild("stage/align", busy.Add(st.FiltrationTime), st.AlignmentTime)
+	sp.End()
+}
+
 // mapReadRecovered maps one read with panic isolation: a panic
 // anywhere in the filter/extend pipeline (or injected at the
 // core/map_read fault point) becomes this read's Err instead of
@@ -248,6 +270,13 @@ func (d *Darwin) Map(ctx context.Context, reads []dna.Seq, options ...MapOption)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Trace hook: under a traced request the batch gets a core.map span
+	// with one core.read child per read; untraced callers (CLIs,
+	// benchmarks) pay one context lookup and per-read nil checks.
+	_, cmSpan := obs.StartSpan(ctx, "core.map")
+	defer cmSpan.End()
+	cmSpan.SetAttr("reads", int64(len(reads)))
+	cmSpan.SetAttr("workers", int64(workers))
 	out := make([]MapResult, len(reads))
 	prog := NewProgressSink(o.Progress, len(reads))
 	if workers <= 1 || len(reads) <= 1 {
@@ -257,9 +286,18 @@ func (d *Darwin) Map(ctx context.Context, reads []dna.Seq, options ...MapOption)
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			readSpan := cmSpan.StartChild("core.read")
+			if readSpan != nil {
+				readSpan.SetAttr("read", int64(i))
+				e.engine.SetSpan(readSpan)
+			}
 			busy := time.Now()
 			oc, abandoned := runRead(e, r, o.DeadlinePerRead)
 			tWorkerBusy.Observe(time.Since(busy))
+			if readSpan != nil {
+				e.engine.SetSpan(nil)
+				finishReadSpan(readSpan, busy, oc)
+			}
 			out[i] = MapResult{Index: i, Alignments: oc.alns, Stats: oc.st, Err: oc.err}
 			if abandoned {
 				ne, cerr := d.Clone()
@@ -293,9 +331,19 @@ func (d *Darwin) Map(ctx context.Context, reads []dna.Seq, options ...MapOption)
 					continue // drain remaining indices without mapping
 				}
 				endSpan := obs.Trace.StartTID("core.map_read.worker", tid)
+				readSpan := cmSpan.StartChild("core.read")
+				if readSpan != nil {
+					readSpan.SetAttr("read", int64(i))
+					readSpan.SetAttr("worker", int64(tid))
+					e.engine.SetSpan(readSpan)
+				}
 				busy := time.Now()
 				oc, abandoned := runRead(e, reads[i], o.DeadlinePerRead)
 				tWorkerBusy.Observe(time.Since(busy))
+				if readSpan != nil {
+					e.engine.SetSpan(nil)
+					finishReadSpan(readSpan, busy, oc)
+				}
 				endSpan()
 				out[i] = MapResult{Index: i, Alignments: oc.alns, Stats: oc.st, Err: oc.err}
 				if abandoned {

@@ -2,6 +2,7 @@ package gact
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"darwin/internal/align"
@@ -47,6 +48,13 @@ type Engine struct {
 	cfg Config
 	ta  *align.TileAligner
 
+	// span is the per-read trace sink Extend records into when set.
+	// Atomic rather than a plain field: a read abandoned by core's
+	// per-read watchdog leaves a stray goroutine still extending inside
+	// this engine while the owning worker clears the sink and moves on
+	// — the clear must not race the stray goroutine's load.
+	span atomic.Pointer[obs.Span]
+
 	// Reused across Extend calls.
 	arena  []align.Step   // tile paths for the current candidate
 	steps  []engStep      // extendDir loop state
@@ -74,12 +82,34 @@ func NewEngine(cfg *Config) (*Engine, error) {
 // Config returns the engine's configuration.
 func (e *Engine) Config() *Config { return &e.cfg }
 
+// SetSpan installs (nil clears) the per-read trace span subsequent
+// Extend calls record into: aggregate extension/tile/cell attributes
+// for every candidate, plus a timed gact.extend child for candidates
+// that survive the first-tile filter (rejections are the overwhelming
+// majority downstream of D-SOFT; giving each a child would blow the
+// tree's child cap without saying anything a counter doesn't).
+func (e *Engine) SetSpan(sp *obs.Span) { e.span.Store(sp) }
+
 // Extend computes exactly what the free function Extend computes —
 // same tiles, same result, same published observability — using the
 // engine's reused state. Stats are returned by value so the rejected
 // path stays allocation-free.
-func (e *Engine) Extend(R, Q dna.Seq, iSeed, jSeed int) (*align.Result, Stats, error) {
-	var stats Stats
+func (e *Engine) Extend(R, Q dna.Seq, iSeed, jSeed int) (res *align.Result, stats Stats, err error) {
+	if sp := e.span.Load(); sp != nil {
+		extStart := time.Now()
+		defer func() {
+			sp.AddAttr("gact_extensions", 1)
+			sp.AddAttr("gact_tiles", int64(stats.Tiles))
+			sp.AddAttr("gact_cells", stats.Cells)
+			if res != nil {
+				c := sp.AddTimedChild("gact.extend", extStart, time.Since(extStart))
+				c.SetAttr("tiles", int64(stats.Tiles))
+				c.SetAttr("cells", stats.Cells)
+				c.SetAttr("first_tile_score", int64(stats.FirstTileScore))
+				c.SetAttr("score", int64(res.Score))
+			}
+		}()
+	}
 	cfg := &e.cfg
 	if err := fpExtend.Fire(); err != nil {
 		return nil, stats, err
@@ -129,7 +159,7 @@ func (e *Engine) Extend(R, Q dna.Seq, iSeed, jSeed int) (*align.Result, Stats, e
 	cigar = cigar.Concat(align.Cigar(e.arena[:firstLen]))
 	cigar = cigar.Concat(revCigar.Reverse())
 
-	res := &align.Result{
+	res = &align.Result{
 		RefStart:   leftI,
 		RefEnd:     rightI,
 		QueryStart: leftJ,

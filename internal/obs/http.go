@@ -58,6 +58,7 @@ func ServeDebug(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, reg.Snapshot().Summary())
 	})
+	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.HandleFunc("/debug/chrome-trace", func(w http.ResponseWriter, _ *http.Request) {
 		if !tr.Enabled() && tr.Len() == 0 {
 			http.Error(w, "tracer disabled (run with -trace-out or enable obs.Trace)", http.StatusServiceUnavailable)
@@ -75,6 +76,7 @@ func ServeDebug(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 		fmt.Fprint(w, `<html><body><h1>darwin debug</h1><ul>
 <li><a href="/debug/stages">stage summary</a></li>
 <li><a href="/debug/vars">registry JSON</a></li>
+<li><a href="/metrics">OpenMetrics exposition</a></li>
 <li><a href="/debug/pprof/">pprof</a></li>
 <li><a href="/debug/chrome-trace">chrome trace</a></li>
 </ul></body></html>`)
@@ -82,6 +84,16 @@ func ServeDebug(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// MetricsHandler serves the registry in OpenMetrics text format —
+// mounted at /metrics on both the debug endpoint and darwind's main
+// listener so one scrape config covers both.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		WriteOpenMetrics(w, reg.Snapshot())
+	})
 }
 
 // Addr returns the bound address (useful with ":0").

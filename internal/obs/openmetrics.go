@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics exposition of a Registry snapshot.
+//
+// The registry's slash-separated names ("core/reads",
+// "stage/align") map to Prometheus-legal names under a stable scheme:
+//
+//	counter   core/reads            -> darwin_core_reads_total
+//	gauge     core/workers          -> darwin_core_workers
+//	timer     stage/align           -> darwin_stage_align_seconds_total
+//	                                   darwin_stage_align_calls_total
+//	histogram core/map_latency_ms   -> darwin_core_map_latency_ms_bucket{le=...}
+//	                                   darwin_core_map_latency_ms_sum
+//	                                   darwin_core_map_latency_ms_count
+//
+// A timer is two counters (accumulated seconds and observation count)
+// so scrapers can derive rates with their own windows; a fixed-width
+// histogram becomes cumulative le-buckets at its bin edges plus +Inf.
+// Under-range observations are merged into the first bucket (they are
+// ≤ every edge); over-range ones appear only in +Inf, matching
+// Prometheus semantics where +Inf equals the total count.
+
+// MetricPrefix namespaces every exposed metric family.
+const MetricPrefix = "darwin_"
+
+var nameSanitizer = regexp.MustCompile(`[^a-zA-Z0-9_:]`)
+
+// MetricName converts a registry name to its OpenMetrics family base
+// name (no prefix-type suffix): "core/map_latency_ms" ->
+// "darwin_core_map_latency_ms".
+func MetricName(registryName string) string {
+	return MetricPrefix + nameSanitizer.ReplaceAllString(registryName, "_")
+}
+
+type metricFamily struct {
+	name    string // family name (without _total etc. for counters)
+	typ     string // counter | gauge | histogram
+	help    string
+	samples []string // fully rendered sample lines
+}
+
+// WriteOpenMetrics renders the snapshot in OpenMetrics text format,
+// families sorted by name, terminated by "# EOF".
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	fams := make([]metricFamily, 0, len(s.Counters)+len(s.Gauges)+2*len(s.Timers)+len(s.Histograms))
+	for name, v := range s.Counters {
+		base := MetricName(name)
+		fams = append(fams, metricFamily{
+			name:    base,
+			typ:     "counter",
+			help:    "registry counter " + name,
+			samples: []string{fmt.Sprintf("%s_total %d", base, v)},
+		})
+	}
+	for name, v := range s.Gauges {
+		base := MetricName(name)
+		fams = append(fams, metricFamily{
+			name:    base,
+			typ:     "gauge",
+			help:    "registry gauge " + name,
+			samples: []string{fmt.Sprintf("%s %d", base, v)},
+		})
+	}
+	for name, t := range s.Timers {
+		base := MetricName(name)
+		fams = append(fams,
+			metricFamily{
+				name:    base + "_seconds",
+				typ:     "counter",
+				help:    "accumulated seconds in timer " + name,
+				samples: []string{fmt.Sprintf("%s_seconds_total %s", base, formatFloat(t.Seconds))},
+			},
+			metricFamily{
+				name:    base + "_calls",
+				typ:     "counter",
+				help:    "observation count of timer " + name,
+				samples: []string{fmt.Sprintf("%s_calls_total %d", base, t.Count)},
+			},
+		)
+	}
+	for name, h := range s.Histograms {
+		base := MetricName(name)
+		fam := metricFamily{name: base, typ: "histogram", help: "registry histogram " + name}
+		width := (h.Max - h.Min) / float64(len(h.Counts))
+		cum := h.Under
+		for i := range h.Counts {
+			cum += h.Counts[i]
+			edge := h.Min + width*float64(i+1)
+			fam.samples = append(fam.samples,
+				fmt.Sprintf("%s_bucket{le=%q} %d", base, formatFloat(edge), cum))
+		}
+		fam.samples = append(fam.samples,
+			fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", base, h.Count),
+			fmt.Sprintf("%s_sum %s", base, formatFloat(h.Sum)),
+			fmt.Sprintf("%s_count %d", base, h.Count),
+		)
+		fams = append(fams, fam)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, line := range f.samples {
+			fmt.Fprintln(bw, line)
+		}
+	}
+	fmt.Fprintln(bw, "# EOF")
+	return bw.Flush()
+}
+
+// formatFloat renders a float without exponent notation surprises for
+// round values ("100" not "1e+02") while keeping full precision.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	familyNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( \d+(\.\d+)?)?$`)
+)
+
+// LintOpenMetrics validates an OpenMetrics text exposition: every
+// sample must belong to a previously declared # TYPE family (counter
+// samples via the _total/_seconds_total convention, histogram samples
+// via _bucket/_sum/_count), no family may be declared twice, histogram
+// buckets must be cumulative and end at +Inf == count, and the stream
+// must end with "# EOF". It is the shared validator behind both the
+// unit tests and scripts/metrics_lint.sh.
+func LintOpenMetrics(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	declared := map[string]string{} // family -> type
+	var lastLine string
+	var lineNo int
+	type histState struct {
+		prev     int64
+		prevLe   float64
+		sawInf   bool
+		infCount int64
+	}
+	hists := map[string]*histState{}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		lastLine = line
+		if line == "" {
+			return fmt.Errorf("line %d: blank line not allowed", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "EOF":
+				continue
+			case "TYPE":
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !familyNameRe.MatchString(name) {
+					return fmt.Errorf("line %d: invalid family name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped", "info", "stateset", "unknown":
+				default:
+					return fmt.Errorf("line %d: invalid metric type %q", lineNo, typ)
+				}
+				if _, dup := declared[name]; dup {
+					return fmt.Errorf("line %d: duplicate family %q", lineNo, name)
+				}
+				declared[name] = typ
+			case "HELP", "UNIT":
+				// free-form
+			default:
+				return fmt.Errorf("line %d: unknown comment directive %q", lineNo, fields[1])
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		sample, labels, value := m[1], m[2], m[3]
+		fam, suffix := familyOf(sample, declared)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %q belongs to no declared family (unregistered metric)", lineNo, sample)
+		}
+		typ := declared[fam]
+		switch typ {
+		case "counter":
+			if suffix != "_total" && suffix != "_created" {
+				return fmt.Errorf("line %d: counter sample %q must end in _total", lineNo, sample)
+			}
+		case "histogram":
+			switch suffix {
+			case "_bucket":
+				le := extractLe(labels)
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+				}
+				cum, err := strconv.ParseInt(value, 10, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: non-integer bucket count %q", lineNo, value)
+				}
+				st := hists[fam]
+				if st == nil {
+					st = &histState{prevLe: math.Inf(-1)}
+					hists[fam] = st
+				}
+				if le == "+Inf" {
+					st.sawInf = true
+					st.infCount = cum
+				} else {
+					edge, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le value %q", lineNo, le)
+					}
+					if edge <= st.prevLe {
+						return fmt.Errorf("line %d: bucket edges not increasing in %s (%g after %g)", lineNo, fam, edge, st.prevLe)
+					}
+					st.prevLe = edge
+				}
+				if cum < st.prev {
+					return fmt.Errorf("line %d: non-cumulative bucket counts in %s", lineNo, fam)
+				}
+				st.prev = cum
+			case "_sum":
+			case "_count":
+				n, err := strconv.ParseInt(value, 10, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: non-integer histogram count %q", lineNo, value)
+				}
+				st := hists[fam]
+				if st == nil || !st.sawInf {
+					return fmt.Errorf("line %d: histogram %s has _count before +Inf bucket", lineNo, fam)
+				}
+				if n != st.infCount {
+					return fmt.Errorf("line %d: histogram %s +Inf bucket (%d) != _count (%d)", lineNo, fam, st.infCount, n)
+				}
+			default:
+				return fmt.Errorf("line %d: sample %q is not a valid histogram series", lineNo, sample)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lastLine != "# EOF" {
+		return fmt.Errorf("exposition does not end with # EOF (last line %q)", lastLine)
+	}
+	for fam, st := range hists {
+		if !st.sawInf {
+			return fmt.Errorf("histogram %s has no +Inf bucket", fam)
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family and the
+// suffix that ties it there: an exact match (gauges), or the
+// counter/histogram series suffixes.
+func familyOf(sample string, declared map[string]string) (fam, suffix string) {
+	if _, ok := declared[sample]; ok {
+		return sample, ""
+	}
+	for _, suf := range []string{"_total", "_created", "_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(sample, suf)
+		if !found {
+			continue
+		}
+		if _, ok := declared[base]; ok {
+			return base, suf
+		}
+	}
+	return "", ""
+}
+
+func extractLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	for _, part := range strings.Split(strings.Trim(labels, "{}"), ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if ok && k == "le" {
+			return strings.Trim(v, `"`)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func expoRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("core/reads").Add(42)
+	reg.Counter("server/requests").Add(7)
+	reg.Gauge("core/workers").Set(4)
+	reg.Timer("stage/align").Observe(1500 * time.Millisecond)
+	reg.Timer("server/index_build").Observe(20 * time.Millisecond)
+	h := reg.Histogram("core/map_latency_ms", 0, 100, 4)
+	for _, v := range []float64{-5, 10, 30, 55, 80, 250} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestWriteOpenMetricsRendersAllKinds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, expoRegistry().Snapshot()); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE darwin_core_reads counter",
+		"darwin_core_reads_total 42",
+		"# TYPE darwin_core_workers gauge",
+		"darwin_core_workers 4",
+		"# TYPE darwin_stage_align_seconds counter",
+		"darwin_stage_align_seconds_total 1.5",
+		"darwin_stage_align_calls_total 1",
+		"# TYPE darwin_core_map_latency_ms histogram",
+		`darwin_core_map_latency_ms_bucket{le="+Inf"} 6`,
+		"darwin_core_map_latency_ms_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimRight(out, "\n"), "# EOF") {
+		t.Fatalf("exposition does not end with # EOF:\n%s", out)
+	}
+
+	// Histogram buckets: under-range merges into the first bucket,
+	// over-range only reaches +Inf. Edges at 25/50/75/100 for [0,100)x4.
+	for _, want := range []string{
+		`darwin_core_map_latency_ms_bucket{le="25"} 2`,  // -5, 10
+		`darwin_core_map_latency_ms_bucket{le="50"} 3`,  // +30
+		`darwin_core_map_latency_ms_bucket{le="75"} 4`,  // +55
+		`darwin_core_map_latency_ms_bucket{le="100"} 5`, // +80; 250 only in +Inf
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bucket line missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestOpenMetricsSelfLints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, expoRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintOpenMetrics(&buf); err != nil {
+		t.Fatalf("our own exposition fails the linter: %v", err)
+	}
+}
+
+func TestOpenMetricsStableAcrossSnapshots(t *testing.T) {
+	reg := expoRegistry()
+	var a, b bytes.Buffer
+	if err := WriteOpenMetrics(&a, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOpenMetrics(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("identical registry state rendered differently across snapshots")
+	}
+
+	// Advancing a counter must change only that family's sample line.
+	reg.Counter("core/reads").Inc()
+	var c bytes.Buffer
+	if err := WriteOpenMetrics(&c, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	la, lc := strings.Split(a.String(), "\n"), strings.Split(c.String(), "\n")
+	if len(la) != len(lc) {
+		t.Fatalf("line count changed: %d -> %d", len(la), len(lc))
+	}
+	var diff int
+	for i := range la {
+		if la[i] != lc[i] {
+			diff++
+			if !strings.HasPrefix(la[i], "darwin_core_reads_total") {
+				t.Fatalf("unexpected changed line: %q -> %q", la[i], lc[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d lines changed, want 1", diff)
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			"unregistered sample",
+			"# TYPE darwin_a counter\ndarwin_a_total 1\ndarwin_rogue_total 2\n# EOF\n",
+			"unregistered",
+		},
+		{
+			"duplicate family",
+			"# TYPE darwin_a counter\n# TYPE darwin_a counter\ndarwin_a_total 1\n# EOF\n",
+			"duplicate",
+		},
+		{
+			"missing EOF",
+			"# TYPE darwin_a counter\ndarwin_a_total 1\n",
+			"# EOF",
+		},
+		{
+			"counter without _total",
+			"# TYPE darwin_a counter\ndarwin_a 1\n# EOF\n",
+			"_total",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE darwin_h histogram\n" +
+				`darwin_h_bucket{le="1"} 5` + "\n" +
+				`darwin_h_bucket{le="2"} 3` + "\n" +
+				`darwin_h_bucket{le="+Inf"} 5` + "\n" +
+				"darwin_h_sum 4\ndarwin_h_count 5\n# EOF\n",
+			"non-cumulative",
+		},
+		{
+			"inf bucket disagrees with count",
+			"# TYPE darwin_h histogram\n" +
+				`darwin_h_bucket{le="+Inf"} 5` + "\n" +
+				"darwin_h_sum 4\ndarwin_h_count 6\n# EOF\n",
+			"_count",
+		},
+	}
+	for _, tc := range cases {
+		err := LintOpenMetrics(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: linter accepted invalid exposition", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLintAcceptsValidHandwritten(t *testing.T) {
+	in := "# HELP darwin_up whether up\n# TYPE darwin_up gauge\ndarwin_up 1\n# EOF\n"
+	if err := LintOpenMetrics(strings.NewReader(in)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}

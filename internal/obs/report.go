@@ -65,17 +65,17 @@ func (r *Run) Report() *Report {
 	wall := time.Since(r.start).Seconds()
 	diff := r.reg.Snapshot().Sub(r.base)
 	rep := &Report{
-		Schema:     SchemaVersion,
-		Tool:       r.tool,
-		Start:      r.start,
+		Schema:      SchemaVersion,
+		Tool:        r.tool,
+		Start:       r.start,
 		WallSeconds: wall,
-		Workers:    int(diff.Gauges["core/workers"]),
-		Counters:   diff.Counters,
-		Gauges:     diff.Gauges,
-		Timers:     diff.Timers,
-		Stages:     diff.Stages(),
-		Histograms: diff.Histograms,
-		Throughput: map[string]float64{},
+		Workers:     int(diff.Gauges["core/workers"]),
+		Counters:    diff.Counters,
+		Gauges:      diff.Gauges,
+		Timers:      diff.Timers,
+		Stages:      diff.Stages(),
+		Histograms:  diff.Histograms,
+		Throughput:  map[string]float64{},
 	}
 	for _, st := range rep.Stages {
 		rep.StageSecondsTotal += st.Seconds

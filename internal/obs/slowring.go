@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowRing keeps the top-K slowest completed requests with their full
+// span trees. It is the "why was that one request slow?" surface: the
+// Registry says p99 regressed, the ring holds concrete span trees to
+// read. Bounded by construction — a min-heap ordered by duration, so
+// each Offer is O(log K) and a flood of slow requests displaces
+// faster captures instead of growing memory.
+type SlowRing struct {
+	mu  sync.Mutex
+	cap int
+	h   slowHeap
+}
+
+// SlowCapture is one retained request.
+type SlowCapture struct {
+	RequestID  string       `json:"request_id"`
+	DurationUS int64        `json:"duration_us"`
+	Captured   time.Time    `json:"captured"`
+	Span       SpanSnapshot `json:"span"`
+}
+
+type slowHeap []SlowCapture
+
+func (h slowHeap) Len() int           { return len(h) }
+func (h slowHeap) Less(i, j int) bool { return h[i].DurationUS < h[j].DurationUS }
+func (h slowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slowHeap) Push(x any)        { *h = append(*h, x.(SlowCapture)) }
+func (h *slowHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// NewSlowRing returns a ring retaining the k slowest requests (k
+// clamped to at least 1).
+func NewSlowRing(k int) *SlowRing {
+	if k < 1 {
+		k = 1
+	}
+	return &SlowRing{cap: k}
+}
+
+// Offer submits a completed request span for retention. The tree is
+// snapshotted here, after completion, so captures are immutable.
+func (r *SlowRing) Offer(root *Span) {
+	if r == nil || root == nil {
+		return
+	}
+	d := root.Duration().Microseconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.h) >= r.cap {
+		if d <= r.h[0].DurationUS {
+			return // faster than the fastest retained capture
+		}
+		heap.Pop(&r.h)
+	}
+	heap.Push(&r.h, SlowCapture{
+		RequestID:  root.RequestID(),
+		DurationUS: d,
+		Captured:   time.Now(),
+		Span:       root.Snapshot(),
+	})
+}
+
+// Snapshot returns the retained captures, slowest first.
+func (r *SlowRing) Snapshot() []SlowCapture {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]SlowCapture, len(r.h))
+	copy(out, r.h)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurationUS > out[j].DurationUS })
+	return out
+}
+
+// Len returns the number of retained captures.
+func (r *SlowRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.h)
+}

@@ -262,7 +262,11 @@ func (b *Batcher) dispatch() {
 	}
 	add := func(job *Job) {
 		gQueueDepth.Add(-1)
-		hQueueWait.Observe(float64(time.Since(job.enqueued)) / float64(time.Millisecond))
+		wait := time.Since(job.enqueued)
+		hQueueWait.Observe(float64(wait) / float64(time.Millisecond))
+		if sp := obs.SpanFromContext(job.ctx); sp != nil {
+			sp.AddTimedChild("server.queue_wait", job.enqueued, wait)
+		}
 		bt := pending[job.entry]
 		if bt == nil {
 			bt = &batch{entry: job.entry, born: time.Now()}
@@ -375,6 +379,21 @@ func (b *Batcher) runBatch(bt *batch) {
 		}
 	}()
 
+	// One shared batch span serves every traced member: coalescing
+	// means the execution is genuinely shared, so each request's tree
+	// adopts the same child while keeping its own request ID at the
+	// root. Untraced batches (no member carried a span) pay nothing.
+	var batchSpan *obs.Span
+	for _, j := range live {
+		if sp := obs.SpanFromContext(j.ctx); sp != nil {
+			if batchSpan == nil {
+				batchSpan = obs.NewSpan("server.batch")
+			}
+			sp.Adopt(batchSpan)
+		}
+	}
+	defer batchSpan.End()
+
 	err := fpFlush.Fire()
 	if err == nil {
 		var reads []dna.Seq
@@ -384,10 +403,13 @@ func (b *Batcher) runBatch(bt *batch) {
 		cBatches.Inc()
 		cBatchedReads.Add(int64(len(reads)))
 		hBatchSize.Observe(float64(len(reads)))
+		batchSpan.SetAttr("jobs", int64(len(live)))
+		batchSpan.SetAttr("reads", int64(len(reads)))
 
 		// The batch runs until every member's context is done: one
 		// impatient client must not cancel work other clients still want.
 		batchCtx, cancel := context.WithCancel(context.Background())
+		batchCtx = obs.ContextWithSpan(batchCtx, batchSpan)
 		stopWatch := make(chan struct{})
 		var stopOnce sync.Once
 		stopWatcher := func() {
@@ -414,6 +436,9 @@ func (b *Batcher) runBatch(bt *batch) {
 				core.WithWorkers(b.cfg.WorkersPerBatch),
 				core.WithDeadlinePerRead(b.cfg.ReadDeadline))
 			bt.entry.Release(engine)
+			// Close the shared span before answering, so a handler that
+			// snapshots its tree right after Wait sees final timings.
+			batchSpan.End()
 			if err == nil {
 				off := 0
 				for i, j := range live {

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+
+	"darwin/internal/obs"
 )
 
 // Error codes on the wire. Clients branch on the code, not the
@@ -25,24 +28,31 @@ const (
 )
 
 // ErrorBody is the structured JSON error envelope every non-200
-// response carries: {"error":{"code":...,"message":...}}.
+// response carries:
+// {"error":{"code":...,"message":...,"request_id":...}}.
 type ErrorBody struct {
 	Error ErrorDetail `json:"error"`
 }
 
-// ErrorDetail is the code + human-readable message pair.
+// ErrorDetail is the code + human-readable message pair, stamped with
+// the request identity so a client-side failure joins to the server's
+// access line and span capture for the same request.
 type ErrorDetail struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-// httpError writes a structured JSON error with status code. Headers
-// (Retry-After etc.) must be set before calling.
-func httpError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+// httpError writes a structured JSON error with status code, carrying
+// ctx's request identity in the envelope. Headers (Retry-After etc.)
+// must be set before calling.
+func httpError(ctx context.Context, w http.ResponseWriter, status int, code string, format string, args ...any) {
+	setErrCode(w, code)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{
-		Code:    code,
-		Message: fmt.Sprintf(format, args...),
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: obs.RequestIDFromContext(ctx),
 	}})
 }

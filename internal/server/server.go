@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -69,6 +70,13 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker rejects before
 	// admitting a probe build (default 5s).
 	BreakerCooldown time.Duration
+	// Logger receives the service's structured logs, including the
+	// per-request access lines (default slog.Default()).
+	Logger *slog.Logger
+	// SlowCapture is how many of the slowest requests to retain with
+	// their full span trees for the /debug/slow endpoint and the drain
+	// dump (default 16).
+	SlowCapture int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +101,12 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.SlowCapture <= 0 {
+		c.SlowCapture = 16
+	}
 	c.Batch = c.Batch.withDefaults()
 	return c
 }
@@ -104,6 +118,9 @@ type Server struct {
 	cache   *IndexCache
 	batcher *Batcher
 	mux     *http.ServeMux
+	log     *slog.Logger
+	stats   *sloTracker
+	slow    *obs.SlowRing
 
 	ready        atomic.Bool
 	draining     atomic.Bool
@@ -123,6 +140,9 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    NewIndexCache(cfg.CacheSize),
 		batcher:  NewBatcher(cfg.Batch),
+		log:      cfg.Logger,
+		stats:    newSLOTracker(),
+		slow:     obs.NewSlowRing(cfg.SlowCapture),
 		breakers: make(map[string]*Breaker),
 	}
 	s.batcher.Start()
@@ -131,11 +151,21 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/v1/map", s.handleMap)
 	s.mux.HandleFunc("/v1/indexes", s.handleIndexes)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.Handle("/metrics", obs.MetricsHandler(obs.Default))
+	s.mux.HandleFunc("/debug/slow", s.handleSlow)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the API mux behind the
+// observability middleware (request IDs, span roots, access logs,
+// SLO windows).
+func (s *Server) Handler() http.Handler { return s.withObs(s.mux) }
+
+// SlowCaptures returns the retained slowest-request span trees,
+// slowest first — the same data /debug/slow serves, for the drain
+// dump.
+func (s *Server) SlowCaptures() []obs.SlowCapture { return s.slow.Snapshot() }
 
 // Warm loads the default reference into the cache and marks the
 // server ready. Blocking by design: readiness means the index is
@@ -319,12 +349,15 @@ type MapRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
-// MapResponseLine is one NDJSON response line: a read's SAM records.
+// MapResponseLine is one NDJSON response line: a read's SAM records,
+// stamped with the request identity so any line quoted from a log or
+// a client joins back to the server-side trace.
 type MapResponseLine struct {
-	Read    string       `json:"read"`
-	Mapped  bool         `json:"mapped"`
-	Records []sam.Record `json:"records,omitempty"`
-	Error   string       `json:"error,omitempty"`
+	Read      string       `json:"read"`
+	Mapped    bool         `json:"mapped"`
+	Records   []sam.Record `json:"records,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	RequestID string       `json:"request_id,omitempty"`
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
@@ -333,47 +366,57 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		hRequestLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	}()
+	rctx := r.Context()
+	span := obs.SpanFromContext(rctx)
 
 	if r.Method != http.MethodPost {
 		cRequestsFailed.Inc()
-		httpError(w, http.StatusMethodNotAllowed, CodeMethodNotAllow, "POST required")
+		httpError(rctx, w, http.StatusMethodNotAllowed, CodeMethodNotAllow, "POST required")
 		return
 	}
 	if s.draining.Load() {
 		cRejectedDraining.Inc()
 		w.Header().Set("Retry-After", "5")
-		httpError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+		httpError(rctx, w, http.StatusServiceUnavailable, CodeDraining, "draining")
 		return
 	}
 	if !s.ready.Load() {
 		cRequestsFailed.Inc()
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, CodeWarming, "index warming")
+		httpError(rctx, w, http.StatusServiceUnavailable, CodeWarming, "index warming")
 		return
 	}
 
+	// Admission stage: decode, validate, and the admission fault
+	// point. One span child covers it all — admission rejections are
+	// cheap by design, and the span proves it.
+	admit := span.StartChild("server.admit")
 	var req MapRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
+		admit.End()
 		cRequestsFailed.Inc()
-		httpError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+		httpError(rctx, w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if len(req.Reads) == 0 {
+		admit.End()
 		cRequestsFailed.Inc()
-		httpError(w, http.StatusBadRequest, CodeBadRequest, "no reads")
+		httpError(rctx, w, http.StatusBadRequest, CodeBadRequest, "no reads")
 		return
 	}
 	if len(req.Reads) > s.cfg.MaxReadsPerRequest {
+		admit.End()
 		cRequestsFailed.Inc()
-		httpError(w, http.StatusRequestEntityTooLarge, CodeTooManyReads,
+		httpError(rctx, w, http.StatusRequestEntityTooLarge, CodeTooManyReads,
 			"%d reads exceeds per-request limit %d", len(req.Reads), s.cfg.MaxReadsPerRequest)
 		return
 	}
 	for i, rd := range req.Reads {
 		if len(rd.Seq) == 0 {
+			admit.End()
 			cRequestsFailed.Inc()
-			httpError(w, http.StatusBadRequest, CodeBadRequest, "read %d (%q) has an empty sequence", i, rd.Name)
+			httpError(rctx, w, http.StatusBadRequest, CodeBadRequest, "read %d (%q) has an empty sequence", i, rd.Name)
 			return
 		}
 	}
@@ -381,11 +424,15 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	// Admission fault point: an injected error here exercises the
 	// structured-error path before any stage budget is spent.
 	if err := fpAdmit.Fire(); err != nil {
+		admit.End()
 		cRequestsFailed.Inc()
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, CodeFaultInjected, "%v", err)
+		httpError(rctx, w, http.StatusServiceUnavailable, CodeFaultInjected, "%v", err)
 		return
 	}
+	admit.SetAttr("reads", int64(len(req.Reads)))
+	admit.End()
+	span.SetAttr("reads", int64(len(req.Reads)))
 
 	// Per-request deadline: the server cap, shortened by the client's
 	// timeout_ms. The total budget is split across stages — an
@@ -406,34 +453,39 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	if req.Reference != "" && req.Reference != s.cfg.DefaultRef {
 		if !s.cfg.AllowRefLoad {
 			cRequestsFailed.Inc()
-			httpError(w, http.StatusForbidden, CodeRefLoadDisabled, "on-demand reference loading is disabled (-allow-ref-load)")
+			httpError(rctx, w, http.StatusForbidden, CodeRefLoadDisabled, "on-demand reference loading is disabled (-allow-ref-load)")
 			return
 		}
 		indexBudget := time.Duration(float64(timeout) * s.cfg.IndexBudgetFrac)
 		ictx, icancel := context.WithTimeout(ctx, indexBudget)
-		var err error
-		entry, _, err = s.loadEntry(ictx, req.Reference)
+		idxSpan := span.StartChild("server.index")
+		entry2, hit, err := s.loadEntry(ictx, req.Reference)
 		icancel()
+		if hit {
+			idxSpan.SetAttr("cache_hit", 1)
+		}
+		idxSpan.End()
 		if err != nil {
 			cRequestsFailed.Inc()
 			switch {
 			case errors.Is(err, ErrCircuitOpen):
 				w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.BreakerCooldown)))
-				httpError(w, http.StatusServiceUnavailable, CodeCircuitOpen, "reference %q: %v", req.Reference, err)
+				httpError(rctx, w, http.StatusServiceUnavailable, CodeCircuitOpen, "reference %q: %v", req.Reference, err)
 			case errors.Is(err, context.DeadlineExceeded):
-				httpError(w, http.StatusGatewayTimeout, CodeDeadline,
+				httpError(rctx, w, http.StatusGatewayTimeout, CodeDeadline,
 					"index build for %q exceeded its stage budget (%v of the request deadline)", req.Reference, indexBudget)
 			case faults.IsInjected(err):
-				httpError(w, http.StatusServiceUnavailable, CodeFaultInjected, "loading reference %q: %v", req.Reference, err)
+				httpError(rctx, w, http.StatusServiceUnavailable, CodeFaultInjected, "loading reference %q: %v", req.Reference, err)
 			default:
-				httpError(w, http.StatusBadRequest, CodeRefLoadFailed, "loading reference %q: %v", req.Reference, err)
+				httpError(rctx, w, http.StatusBadRequest, CodeRefLoadFailed, "loading reference %q: %v", req.Reference, err)
 			}
 			return
 		}
+		entry = entry2
 	}
 	if entry == nil {
 		cRequestsFailed.Inc()
-		httpError(w, http.StatusServiceUnavailable, CodeNoIndex, "no default index")
+		httpError(rctx, w, http.StatusServiceUnavailable, CodeNoIndex, "no default index")
 		return
 	}
 
@@ -442,6 +494,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		reads[i] = req.Reads[i].Seq
 	}
 	cReadsIn.Add(int64(len(reads)))
+	s.stats.observeReads(len(reads))
 
 	job, err := s.batcher.Submit(ctx, entry, reads, req.All)
 	if err != nil {
@@ -449,35 +502,41 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case err == ErrQueueFull:
 			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusTooManyRequests, CodeQueueFull, "admission queue full, retry later")
+			httpError(rctx, w, http.StatusTooManyRequests, CodeQueueFull, "admission queue full, retry later")
 		case err == ErrDraining:
 			w.Header().Set("Retry-After", "5")
-			httpError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+			httpError(rctx, w, http.StatusServiceUnavailable, CodeDraining, "draining")
 		default:
-			httpError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+			httpError(rctx, w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		}
 		return
 	}
 	res := job.Wait()
 	if res.Err != nil {
 		cRequestsFailed.Inc()
+		if st := serverTiming(span); st != "" {
+			w.Header().Set("Server-Timing", st)
+		}
 		switch {
 		case res.Err == context.DeadlineExceeded || res.Err == context.Canceled:
-			httpError(w, http.StatusGatewayTimeout, CodeDeadline, "request deadline exceeded")
+			httpError(rctx, w, http.StatusGatewayTimeout, CodeDeadline, "request deadline exceeded")
 		case faults.IsInjected(res.Err):
-			httpError(w, http.StatusServiceUnavailable, CodeFaultInjected, "%v", res.Err)
+			httpError(rctx, w, http.StatusServiceUnavailable, CodeFaultInjected, "%v", res.Err)
 		default:
-			httpError(w, http.StatusInternalServerError, CodeInternal, "%v", res.Err)
+			httpError(rctx, w, http.StatusInternalServerError, CodeInternal, "%v", res.Err)
 		}
 		return
 	}
 	cRequestsOK.Inc()
 
+	if st := serverTiming(span); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
 	if r.URL.Query().Get("format") == "sam" {
 		s.writeSAM(w, entry, req, res.Results)
 		return
 	}
-	s.writeNDJSON(w, entry, req, res.Results)
+	s.writeNDJSON(w, obs.RequestIDFromContext(rctx), entry, req, res.Results)
 }
 
 // recordsFor converts one read's alignments to SAM records — the same
@@ -524,7 +583,7 @@ func recordsFor(entry *IndexEntry, name string, seq dna.Seq, alns []core.ReadAli
 // failed (panic isolation, per-read deadline, injected fault) gets an
 // error line instead of records — the other reads in the request are
 // unaffected, which is the whole point of per-read isolation.
-func (s *Server) writeNDJSON(w http.ResponseWriter, entry *IndexEntry, req MapRequest, results []core.MapResult) {
+func (s *Server) writeNDJSON(w http.ResponseWriter, reqID string, entry *IndexEntry, req MapRequest, results []core.MapResult) {
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -557,6 +616,7 @@ func (s *Server) writeNDJSON(w http.ResponseWriter, entry *IndexEntry, req MapRe
 				Records: recs,
 			}
 		}
+		line.RequestID = reqID
 		if err := enc.Encode(line); err != nil {
 			return // client went away
 		}

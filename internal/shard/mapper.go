@@ -220,6 +220,14 @@ func (m *ScatterMapper) Map(ctx context.Context, reads []dna.Seq, options ...cor
 	if err := m.ensureWorkers(workers); err != nil {
 		return nil, err
 	}
+	// Trace hook: under a traced request the batch gets a shard.map
+	// span with scatter/gather phase children; untraced callers pay one
+	// context lookup and nil checks.
+	_, mSpan := obs.StartSpan(ctx, "shard.map")
+	defer mSpan.End()
+	mSpan.SetAttr("reads", int64(len(reads)))
+	mSpan.SetAttr("workers", int64(workers))
+	mSpan.SetAttr("shards", int64(len(m.set.shards)))
 
 	// Reverse-complement every read once; both phases reuse them.
 	revs := make([]dna.Seq, len(reads))
@@ -234,6 +242,9 @@ func (m *ScatterMapper) Map(ctx context.Context, reads []dna.Seq, options ...cor
 	// shards ascending, then the filter's (QueryPos, RefPos) emission
 	// order within a shard.
 	scatterStart := time.Now()
+	scSpan := mSpan.StartChild("shard.scatter")
+	defer scSpan.End() // idempotent; covers the loop's error returns
+	hits0, builds0 := cAcquireHits.Value(), cBuilds.Value()
 	for si := range m.set.shards {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -277,18 +288,37 @@ func (m *ScatterMapper) Map(ctx context.Context, reads []dna.Seq, options ...cor
 		}
 	}
 	tScatter.Observe(time.Since(scatterStart))
+	// Process-wide counter deltas, so concurrent clones sharing the Set
+	// blur each other's numbers slightly; per-call exactness is not
+	// worth threading counters through Acquire.
+	scSpan.SetAttr("shard_hits", cAcquireHits.Value()-hits0)
+	scSpan.SetAttr("shard_builds", cBuilds.Value()-builds0)
+	scSpan.End()
 
 	// Gather: per-read candidate merge, truncation, GACT extension
 	// against the full resident reference at global anchors.
 	gatherStart := time.Now()
+	gSpan := mSpan.StartChild("shard.gather")
+	defer gSpan.End()
 	prog := core.NewProgressSink(o.Progress, len(reads))
 	out := make([]core.MapResult, len(reads))
 	err := m.runStriped(ctx, workers, len(reads), func(w *workerState, i int) error {
+		readSpan := gSpan.StartChild("core.read")
+		if readSpan != nil {
+			readSpan.SetAttr("read", int64(i))
+			w.engine.SetSpan(readSpan)
+		}
+		readStart := time.Now()
 		out[i] = m.gatherRead(w, i, reads[i], revs[i], &acc[i], o.DeadlinePerRead)
+		if readSpan != nil {
+			w.engine.SetSpan(nil)
+			finishReadSpan(readSpan, readStart, &out[i])
+		}
 		prog.Step()
 		return nil
 	})
 	tGather.Observe(time.Since(gatherStart))
+	gSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -296,6 +326,27 @@ func (m *ScatterMapper) Map(ctx context.Context, reads []dna.Seq, options ...cor
 		return nil, err
 	}
 	return out, nil
+}
+
+// finishReadSpan closes one read's gather-phase trace span, mirroring
+// core's per-read span shape: work attributes from MapStats plus
+// synthesized stage/filter and stage/align children carrying the
+// read's own durations. The filter time was actually spent in the
+// scatter phase (shard-major order interleaves all reads' filter
+// work), so the child records where the read's time went, not when.
+func finishReadSpan(sp *obs.Span, start time.Time, res *core.MapResult) {
+	st := res.Stats
+	sp.SetAttr("candidates", int64(st.Candidates))
+	sp.SetAttr("passed_htile", int64(st.PassedHTile))
+	sp.SetAttr("tiles", int64(st.Tiles))
+	sp.SetAttr("cells", st.Cells)
+	sp.SetAttr("alignments", int64(len(res.Alignments)))
+	if res.Err != nil {
+		sp.SetAttr("failed", 1)
+	}
+	sp.AddTimedChild("stage/filter", start, st.FiltrationTime)
+	sp.AddTimedChild("stage/align", start.Add(st.FiltrationTime), st.AlignmentTime)
+	sp.End()
 }
 
 // scatterRead runs one read's D-SOFT pass over one shard with panic
