@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard bench-traced benchdiff benchdiff-traced serve-smoke chaos-smoke metrics-lint clean
+.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard bench-traced bench-index benchdiff benchdiff-traced serve-smoke chaos-smoke index-smoke metrics-lint clean
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ race:
 test-allocs:
 	$(GO) test -run 'ZeroSteadyStateAllocs' ./internal/align/
 
-check: vet race test-allocs serve-smoke chaos-smoke metrics-lint
+check: vet race test-allocs serve-smoke chaos-smoke index-smoke metrics-lint
 
 # End-to-end serving check: darwind on a synthetic genome, load from
 # darwin-client, non-empty SAM back, clean drain on SIGTERM.
@@ -39,6 +39,12 @@ serve-smoke:
 # back at the pre-serve baseline.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# Persistent index roundtrip: darwin-index build/inspect/verify, SAM
+# bit-identity across FASTA build / explicit -index / discovered
+# sidecar, and corruption detection + graceful fallback.
+index-smoke:
+	./scripts/index_smoke.sh
 
 # Observability exposition check: a live darwind's /metrics must be
 # valid OpenMetrics with no duplicate or undeclared families, and
@@ -74,6 +80,13 @@ bench-shard:
 bench-traced:
 	$(GO) test -bench='BenchmarkMapReadTraced$$' -benchmem -run '^$$' .
 	@echo "report: BENCH_kernel_traced.json"
+
+# Cold-start comparison: time-to-first-mapped-read building the index
+# from FASTA vs mapping a prebuilt .dwi file. Writes BENCH_index.json
+# with the measured speedup (see EXPERIMENTS.md).
+bench-index:
+	$(GO) test -bench='BenchmarkIndexColdStart' -benchmem -run '^$$' .
+	@echo "report: BENCH_index.json"
 
 # Compare the committed pre-kernel baseline against the current run;
 # exits non-zero on a >10% throughput regression.

@@ -8,9 +8,13 @@
 package darwin_test
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"darwin/internal/align"
 	"darwin/internal/core"
@@ -23,6 +27,7 @@ import (
 	"darwin/internal/gactsim"
 	"darwin/internal/genome"
 	"darwin/internal/hw"
+	"darwin/internal/indexio"
 	"darwin/internal/obs"
 	"darwin/internal/readsim"
 	"darwin/internal/seedtable"
@@ -520,5 +525,86 @@ func BenchmarkDarwinEstimator(b *testing.B) {
 	w := hw.Workload{SeedsPerRead: 1500, HitsPerSeed: 30, TilesPerRead: 120, TileT: 320, TileO: 128}
 	for i := 0; i < b.N; i++ {
 		d.Estimate(w)
+	}
+}
+
+// BenchmarkIndexColdStart compares time-to-first-mapped-read for the
+// two cold-start paths a darwin/darwind boot takes: parsing the
+// reference FASTA and building the seed table, versus mapping a
+// prebuilt .dwi index file (indexio.Open, which replaces both steps).
+// The load sub-benchmark reports the measured speedup; the obs run
+// report goes to BENCH_index.json (`make bench-index`) — the
+// build-once/load-many trajectory point EXPERIMENTS.md records.
+func BenchmarkIndexColdStart(b *testing.B) {
+	g, err := genome.Generate(genome.Config{Length: 1_000_000, GC: 0.45, Seed: 85})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(12, 600, 24)
+	recs := []dna.Record{{Name: "chr1", Seq: g.Seq}}
+	dir := b.TempDir()
+	refPath := filepath.Join(dir, "ref.fa")
+	var fasta bytes.Buffer
+	if err := dna.WriteFASTA(&fasta, recs); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(refPath, fasta.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "ref.fa.dwi")
+	if _, err := indexio.WriteFile(path, recs, cfg, core.ShardSpec{}); err != nil {
+		b.Fatal(err)
+	}
+	reads, err := readsim.SimulateN(g.Seq, 1, readsim.Config{Profile: readsim.PacBio, MeanLen: 1000, Seed: 86})
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := reads[0].Seq
+
+	run := obs.NewRun("bench_index")
+	var buildNs float64
+	b.Run("build_from_fasta", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(refPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parsed, err := dna.ReadFASTA(f)
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, _, err := core.Open(core.OpenConfig{Records: parsed, Core: cfg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if alns, _ := eng.(*core.Darwin).MapRead(query); len(alns) == 0 {
+				b.Fatal("read did not map")
+			}
+		}
+		buildNs = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+		b.ReportMetric(buildNs/1e6, "first_read_ms")
+	})
+	b.Run("mmap_load", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			l, err := indexio.Open(path, cfg, core.ShardSpec{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if alns, _ := l.Mapper.(*core.Darwin).MapRead(query); len(alns) == 0 {
+				b.Fatal("read did not map")
+			}
+			l.File.Close()
+		}
+		loadNs := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+		b.ReportMetric(loadNs/1e6, "first_read_ms")
+		if buildNs > 0 && loadNs > 0 {
+			b.ReportMetric(buildNs/loadNs, "cold_start_speedup")
+		}
+	})
+	if err := run.Report().WriteJSON("BENCH_index.json"); err != nil {
+		b.Fatal(err)
 	}
 }

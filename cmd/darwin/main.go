@@ -18,6 +18,8 @@ import (
 	"darwin/internal/core"
 	"darwin/internal/dna"
 	"darwin/internal/faults"
+	"darwin/internal/indexfile"
+	"darwin/internal/indexio"
 	"darwin/internal/obs"
 	"darwin/internal/sam"
 	"darwin/internal/shard"
@@ -45,6 +47,9 @@ func run() error {
 	shards := flag.Int("shards", 0, "split the reference index into this many shards (0 = monolithic)")
 	shardOverlap := flag.Int("shard-overlap", 0, "shard overlap margin in bases (0 = exactness minimum)")
 	shardMem := flag.String("shard-mem", "", "resident shard seed-table budget, e.g. 512M (empty = unbounded)")
+	indexPath := flag.String("index", "", "load the reference index from this prebuilt .dwi file (darwin-index build) instead of building it")
+	indexWrite := flag.String("index-write", "", "build the reference index, write it to this .dwi path, then map from it")
+	noSidecar := flag.Bool("no-sidecar", false, "do not auto-load a <ref>.dwi sidecar index next to the reference")
 	progressEvery := flag.Int("progress", 0, "print mapping throughput and ETA to stderr every N reads (0 disables)")
 	faultSpec := flag.String("faults", "", "fault-injection spec (requires DARWIN_ALLOW_FAULTS=1); see internal/faults")
 	obsFlags := obs.AddFlags(flag.CommandLine)
@@ -64,13 +69,23 @@ func run() error {
 	}
 	defer session.Close()
 
-	tLoad := obs.Default.Timer("stage/load_input").Time()
-	refRecs, err := readSeqFile(*refPath)
-	if err != nil {
-		return err
+	if *indexPath != "" && *indexWrite != "" {
+		return fmt.Errorf("-index and -index-write are mutually exclusive")
 	}
-	if len(refRecs) == 0 {
-		return fmt.Errorf("no sequences in %s", *refPath)
+
+	tLoad := obs.Default.Timer("stage/load_input").Time()
+	// With an explicit -index the reference FASTA is never parsed — the
+	// index file carries the reference bytes, which is the point of the
+	// cold-start path.
+	var refRecs []dna.Record
+	if *indexPath == "" {
+		refRecs, err = readSeqFile(*refPath)
+		if err != nil {
+			return err
+		}
+		if len(refRecs) == 0 {
+			return fmt.Errorf("no sequences in %s", *refPath)
+		}
 	}
 	reads, err := readSeqFile(*readsPath)
 	tLoad()
@@ -90,9 +105,37 @@ func run() error {
 		}
 		spec.MaxResidentBytes = mem
 	}
-	engine, ref, err := core.Open(core.OpenConfig{Records: refRecs, Core: cfg, Shard: spec})
+	openCfg := core.OpenConfig{Records: refRecs, Core: cfg, Shard: spec}
+	sidecar := false
+	switch {
+	case *indexWrite != "":
+		if _, err := indexio.WriteFile(*indexWrite, refRecs, cfg, spec); err != nil {
+			return fmt.Errorf("writing index %s: %w", *indexWrite, err)
+		}
+		fmt.Fprintf(os.Stderr, "darwin: wrote index %s\n", *indexWrite)
+		openCfg.IndexPath = *indexWrite
+	case *indexPath != "":
+		openCfg.IndexPath = *indexPath
+	case !*noSidecar:
+		sc := indexfile.SidecarPath(*refPath)
+		if st, serr := os.Stat(sc); serr == nil && !st.IsDir() {
+			openCfg.IndexPath = sc
+			sidecar = true
+		}
+	}
+	engine, ref, err := core.Open(openCfg)
+	if err != nil && sidecar {
+		// A discovered sidecar is opportunistic: corruption or a
+		// parameter mismatch degrades to the ordinary FASTA build.
+		fmt.Fprintf(os.Stderr, "darwin: sidecar index %s unusable (%v); rebuilding from FASTA\n", openCfg.IndexPath, err)
+		openCfg.IndexPath = ""
+		engine, ref, err = core.Open(openCfg)
+	}
 	if err != nil {
 		return err
+	}
+	if openCfg.IndexPath != "" {
+		fmt.Fprintf(os.Stderr, "darwin: mapped prebuilt index %s (no build pass)\n", openCfg.IndexPath)
 	}
 	if sm, ok := engine.(*shard.ScatterMapper); ok {
 		geo := sm.Set().Geometry()

@@ -32,11 +32,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"darwin/internal/core"
+	"darwin/internal/dna"
 	"darwin/internal/faults"
+	"darwin/internal/indexio"
 	"darwin/internal/obs"
 	"darwin/internal/server"
 	"darwin/internal/shard"
@@ -62,6 +65,9 @@ func run() error {
 	shards := flag.Int("shards", 0, "split each reference index into this many shards (0 = monolithic)")
 	shardOverlap := flag.Int("shard-overlap", 0, "shard overlap margin in bases (0 = exactness minimum)")
 	shardMem := flag.String("shard-mem", "", "resident shard seed-table budget, e.g. 512M (empty = unbounded)")
+	indexPath := flag.String("index", "", "cold-start the default reference from this prebuilt .dwi index (darwin-index build); load failure is fatal")
+	indexWrite := flag.String("index-write", "", "build the default index, write it to this .dwi path, then serve from it")
+	noSidecar := flag.Bool("no-sidecar", false, "do not auto-load <ref>.dwi sidecar indexes next to reference FASTAs")
 	allowRefLoad := flag.Bool("allow-ref-load", false, "let requests name reference FASTA paths to load on demand")
 	batchReads := flag.Int("batch-reads", 64, "flush a micro-batch at this many reads")
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "max time a partial batch waits for company")
@@ -114,11 +120,36 @@ func run() error {
 		}
 		scfg.MaxResidentBytes = mem
 	}
+	if *indexPath != "" && *indexWrite != "" {
+		return fmt.Errorf("-index and -index-write are mutually exclusive")
+	}
+	defaultIndex := *indexPath
+	if *indexWrite != "" {
+		recs, err := readSeqFile(*refPath)
+		if err != nil {
+			return err
+		}
+		spec := core.ShardSpec{
+			Shards:           scfg.Shards,
+			ShardSize:        scfg.ShardSize,
+			Overlap:          scfg.Overlap,
+			MaxResidentBytes: scfg.MaxResidentBytes,
+		}
+		writeStart := time.Now()
+		if _, err := indexio.WriteFile(*indexWrite, recs, cfg, spec); err != nil {
+			return fmt.Errorf("writing index %s: %w", *indexWrite, err)
+		}
+		log.Info("index written", "path", *indexWrite, "took", time.Since(writeStart).Round(time.Millisecond))
+		defaultIndex = *indexWrite
+	}
+
 	srv := server.New(server.Config{
-		DefaultRef: *refPath,
-		Core:       cfg,
-		Shard:      scfg,
-		CacheSize:  *cacheSize,
+		DefaultRef:     *refPath,
+		DefaultIndex:   defaultIndex,
+		DisableSidecar: *noSidecar,
+		Core:           cfg,
+		Shard:          scfg,
+		CacheSize:      *cacheSize,
 		Batch: server.BatcherConfig{
 			MaxBatchReads:   *batchReads,
 			MaxWait:         *batchWait,
@@ -195,6 +226,19 @@ func run() error {
 		log.Info("leak check passed, goroutines back to baseline")
 	}
 	return nil
+}
+
+// readSeqFile parses a reference FASTA/FASTQ for -index-write.
+func readSeqFile(path string) ([]dna.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".fq") || strings.HasSuffix(path, ".fastq") {
+		return dna.ReadFASTQ(f)
+	}
+	return dna.ReadFASTA(f)
 }
 
 // newLogger builds the process logger on w. Text is the operator

@@ -223,6 +223,49 @@ func New(ref dna.Seq, cfg Config) (*Darwin, error) {
 	return &Darwin{ref: ref, table: table, filter: filter, engine: engine, cfg: cfg, TableBuildTime: buildTime}, nil
 }
 
+// NewWithTable assembles an engine around a prebuilt seed table — the
+// path a persistent index load takes (internal/indexio): the table's
+// storage is a view over mapped file bytes, so no build pass runs, the
+// stage/index timer never fires, and TableBuildTime stays zero. The
+// table must describe exactly this reference under this configuration;
+// only the structural invariants are checked here (the index loader
+// owns content integrity via its checksums).
+func NewWithTable(ref dna.Seq, table *seedtable.Table, cfg Config) (*Darwin, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("core: empty reference")
+	}
+	if table == nil {
+		return nil, fmt.Errorf("core: nil seed table")
+	}
+	if table.K() != cfg.SeedK {
+		return nil, fmt.Errorf("core: seed table k=%d but config k=%d", table.K(), cfg.SeedK)
+	}
+	if table.RefLen() != len(ref) {
+		return nil, fmt.Errorf("core: seed table covers %d bases but reference has %d", table.RefLen(), len(ref))
+	}
+	stride := cfg.SeedStride
+	if stride < 1 {
+		stride = 1
+	}
+	filter, err := dsoft.New(table, dsoft.Config{
+		N:       cfg.SeedN,
+		H:       cfg.Threshold,
+		BinSize: cfg.BinSize,
+		Stride:  stride,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: configuring D-SOFT: %w", err)
+	}
+	g := cfg.GACT
+	g.MinFirstTile = cfg.HTile
+	cfg.GACT = g
+	engine, err := gact.NewEngine(&cfg.GACT)
+	if err != nil {
+		return nil, fmt.Errorf("core: configuring GACT: %w", err)
+	}
+	return &Darwin{ref: ref, table: table, filter: filter, engine: engine, cfg: cfg}, nil
+}
+
 // Ref returns the indexed reference.
 func (d *Darwin) Ref() dna.Seq { return d.ref }
 

@@ -33,13 +33,22 @@ func (s ShardSpec) Enabled() bool { return s.Shards > 0 || s.ShardSize > 0 }
 // selects the implementation.
 type OpenConfig struct {
 	// Records is the multi-sequence reference, concatenated with the
-	// engine's N-padding separator invariant.
+	// engine's N-padding separator invariant. Ignored when IndexPath
+	// is set — the index file carries the reference bytes.
 	Records []dna.Record
 	// Core holds the full Darwin parameter set.
 	Core Config
 	// Shard selects the sharded scatter-gather mapper when Enabled;
 	// otherwise the monolithic engine is built.
 	Shard ShardSpec
+	// IndexPath, when set, loads the mapper from a prebuilt persistent
+	// index file (internal/indexfile) instead of building from Records:
+	// the file is mapped and its tables served as views, so no build
+	// pass runs. The file's parameters and shard geometry must match
+	// Core and Shard (a sharded file with a zero Shard spec adopts the
+	// file's geometry). Requires a registered opener (import
+	// darwin/internal/indexio).
+	IndexPath string
 }
 
 // shardedFactory is installed by internal/shard's init so Open can
@@ -53,6 +62,17 @@ func RegisterSharded(f func(recs []dna.Record, cfg Config, spec ShardSpec) (Mapp
 	shardedFactory = f
 }
 
+// indexOpener is installed by internal/indexio's init so Open can load
+// a mapper from a persistent index file without core importing the
+// index packages (indexio imports core and shard).
+var indexOpener func(path string, cfg Config, spec ShardSpec) (Mapper, *Reference, error)
+
+// RegisterIndexOpener installs the persistent-index loader. Called
+// from internal/indexio's init; last registration wins.
+func RegisterIndexOpener(f func(path string, cfg Config, spec ShardSpec) (Mapper, *Reference, error)) {
+	indexOpener = f
+}
+
 // Open is the single construction entrypoint for a Mapper: it
 // concatenates the records and selects monolithic Darwin or the
 // sharded scatter-gather mapper from cfg.Shard, so callers (CLIs, the
@@ -60,6 +80,12 @@ func RegisterSharded(f func(recs []dna.Record, cfg Config, spec ShardSpec) (Mapp
 // The two implementations are alignment-bit-identical; geometry only
 // changes memory residency and build scheduling.
 func Open(cfg OpenConfig) (Mapper, *Reference, error) {
+	if cfg.IndexPath != "" {
+		if indexOpener == nil {
+			return nil, nil, fmt.Errorf("core: open: index load requested but not linked (import darwin/internal/indexio)")
+		}
+		return indexOpener(cfg.IndexPath, cfg.Core, cfg.Shard)
+	}
 	if len(cfg.Records) == 0 {
 		return nil, nil, fmt.Errorf("core: open: no reference records")
 	}

@@ -56,6 +56,35 @@ func NewReference(recs []dna.Record, pad int) (*Reference, error) {
 	return r, nil
 }
 
+// NewReferenceFromMeta reconstructs a Reference around an already
+// concatenated sequence and its recorded layout — the path a
+// persistent index load takes, where seq is a view over mapped file
+// bytes and the names/offsets/lengths come from the index header
+// instead of a fresh NewReference concatenation.
+func NewReferenceFromMeta(seq dna.Seq, names []string, offsets, lengths []int) (*Reference, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: no reference sequences")
+	}
+	if len(offsets) != len(names) || len(lengths) != len(names) {
+		return nil, fmt.Errorf("core: %d names vs %d offsets vs %d lengths", len(names), len(offsets), len(lengths))
+	}
+	prevEnd := 0
+	for i := range names {
+		if lengths[i] <= 0 {
+			return nil, fmt.Errorf("core: reference sequence %q has non-positive length %d", names[i], lengths[i])
+		}
+		if offsets[i] < prevEnd {
+			return nil, fmt.Errorf("core: reference sequence %q at offset %d overlaps its predecessor ending at %d",
+				names[i], offsets[i], prevEnd)
+		}
+		prevEnd = offsets[i] + lengths[i]
+	}
+	if prevEnd > len(seq) {
+		return nil, fmt.Errorf("core: reference metadata spans %d bases but the sequence has %d", prevEnd, len(seq))
+	}
+	return &Reference{seq: seq, names: names, offsets: offsets, lengths: lengths}, nil
+}
+
 // Seq returns the concatenated sequence the engine indexes.
 func (r *Reference) Seq() dna.Seq { return r.seq }
 
@@ -67,6 +96,9 @@ func (r *Reference) Name(i int) string { return r.names[i] }
 
 // Len returns the length of sequence i.
 func (r *Reference) Len(i int) int { return r.lengths[i] }
+
+// Offset returns sequence i's global offset in the concatenation.
+func (r *Reference) Offset(i int) int { return r.offsets[i] }
 
 // Locate maps a concatenated-coordinate position to (sequence index,
 // local position). Positions inside padding map to the preceding

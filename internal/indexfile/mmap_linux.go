@@ -1,0 +1,34 @@
+//go:build linux
+
+package indexfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file PROT_READ/MAP_SHARED: the kernel pages index
+// bytes in on demand and may share them across every process serving
+// the same file — the property that makes cold-start a page-in instead
+// of a rebuild, and lets many darwind workers boot from one copy in
+// the page cache. The mapping is read-only at the hardware level, so a
+// stray write through a loaded table view faults instead of silently
+// corrupting the shared index.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapFile mapping.
+func unmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

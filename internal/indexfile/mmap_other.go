@@ -1,0 +1,23 @@
+//go:build !linux
+
+package indexfile
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on non-Linux platforms reads the whole file into the heap —
+// the portable fallback. Loaded tables are still decode-free views
+// over these bytes; only the page-in laziness and cross-process
+// sharing of the Linux mmap path are lost.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// unmapFile is a no-op for heap-backed data.
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,249 @@
+package indexio
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"darwin/internal/core"
+	"darwin/internal/dna"
+	"darwin/internal/indexfile"
+	"darwin/internal/shard"
+)
+
+func testRecords(seed int64, n int) []dna.Record {
+	rng := rand.New(rand.NewSource(seed))
+	// Two sequences with a repeated segment so the mask is non-empty
+	// and multi-sequence metadata roundtrips.
+	seg := dna.Random(rng, 150, 0.5)
+	a := make(dna.Seq, 0, n*2/3)
+	for len(a) < n/3 {
+		a = append(a, seg...)
+	}
+	a = append(a, dna.Random(rng, n*2/3-len(a), 0.45)...)
+	b := dna.Random(rng, n/3, 0.5)
+	return []dna.Record{{Name: "chr1", Seq: a}, {Name: "chr2", Seq: b}}
+}
+
+func testConfig(k int) core.Config {
+	cfg := core.DefaultConfig(k, 400, 20)
+	return cfg
+}
+
+// writeIndex builds and writes an index to a temp path.
+func writeIndex(t *testing.T, recs []dna.Record, cfg core.Config, spec core.ShardSpec) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ref.dwi")
+	if _, err := WriteFile(path, recs, cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBitIdentityMonolithic is the tentpole invariant: a table mapped
+// through build→save→load is bit-identical to a freshly built one —
+// same arrays, and the same alignments for every read.
+func TestBitIdentityMonolithic(t *testing.T) {
+	for _, k := range []int{8, 11, 13} { // 13 exercises the sparse representation
+		for _, win := range []int{0, 3} {
+			recs := testRecords(51, 90_000)
+			cfg := testConfig(k)
+			cfg.TableOptions.MinimizerWindow = win
+			path := writeIndex(t, recs, cfg, core.ShardSpec{})
+
+			l, err := Open(path, cfg, core.ShardSpec{})
+			if err != nil {
+				t.Fatalf("k=%d win=%d: %v", k, win, err)
+			}
+			defer l.File.Close()
+			fresh, freshRef, err := core.Open(core.OpenConfig{Records: recs, Core: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			loadedEng, ok := l.Mapper.(*core.Darwin)
+			if !ok {
+				t.Fatalf("k=%d win=%d: loaded mapper is %T, want *core.Darwin", k, win, l.Mapper)
+			}
+			freshEng := fresh.(*core.Darwin)
+			if !reflect.DeepEqual(loadedEng.Table().Parts(), freshEng.Table().Parts()) {
+				t.Errorf("k=%d win=%d: loaded table differs from freshly built (bit-identity violated)", k, win)
+			}
+			if !reflect.DeepEqual([]byte(l.Ref.Seq()), []byte(freshRef.Seq())) {
+				t.Errorf("k=%d win=%d: loaded reference bytes differ", k, win)
+			}
+			for i := 0; i < l.Ref.NumSeqs(); i++ {
+				if l.Ref.Name(i) != freshRef.Name(i) || l.Ref.Len(i) != freshRef.Len(i) {
+					t.Errorf("k=%d win=%d: sequence %d metadata differs", k, win, i)
+				}
+			}
+
+			// And the observable contract: identical alignments.
+			reads := sampleReads(recs, 6, 800, 52)
+			for ri, rd := range reads {
+				a, _ := loadedEng.MapRead(rd)
+				b, _ := freshEng.MapRead(rd)
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("k=%d win=%d read %d: alignments differ between loaded and built", k, win, ri)
+				}
+			}
+		}
+	}
+}
+
+// TestBitIdentitySharded runs the same invariant through the sharded
+// path for every shard-count shape the partitioner produces.
+func TestBitIdentitySharded(t *testing.T) {
+	recs := testRecords(53, 120_000)
+	cfg := testConfig(11)
+	for _, shards := range []int{1, 2, 4, 7} {
+		spec := core.ShardSpec{Shards: shards}
+		path := writeIndex(t, recs, cfg, spec)
+
+		l, err := Open(path, cfg, spec)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		defer l.File.Close()
+		loaded, ok := l.Mapper.(*shard.ScatterMapper)
+		if !ok {
+			t.Fatalf("shards=%d: loaded mapper is %T, want *shard.ScatterMapper", shards, l.Mapper)
+		}
+		ref := concatRef(t, recs, cfg)
+		fresh, err := shard.New(ref, cfg, shard.Config{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		lg, fg := loaded.Set().Geometry(), fresh.Set().Geometry()
+		if !reflect.DeepEqual(lg.Parts, fg.Parts) {
+			t.Fatalf("shards=%d: loaded geometry %+v != fresh %+v", shards, lg.Parts, fg.Parts)
+		}
+		for i := range lg.Parts {
+			lt, err := loaded.Set().Acquire(i)
+			if err != nil {
+				t.Fatalf("shards=%d shard %d: %v", shards, i, err)
+			}
+			ft, err := fresh.Set().Acquire(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(lt.Parts(), ft.Parts()) {
+				t.Errorf("shards=%d shard %d: loaded table differs from freshly built", shards, i)
+			}
+		}
+
+		reads := sampleReads(recs, 6, 800, 54)
+		for ri, rd := range reads {
+			a, _ := loaded.MapRead(rd)
+			b, _ := fresh.MapRead(rd)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("shards=%d read %d: alignments differ between loaded and built", shards, ri)
+			}
+		}
+	}
+}
+
+// TestShardedFileZeroSpecAdoptsGeometry: a sharded index opened with a
+// zero spec serves through the file's own partition.
+func TestShardedFileZeroSpecAdoptsGeometry(t *testing.T) {
+	recs := testRecords(55, 80_000)
+	cfg := testConfig(11)
+	path := writeIndex(t, recs, cfg, core.ShardSpec{Shards: 3})
+	l, err := Open(path, cfg, core.ShardSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.File.Close()
+	sm, ok := l.Mapper.(*shard.ScatterMapper)
+	if !ok {
+		t.Fatalf("mapper is %T, want *shard.ScatterMapper", l.Mapper)
+	}
+	if got := len(sm.Set().Geometry().Parts); got != 3 {
+		t.Errorf("adopted %d shards from file, want 3", got)
+	}
+}
+
+// TestMismatchRejections: every parameter/geometry drift is rejected
+// with the stable geometry_mismatch code, never silently served.
+func TestMismatchRejections(t *testing.T) {
+	recs := testRecords(56, 60_000)
+	cfg := testConfig(11)
+	mono := writeIndex(t, recs, cfg, core.ShardSpec{})
+	sharded := writeIndex(t, recs, cfg, core.ShardSpec{Shards: 4})
+
+	cases := []struct {
+		name string
+		path string
+		cfg  core.Config
+		spec core.ShardSpec
+	}{
+		{"wrong_k", mono, testConfig(12), core.ShardSpec{}},
+		{"wrong_minimizer", mono, func() core.Config {
+			c := testConfig(11)
+			c.TableOptions.MinimizerWindow = 5
+			return c
+		}(), core.ShardSpec{}},
+		{"mono_file_sharded_spec", mono, cfg, core.ShardSpec{Shards: 2}},
+		{"sharded_file_wrong_count", sharded, cfg, core.ShardSpec{Shards: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Open(tc.path, tc.cfg, tc.spec)
+			if err == nil {
+				t.Fatal("mismatched open succeeded")
+			}
+			if code := indexfile.ErrCode(err); code != indexfile.CodeGeometryMismatch {
+				t.Errorf("code %q (err %v), want %q", code, err, indexfile.CodeGeometryMismatch)
+			}
+		})
+	}
+}
+
+// TestOpenConfigIndexPath: the core.Open front door loads through the
+// registered opener.
+func TestOpenConfigIndexPath(t *testing.T) {
+	recs := testRecords(57, 50_000)
+	cfg := testConfig(11)
+	path := writeIndex(t, recs, cfg, core.ShardSpec{})
+	eng, ref, err := core.Open(core.OpenConfig{Core: cfg, IndexPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NumSeqs() != 2 {
+		t.Errorf("loaded reference has %d sequences, want 2", ref.NumSeqs())
+	}
+	reads := sampleReads(recs, 2, 600, 58)
+	alns, _ := eng.(*core.Darwin).MapRead(reads[0])
+	if len(alns) == 0 {
+		t.Error("read failed to map through an index-path engine")
+	}
+}
+
+// sampleReads slices exact substrings out of the reference records —
+// deterministic queries that are guaranteed to map.
+func sampleReads(recs []dna.Record, n, readLen int, seed int64) []dna.Seq {
+	rng := rand.New(rand.NewSource(seed))
+	var out []dna.Seq
+	for len(out) < n {
+		rec := recs[rng.Intn(len(recs))]
+		if len(rec.Seq) <= readLen {
+			continue
+		}
+		p := rng.Intn(len(rec.Seq) - readLen)
+		out = append(out, rec.Seq[p:p+readLen])
+	}
+	return out
+}
+
+// concatRef reproduces core.NewReference's concatenation so the fresh
+// sharded engine sees the same global coordinates as the index build.
+func concatRef(t *testing.T, recs []dna.Record, cfg core.Config) dna.Seq {
+	t.Helper()
+	ref, err := core.NewReference(recs, cfg.BinSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref.Seq()
+}

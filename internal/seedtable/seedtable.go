@@ -73,6 +73,18 @@ func (m *MaskSet) Len() int { return len(m.codes) }
 // (0 when masking was disabled).
 func (m *MaskSet) Threshold() int { return m.threshold }
 
+// Codes returns the masked seed codes in ascending order — the
+// serializable form of the set (a persistent index stores these so
+// inspection tools can report exactly which seeds the index masked).
+func (m *MaskSet) Codes() []uint32 {
+	out := make([]uint32, 0, len(m.codes))
+	for c := range m.codes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
 // maskThreshold computes the occurrence cutoff Build applies for a
 // reference of the given length (0 = masking disabled).
 func (opts Options) maskThreshold(refLen int, k int) int {

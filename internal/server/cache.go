@@ -22,6 +22,7 @@ import (
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
+	"darwin/internal/indexio"
 	"darwin/internal/obs"
 	"darwin/internal/sam"
 	"darwin/internal/shard"
@@ -33,6 +34,7 @@ var (
 	cCacheMisses    = obs.Default.Counter("server/index_cache_misses")
 	cCacheEvictions = obs.Default.Counter("server/index_cache_evictions")
 	tIndexBuild     = obs.Default.Timer("server/index_build")
+	tIndexLoad      = obs.Default.Timer("server/index_load")
 	gCacheEntries   = obs.Default.Gauge("server/index_cache_entries")
 )
 
@@ -58,6 +60,17 @@ type IndexEntry struct {
 	// amortizes (the paper's Table 3 accounting). For sharded indexes
 	// it covers the global mask pass; shard tables build lazily.
 	BuildTime time.Duration
+	// IndexFile is the persistent index file this entry was mapped
+	// from; empty for entries built from FASTA.
+	IndexFile string
+	// Fingerprint is the mapped index file's content fingerprint
+	// (zero for built entries). It is folded into the cache key, so a
+	// rewritten sidecar yields a new entry instead of serving stale
+	// tables.
+	Fingerprint uint64
+	// MappedBytes is the size of the mapping backing this entry's
+	// tables and reference (zero for built entries).
+	MappedBytes int64
 
 	clones chan core.Mapper
 }
@@ -140,6 +153,36 @@ func BuildEntry(key string, recs []dna.Record, cfg core.Config, scfg shard.Confi
 		set = sm.Set()
 	}
 	return newIndexEntry(key, engine, set, ref, clonePool), nil
+}
+
+// LoadEntry cold-starts a cache entry from a persistent index file:
+// the file is mapped and its seed tables and reference served as
+// views, so no build pass runs — a mapped load is just a fast build,
+// and the entry flows through the same singleflight, breaker, and
+// index-budget paths as one built from FASTA. The mapping lives as
+// long as the process (the entry's engine aliases it), so the file is
+// never closed here.
+func LoadEntry(key, path string, cfg core.Config, scfg shard.Config, clonePool int) (*IndexEntry, error) {
+	stop := tIndexLoad.Time()
+	defer stop()
+	l, err := indexio.Open(path, cfg, core.ShardSpec{
+		Shards:           scfg.Shards,
+		ShardSize:        scfg.ShardSize,
+		Overlap:          scfg.Overlap,
+		MaxResidentBytes: scfg.MaxResidentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var set *shard.Set
+	if sm, ok := l.Mapper.(*shard.ScatterMapper); ok {
+		set = sm.Set()
+	}
+	e := newIndexEntry(key, l.Mapper, set, l.Ref, clonePool)
+	e.IndexFile = path
+	e.Fingerprint = l.File.Info().Fingerprint
+	e.MappedBytes = l.File.MappedBytes()
+	return e, nil
 }
 
 // buildCall is one in-flight singleflight build.

@@ -16,6 +16,7 @@ import (
 	"darwin/internal/core"
 	"darwin/internal/dna"
 	"darwin/internal/faults"
+	"darwin/internal/indexfile"
 	"darwin/internal/obs"
 	"darwin/internal/sam"
 	"darwin/internal/shard"
@@ -37,6 +38,16 @@ type Config struct {
 	// DefaultRef is the reference FASTA warmed at startup; requests
 	// that name no reference use it.
 	DefaultRef string
+	// DefaultIndex, when set, cold-starts the default reference from
+	// this persistent index file (internal/indexfile) instead of
+	// building from the FASTA. Loading it is mandatory: a broken
+	// explicit index fails Warm rather than silently rebuilding.
+	DefaultIndex string
+	// DisableSidecar turns off automatic discovery of `<ref>.dwi`
+	// sidecar index files next to reference FASTAs. Sidecars are
+	// opportunistic: a sidecar that fails to load logs a warning and
+	// falls back to a FASTA build.
+	DisableSidecar bool
 	// Core is the engine configuration applied to every index.
 	Core core.Config
 	// Shard, when enabled, serves every index through the sharded
@@ -220,14 +231,54 @@ func (s *Server) breakerFor(key string) *Breaker {
 	return br
 }
 
+// indexFor resolves the persistent index file to try for a reference
+// source: the explicitly configured DefaultIndex when source is the
+// default reference, else an auto-discovered `<source>.dwi` sidecar.
+// explicit reports whether a load failure must fail the request (an
+// operator named the file) or may fall back to a FASTA build (the
+// sidecar was merely discovered).
+func (s *Server) indexFor(source string) (path string, explicit bool) {
+	if s.cfg.DefaultIndex != "" && source == s.cfg.DefaultRef {
+		return s.cfg.DefaultIndex, true
+	}
+	if s.cfg.DisableSidecar {
+		return "", false
+	}
+	sc := indexfile.SidecarPath(source)
+	if st, err := os.Stat(sc); err == nil && !st.IsDir() {
+		return sc, false
+	}
+	return "", false
+}
+
 // loadEntry resolves source (a FASTA path) to a warm index via the
 // cache. ctx bounds only how long this caller waits — a build that
 // outlives it still completes and is cached for future requests. The
 // source's circuit breaker wraps the build: once it opens, requests
 // fail fast with ErrCircuitOpen instead of re-queuing a doomed build,
 // and a breaker rejection is never itself counted as a build failure.
+//
+// When a persistent index file resolves for the source (explicit
+// DefaultIndex or discovered sidecar), its content fingerprint joins
+// the cache key — rewriting the file invalidates the cached entry —
+// and the singleflighted "build" maps the file instead of indexing
+// the FASTA. A mapped load is just a fast build: breaker accounting
+// and the index-stage budget apply unchanged.
 func (s *Server) loadEntry(ctx context.Context, source string) (*IndexEntry, bool, error) {
 	key := IndexKey(source, s.cfg.Core, s.cfg.Shard)
+	ipath, explicit := s.indexFor(source)
+	if ipath != "" {
+		fp, err := indexfile.ReadFingerprint(ipath)
+		switch {
+		case err == nil:
+			key += fmt.Sprintf("|dwi=%016x", fp)
+		case explicit:
+			return nil, false, fmt.Errorf("server: index %s: %w", ipath, err)
+		default:
+			s.log.Warn("ignoring unreadable sidecar index", "path", ipath, "error", err)
+			ipath = ""
+		}
+	}
 	br := s.breakerFor(key)
 	return s.cache.Get(ctx, key, func() (*IndexEntry, error) {
 		if !br.Allow() {
@@ -236,6 +287,20 @@ func (s *Server) loadEntry(ctx context.Context, source string) (*IndexEntry, boo
 		// buildRecovered here (not just in the cache) so a panicking
 		// build counts as a breaker failure like any other.
 		entry, err := buildRecovered(func() (*IndexEntry, error) {
+			if ipath != "" {
+				e, lerr := LoadEntry(key, ipath, s.cfg.Core, s.cfg.Shard, s.cfg.Batch.Executors)
+				if lerr == nil {
+					s.log.Info("index mapped from file",
+						"path", ipath, "mapped_bytes", e.MappedBytes,
+						"fingerprint", fmt.Sprintf("%016x", e.Fingerprint))
+					return e, nil
+				}
+				if explicit {
+					return nil, fmt.Errorf("server: loading index %s: %w", ipath, lerr)
+				}
+				s.log.Warn("sidecar index load failed; rebuilding from FASTA",
+					"path", ipath, "error", lerr)
+			}
 			recs, err := readFASTAPath(source)
 			if err != nil {
 				return nil, err
@@ -308,6 +373,9 @@ func (s *Server) handleIndexes(w http.ResponseWriter, _ *http.Request) {
 		Sequences    int           `json:"sequences"`
 		Bases        int           `json:"bases"`
 		BuildSeconds float64       `json:"build_seconds"`
+		IndexFile    string        `json:"index_file,omitempty"`
+		Fingerprint  string        `json:"index_fingerprint,omitempty"`
+		MappedBytes  int64         `json:"mapped_bytes,omitempty"`
 		Sharding     *shardingInfo `json:"sharding,omitempty"`
 	}
 	out := []indexInfo{}
@@ -317,6 +385,11 @@ func (s *Server) handleIndexes(w http.ResponseWriter, _ *http.Request) {
 			Sequences:    e.Ref.NumSeqs(),
 			Bases:        len(e.Ref.Seq()),
 			BuildSeconds: e.BuildTime.Seconds(),
+			IndexFile:    e.IndexFile,
+			MappedBytes:  e.MappedBytes,
+		}
+		if e.Fingerprint != 0 {
+			info.Fingerprint = fmt.Sprintf("%016x", e.Fingerprint)
 		}
 		if e.Shards != nil {
 			st, detail := e.Shards.Snapshot()

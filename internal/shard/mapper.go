@@ -112,6 +112,36 @@ func New(ref dna.Seq, cfg core.Config, scfg Config) (*ScatterMapper, error) {
 	return m, nil
 }
 
+// FromSet builds a ScatterMapper over an existing Set — the
+// persistent-index path, where the Set was constructed by
+// NewSetPrebuilt around a mapped file's geometry and table loader.
+// Kernel configuration is validated exactly as New does.
+func FromSet(set *Set, cfg core.Config) (*ScatterMapper, error) {
+	if set == nil {
+		return nil, fmt.Errorf("shard: nil set")
+	}
+	stride := cfg.SeedStride
+	if stride < 1 {
+		stride = 1
+	}
+	g := cfg.GACT
+	g.MinFirstTile = cfg.HTile
+	cfg.GACT = g
+	m := &ScatterMapper{
+		set:  set,
+		cfg:  cfg,
+		dcfg: dsoft.Config{N: cfg.SeedN, H: cfg.Threshold, BinSize: cfg.BinSize, Stride: stride},
+		gcfg: cfg.GACT,
+	}
+	if _, err := gact.NewEngine(&m.gcfg); err != nil {
+		return nil, fmt.Errorf("shard: configuring GACT: %w", err)
+	}
+	if m.dcfg.N <= 0 || m.dcfg.H <= 0 {
+		return nil, fmt.Errorf("shard: D-SOFT needs positive N and h (got N=%d h=%d)", m.dcfg.N, m.dcfg.H)
+	}
+	return m, nil
+}
+
 // NewMulti is New over a multi-sequence reference, concatenated with
 // the same N padding the monolithic engine uses.
 func NewMulti(recs []dna.Record, cfg core.Config, scfg Config) (*ScatterMapper, *core.Reference, error) {

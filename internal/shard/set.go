@@ -19,12 +19,22 @@ import (
 var (
 	tBuild          = obs.Default.Timer("shard/build")
 	cBuilds         = obs.Default.Counter("shard/builds")
+	tLoad           = obs.Default.Timer("shard/load")
+	cLoads          = obs.Default.Counter("shard/loads")
 	cEvictions      = obs.Default.Counter("shard/evictions")
 	cAcquireHits    = obs.Default.Counter("shard/acquire_hits")
 	gResidentBytes  = obs.Default.Gauge("shard/resident_bytes")
 	gResidentPeak   = obs.Default.Gauge("shard/resident_bytes_peak")
 	gResidentShards = obs.Default.Gauge("shard/resident_shards")
 )
+
+// TableLoader materializes shard i's seed table from an external
+// source — a persistent index file's per-shard sections — instead of a
+// BuildRange pass. The Set stays loader-agnostic: a loaded table whose
+// slices are views over mapped memory reports its mapped footprint
+// through Table.Bytes, so the byte-budgeted LRU counts mapped bytes
+// exactly as it counts rebuilt bytes.
+type TableLoader func(i int) (*seedtable.Table, error)
 
 // Config holds the sharding knobs, the moral equivalent of Darwin's
 // DRAM-channel partitioning decisions.
@@ -73,6 +83,7 @@ type Set struct {
 	k    int
 	opts seedtable.Options // TableOptions with the global Mask injected
 	geo  *Geometry
+	load TableLoader // non-nil: tables load from a persistent index
 
 	mu            sync.Mutex
 	budget        int64
@@ -110,6 +121,40 @@ func NewSet(ref dna.Seq, cfg core.Config, scfg Config) (*Set, error) {
 		budget:    scfg.MaxResidentBytes,
 		buildTime: time.Since(start),
 		lru:       list.New(),
+	}
+	for i := range geo.Parts {
+		s.shards = append(s.shards, &shardState{part: geo.Parts[i]})
+	}
+	return s, nil
+}
+
+// NewSetPrebuilt constructs a Set over an externally supplied geometry
+// whose tables materialize through load instead of BuildRange — the
+// persistent-index path, where geometry and tables come from a mapped
+// file. The loader is invoked lazily per shard under the same
+// singleflight and byte-budgeted LRU as organic builds, so eviction
+// and re-acquire behave identically; only the materialization cost
+// changes (a page-in versus a build).
+func NewSetPrebuilt(ref dna.Seq, k int, geo *Geometry, maxResidentBytes int64, load TableLoader) (*Set, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("shard: empty reference")
+	}
+	if geo == nil || len(geo.Parts) == 0 {
+		return nil, fmt.Errorf("shard: prebuilt set needs a non-empty geometry")
+	}
+	if load == nil {
+		return nil, fmt.Errorf("shard: prebuilt set needs a table loader")
+	}
+	if geo.RefLen != len(ref) {
+		return nil, fmt.Errorf("shard: geometry covers %d bases but reference has %d", geo.RefLen, len(ref))
+	}
+	s := &Set{
+		ref:    ref,
+		k:      k,
+		geo:    geo,
+		load:   load,
+		budget: maxResidentBytes,
+		lru:    list.New(),
 	}
 	for i := range geo.Parts {
 		s.shards = append(s.shards, &shardState{part: geo.Parts[i]})
@@ -160,15 +205,28 @@ func (s *Set) Acquire(i int) (*seedtable.Table, error) {
 	if err := fpShardBuild.Fire(); err != nil {
 		return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
 	}
-	endSpan := obs.Trace.Start("shard.build")
-	t, err := seedtable.BuildRange(s.ref, sh.part.Extent.Start, sh.part.Extent.End, s.k, s.opts)
-	endSpan()
-	if err != nil {
-		return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+	var t *seedtable.Table
+	var err error
+	if s.load != nil {
+		endSpan := obs.Trace.Start("shard.load")
+		t, err = s.load(i)
+		endSpan()
+		if err != nil {
+			return nil, fmt.Errorf("shard: loading shard %d: %w", i, err)
+		}
+		tLoad.Observe(time.Since(start))
+		cLoads.Inc()
+	} else {
+		endSpan := obs.Trace.Start("shard.build")
+		t, err = seedtable.BuildRange(s.ref, sh.part.Extent.Start, sh.part.Extent.End, s.k, s.opts)
+		endSpan()
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		tBuild.Observe(time.Since(start))
+		cBuilds.Inc()
 	}
 	elapsed := time.Since(start)
-	tBuild.Observe(elapsed)
-	cBuilds.Inc()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

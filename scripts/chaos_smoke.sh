@@ -23,7 +23,7 @@ cleanup() {
 trap cleanup EXIT
 
 echo "chaos-smoke: building binaries"
-go build -o "$tmp/bin/" ./cmd/darwind ./cmd/darwin-client ./cmd/genomesim ./cmd/readsim
+go build -o "$tmp/bin/" ./cmd/darwind ./cmd/darwin-client ./cmd/genomesim ./cmd/readsim ./cmd/darwin-index
 
 echo "chaos-smoke: generating synthetic genome and reads"
 "$tmp/bin/genomesim" -len 150000 -seed 7 -out "$tmp/ref.fa" 2>/dev/null
@@ -129,3 +129,59 @@ if ! grep -q "leak check passed" "$tmp/darwind.log"; then
     exit 1
 fi
 echo "chaos-smoke: OK (clean drain, goroutines back to baseline)"
+
+# ---------------------------------------------------------------------------
+# Index-load fault: with an index/load error armed, a discovered sidecar
+# index fails to map — darwind must log the degradation, rebuild from
+# FASTA, and still become ready and serve.
+# ---------------------------------------------------------------------------
+echo "chaos-smoke: index/load fault with a sidecar present"
+"$tmp/bin/darwin-index" build -ref "$tmp/ref.fa" -k 11 -n 400 -h 20 2>/dev/null
+[ -f "$tmp/ref.fa.dwi" ] || { echo "chaos-smoke: FAIL — no sidecar written" >&2; exit 1; }
+
+DARWIN_ALLOW_FAULTS=1 "$tmp/bin/darwind" -addr 127.0.0.1:0 -ref "$tmp/ref.fa" \
+    -k 11 -n 400 -h 20 -batch-wait 2ms \
+    -faults 'index/load=error=chaos index load;seed=13' 2> "$tmp/darwind3.log" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's|.*serving on http://\([^/]*\)/.*|\1|p' "$tmp/darwind3.log" | head -1)
+    if [ -n "$addr" ]; then
+        if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
+            break
+        fi
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "chaos-smoke: FAIL — darwind with a poisoned index load exited early:" >&2
+        cat "$tmp/darwind3.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "chaos-smoke: FAIL — darwind never became ready past the poisoned index load:" >&2
+    cat "$tmp/darwind3.log" >&2
+    exit 1
+fi
+if ! grep -q "sidecar index load failed" "$tmp/darwind3.log"; then
+    echo "chaos-smoke: FAIL — no sidecar-degradation log line:" >&2
+    cat "$tmp/darwind3.log" >&2
+    exit 1
+fi
+
+"$tmp/bin/darwin-client" -addr "$addr" -reads "$tmp/reads.fq" \
+    -requests 4 -concurrency 2 -batch 4 -out "$tmp/out3.sam" >/dev/null
+if ! grep -qv '^@' "$tmp/out3.sam"; then
+    echo "chaos-smoke: FAIL — no SAM records after sidecar fallback" >&2
+    exit 1
+fi
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "chaos-smoke: FAIL — fallback darwind exited non-zero on SIGTERM:" >&2
+    cat "$tmp/darwind3.log" >&2
+    exit 1
+fi
+pid=""
+echo "chaos-smoke: OK (poisoned index load degraded to a FASTA rebuild and served)"
