@@ -60,11 +60,12 @@ bench-core:
 	$(GO) test -bench=BenchmarkCorePipeline -run '^$$' .
 	@echo "report: BENCH_core.json"
 
-# The kernel benchmarks: single tile, D-SOFT query, and end-to-end
-# MapRead, whose run writes the BENCH_kernel.json report that
-# benchdiff compares against a recorded baseline.
+# The kernel benchmarks: single tile (auto and forced-bitvector
+# tiers), D-SOFT query, and end-to-end MapRead, whose run writes the
+# BENCH_kernel.json report that benchdiff compares against a recorded
+# baseline.
 bench-kernel:
-	$(GO) test -bench='BenchmarkAlignTile$$|BenchmarkGACTTile$$|BenchmarkDSOFTQuery$$|BenchmarkMapRead$$' -benchmem -run '^$$' .
+	$(GO) test -bench='BenchmarkAlignTile$$|BenchmarkAlignTileBitvector$$|BenchmarkGACTTile$$|BenchmarkDSOFTQuery$$|BenchmarkMapRead$$' -benchmem -run '^$$' .
 	@echo "report: BENCH_kernel.json"
 
 # The sharded scatter-gather engine under a ¼-index residency budget

@@ -317,9 +317,10 @@ func BenchmarkGACTTile(b *testing.B) {
 }
 
 // BenchmarkAlignTile measures the same 320×320 tile on the reusable
-// allocation-free kernel (align.TileAligner) — the production tile
-// path; BenchmarkGACTTile above is the allocating reference oracle it
-// is compared against.
+// allocation-free kernel (align.TileAligner) in its default auto mode
+// — the production tile path, bitvector tier included;
+// BenchmarkGACTTile above is the allocating full-LUT reference oracle
+// it is compared against.
 func BenchmarkAlignTile(b *testing.B) {
 	ref, q := benchPair(b, 400, readsim.PacBio)
 	sc := align.GACTEval()
@@ -334,6 +335,65 @@ func BenchmarkAlignTile(b *testing.B) {
 	}
 	b.ReportMetric(float64(320*320), "cells/op")
 	b.ReportMetric(float64(320*320)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
+
+// BenchmarkAlignTileBitvector contrasts the two kernel tiers on the
+// workload the bitvector tier exists for: a high-identity (~3% error,
+// HiFi/corrected-read class) 320×320 extension tile, where the
+// provable band is narrow. The lut sub-benchmark is the full fill,
+// the bitvector one is the Myers pass + affine rescore + banded fill.
+// Both report Mcells/s as the *effective* rate over the geometric
+// tile area (matching BenchmarkAlignTile), so the sub-benchmark ratio
+// is the tier's end-to-end win; with KernelAuto the production path
+// gets the bitvector rate whenever the divergence gate admits the
+// tile.
+func BenchmarkAlignTileBitvector(b *testing.B) {
+	// An anchored ~3% tile: an extension tile continues an existing
+	// alignment, so its corner offset is near zero (benchPair's whole
+	// region would add a spurious leading shift that widens the band).
+	hifi := readsim.Profile{Name: "HiFi", Sub: 0.005, Ins: 0.015, Del: 0.010}
+	g, err := genome.Generate(genome.Config{Length: 600, GC: 0.45, Seed: 71})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := readsim.SimulateN(g.Seq, 1, readsim.Config{Profile: hifi, MeanLen: 400, Seed: 72})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := reads[0]
+	region, start := g.Seq, r.RefStart
+	if r.Reverse {
+		region = dna.RevComp(g.Seq)
+		start = len(region) - r.RefEnd
+	}
+	start = min(start, len(region)-320)
+	ref, q := region[start:], r.Seq
+	sc := align.GACTEval()
+	run := func(b *testing.B, mode align.KernelMode) *align.TileAligner {
+		ta, err := align.NewTileAligner(&sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ta.Preallocate(320)
+		ta.SetKernel(mode)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ta.AlignTile(ref[:320], q[:320], false, 192)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(320*320), "cells/op")
+		b.ReportMetric(float64(320*320)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+		return ta
+	}
+	b.Run("lut", func(b *testing.B) { run(b, align.KernelLUT) })
+	b.Run("bitvector", func(b *testing.B) {
+		ta := run(b, align.KernelBitvector)
+		ks := ta.KernelStats()
+		if ks.BitvectorTiles != int64(b.N) {
+			b.Fatalf("bitvector tier ran %d of %d tiles: %+v", ks.BitvectorTiles, b.N, ks)
+		}
+		b.ReportMetric(float64(ks.BitvectorCells)/float64(b.N), "filled_cells/op")
+	})
 }
 
 // BenchmarkGACTExtend10k measures a full 10 kbp GACT alignment

@@ -38,6 +38,12 @@ var metrics = []metric{
 	{"tiles/s", "gact/tiles", "stage/align"},
 	{"extensions/s", "gact/extensions", "stage/align"},
 	{"seeds/s", "dsoft/seeds_issued", "stage/filter"},
+	// Kernel-tier split (absent from pre-tier baselines → skipped):
+	// tile/cell throughput through the bitvector fast path vs the LUT
+	// fills (fallbacks included in the latter).
+	{"bv_tiles/s", "gact/tile_bitvector", "stage/align"},
+	{"bv_cells/s", "gact/cells_bitvector", "stage/align"},
+	{"lut_cells/s", "gact/cells_lut", "stage/align"},
 }
 
 func rate(rep *obs.Report, m metric) (float64, bool) {

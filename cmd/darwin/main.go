@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"darwin/internal/align"
 	"darwin/internal/core"
 	"darwin/internal/dna"
 	"darwin/internal/faults"
@@ -41,6 +42,7 @@ func run() error {
 	hTile := flag.Int("htile", 90, "first GACT tile score threshold (0 disables)")
 	tileT := flag.Int("T", 320, "GACT tile size T")
 	tileO := flag.Int("O", 128, "GACT tile overlap O")
+	tileKernel := flag.String("tile-kernel", "auto", "tile DP kernel tier: auto (bitvector fast path with LUT fallback), bitvector, or lut")
 	out := flag.String("out", "", "output SAM path (default stdout)")
 	allAlignments := flag.Bool("all", false, "report all alignments, not just the best")
 	workers := flag.Int("workers", 1, "mapping worker goroutines")
@@ -97,6 +99,11 @@ func run() error {
 	cfg.HTile = *hTile
 	cfg.GACT.T = *tileT
 	cfg.GACT.O = *tileO
+	kernelMode, err := align.ParseKernelMode(*tileKernel)
+	if err != nil {
+		return err
+	}
+	cfg.GACT.Kernel = kernelMode
 	spec := core.ShardSpec{Shards: *shards, Overlap: *shardOverlap}
 	if *shardMem != "" {
 		mem, err := shard.ParseBytes(*shardMem)

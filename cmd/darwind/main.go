@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"darwin/internal/align"
 	"darwin/internal/core"
 	"darwin/internal/dna"
 	"darwin/internal/faults"
@@ -61,6 +62,7 @@ func run() error {
 	hTile := flag.Int("htile", 90, "first GACT tile score threshold (0 disables)")
 	tileT := flag.Int("T", 320, "GACT tile size T")
 	tileO := flag.Int("O", 128, "GACT tile overlap O")
+	tileKernel := flag.String("tile-kernel", "auto", "tile DP kernel tier: auto (bitvector fast path with LUT fallback), bitvector, or lut")
 	cacheSize := flag.Int("cache", 4, "max resident indexes (LRU)")
 	shards := flag.Int("shards", 0, "split each reference index into this many shards (0 = monolithic)")
 	shardOverlap := flag.Int("shard-overlap", 0, "shard overlap margin in bases (0 = exactness minimum)")
@@ -112,6 +114,11 @@ func run() error {
 	cfg.HTile = *hTile
 	cfg.GACT.T = *tileT
 	cfg.GACT.O = *tileO
+	kernelMode, err := align.ParseKernelMode(*tileKernel)
+	if err != nil {
+		return err
+	}
+	cfg.GACT.Kernel = kernelMode
 	scfg := shard.Config{Shards: *shards, Overlap: *shardOverlap}
 	if *shardMem != "" {
 		mem, err := shard.ParseBytes(*shardMem)

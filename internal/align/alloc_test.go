@@ -45,6 +45,85 @@ func TestTileAlignerZeroSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// The bitvector tier's steady state must also be allocation-free: the
+// Myers pass, the affine rescore, and the banded fill all run out of
+// the aligner's embedded scratch. The stats assertions pin that the
+// measured path really was the bitvector one, not a silent fallback.
+func TestTileAlignerBitvectorZeroSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sc := GACTEval()
+	ta, err := NewTileAligner(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTile := dna.Random(rng, 320, 0.45)
+	qTile := mutate(rng, rTile, 0.08)
+	if len(qTile) > 320 {
+		qTile = qTile[:320]
+	}
+	// Warm the buffers (extension tiles: the tier's only admission).
+	ta.AlignTile(rTile, qTile, false, 192)
+	ta.AlignTileReversed(rTile, qTile, false, 192)
+	before := ta.KernelStats()
+	if before.BitvectorTiles == 0 {
+		t.Fatalf("warmup tiles did not take the bitvector path: %+v", before)
+	}
+
+	const runs = 100
+	if n := testing.AllocsPerRun(runs, func() {
+		ta.AlignTile(rTile, qTile, false, 192)
+	}); n != 0 {
+		t.Errorf("bitvector AlignTile steady state allocates %.1f times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(runs, func() {
+		ta.AlignTileReversed(rTile, qTile, false, 192)
+	}); n != 0 {
+		t.Errorf("bitvector AlignTileReversed steady state allocates %.1f times per call, want 0", n)
+	}
+	after := ta.KernelStats()
+	// AllocsPerRun executes runs+1 warmup+measured iterations per call.
+	if got := after.BitvectorTiles - before.BitvectorTiles; got < 2*(runs+1) {
+		t.Errorf("measured loops took the bitvector path %d times, want %d — the pin measured the wrong path", got, 2*(runs+1))
+	}
+}
+
+// MyersState's steady state must not allocate; the pooled package
+// wrappers allocate only their returned result (EditResult + copied
+// cigar for Myers, nothing for EditDistance).
+func TestMyersZeroSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	ref := dna.Random(rng, 384, 0.5)
+	query := mutate(rng, ref, 0.15)
+	var st MyersState
+	if _, err := st.Align(ref, query, EditGlobal); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := st.Align(ref, query, EditGlobal); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("MyersState.Align steady state allocates %.1f times per call, want 0", n)
+	}
+	if _, err := Myers(ref, query, EditInfix); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := Myers(ref, query, EditInfix); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 2 {
+		t.Errorf("pooled Myers allocates %.1f times per call, want ≤ 2 (result + cigar copy)", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := EditDistance(ref, query, EditGlobal); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("pooled EditDistance steady state allocates %.1f times per call, want 0", n)
+	}
+}
+
 // ScoreOnly shares pooled rows; its steady state must also stay
 // allocation-free (modulo pool refills after a GC, which AllocsPerRun
 // runs are short enough to avoid).

@@ -1,0 +1,226 @@
+package align
+
+import (
+	"bytes"
+	"fmt"
+
+	"darwin/internal/dna"
+)
+
+// This file is the TileAligner's bit-parallel tier: a Myers/GenASM
+// bitvector pass over the tile (64 DP cells per machine word, reusing
+// the MyersState recurrence) whose edit-distance path, rescored under
+// the affine-gap LUT, yields a *provable* lower bound S_bv on the
+// affine DP's bottom-right score H(n,m) — the global edit path is one
+// of the local paths ending at (n,m). From that bound follows a band:
+// any path ending at (n,m) scoring ≥ S_bv has at most
+//
+//	g ≤ (wmax·(n+m) − 2·S_bv) / (wmax + 2·e)
+//
+// gap bases (each aligned pair contributes ≤ wmax, each gap base costs
+// ≥ e, and a path with g gap bases has ≤ (n+m−g)/2 aligned pairs), so
+// the optimal traceback path from (n,m) never strays more than g
+// anti-diagonal offsets from the (n,m) back-diagonal. Filling only
+// that band reproduces the full kernel's Score, IOff, JOff, and Cigar
+// *exactly*: every cell the traceback visits — and every cell in the
+// value/gap chains those cells' pointers encode — lies strictly inside
+// the band, in-band values are computed from in-band or boundary
+// values, and out-of-band reads see lower bounds (0-initialized H,
+// negInf gap rows) that cannot displace the true winner under the
+// kernel's fixed tie order. MaxI/MaxJ become in-band maxima, which is
+// why the tier only runs on extension tiles (TileResult documents
+// MaxI/MaxJ as meaningful only when firstTile was set — first tiles
+// always take the LUT path).
+//
+// The divergence gate makes the tier a *fast path* rather than a
+// wager: when the rescored bound sits too far below the tile's
+// perfect-score bound (low-identity or unrelated tiles, where the band
+// would be wide anyway), the tile falls back to the full LUT fill and
+// is counted in KernelStats.FallbackTiles.
+
+// KernelMode selects the TileAligner's tile-kernel tier.
+type KernelMode uint8
+
+const (
+	// KernelAuto (the default) runs the bitvector fast path on
+	// extension tiles, falling back to the full LUT kernel when the
+	// divergence gate rejects, the tile contains N codes, or the
+	// geometry is unfriendly. Results are bit-identical to KernelLUT
+	// on every field GACT consumes (Score, IOff, JOff, Cigar; plus
+	// MaxI/MaxJ on first tiles, which always take the LUT path).
+	KernelAuto KernelMode = iota
+	// KernelLUT always runs the full branchless affine-LUT kernel —
+	// the PR 3 behaviour, and the reference the property tests pin.
+	KernelLUT
+	// KernelBitvector forces the bitvector tier whenever it is
+	// expressible (no divergence fallback; the band is clamped to the
+	// tile instead). Same bit-identical results — the band bound stays
+	// provable — but divergent tiles pay bitvector + full-width fill,
+	// so this mode exists for benchmarking and diagnostics.
+	KernelBitvector
+)
+
+// String returns the flag spelling of the mode.
+func (k KernelMode) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelLUT:
+		return "lut"
+	case KernelBitvector:
+		return "bitvector"
+	}
+	return fmt.Sprintf("KernelMode(%d)", uint8(k))
+}
+
+// ParseKernelMode parses a -tile-kernel flag value.
+func ParseKernelMode(s string) (KernelMode, error) {
+	switch s {
+	case "auto", "":
+		return KernelAuto, nil
+	case "lut":
+		return KernelLUT, nil
+	case "bitvector", "bv":
+		return KernelBitvector, nil
+	}
+	return KernelAuto, fmt.Errorf("align: unknown kernel mode %q (want auto, bitvector, or lut)", s)
+}
+
+const (
+	// bitvecMinSide: tiles with a side below this skip the bitvector
+	// pass — the fixed cost of the Myers pass plus rescore is not worth
+	// amortizing over a tiny fill (boundary tiles at sequence ends).
+	bitvecMinSide = 48
+	// bitvecMaxBlocks bounds the query's 64-bit block count for the
+	// tier ("one-word-friendly geometry"): GACT tiles are ≤ 384 bases
+	// (6 blocks); anything past 16 blocks is not a tile workload.
+	bitvecMaxBlocks = 16
+)
+
+// KernelStats counts tiles and DP cells per kernel path. LUTTiles and
+// LUTCells cover every tile computed by the full LUT fill — fallbacks
+// included; FallbackTiles is the subset that attempted the bitvector
+// tier first and hit the divergence/profit gate. BitvectorCells counts
+// only the banded cells actually filled, so cells-per-second can be
+// compared per path.
+type KernelStats struct {
+	LUTTiles       int64
+	LUTCells       int64
+	BitvectorTiles int64
+	BitvectorCells int64
+	FallbackTiles  int64
+}
+
+// SetKernel selects the aligner's kernel tier (KernelAuto default).
+func (a *TileAligner) SetKernel(mode KernelMode) { a.mode = mode }
+
+// Kernel returns the aligner's kernel tier.
+func (a *TileAligner) Kernel() KernelMode { return a.mode }
+
+// SetKernelDivergence overrides the auto tier's fallback threshold:
+// the maximum allowed gap, in score units, between the tile's
+// perfect-score bound wmax·(n+m)/2 and the bitvector path's rescored
+// bound S_bv. Zero (the default) picks a geometry-derived threshold
+// that caps the band near a quarter of the tile side. Negative values
+// are treated as zero.
+func (a *TileAligner) SetKernelDivergence(d int) {
+	if d < 0 {
+		d = 0
+	}
+	a.maxDiv = d
+}
+
+// KernelStats returns the aligner's cumulative per-path counts.
+func (a *TileAligner) KernelStats() KernelStats { return a.ks }
+
+// tryBitvector attempts the bit-parallel tier on a precoded extension
+// tile. It reports false — leaving no trace beyond FallbackTiles when
+// the divergence gate fired — if the tile must take the LUT path.
+func (a *TileAligner) tryBitvector(rc, qc []byte, maxOff int) (TileResult, bool) {
+	n, m := len(rc), len(qc)
+	if n < bitvecMinSide || m < bitvecMinSide || (m+63)/64 > bitvecMaxBlocks {
+		return TileResult{}, false
+	}
+	// The edit model cannot express the LUT's N-scores-zero columns.
+	if bytes.IndexByte(rc, dna.CodeN) >= 0 || bytes.IndexByte(qc, dna.CodeN) >= 0 {
+		return TileResult{}, false
+	}
+
+	er, err := a.bv.alignCodes(rc, qc, EditGlobal)
+	if err != nil {
+		return TileResult{}, false
+	}
+	sbv := a.rescoreCodes(rc, qc, er.Cigar)
+
+	wmax := int(a.wmax)
+	num := wmax*(n+m) - 2*sbv // twice (perfect bound − S_bv), ≥ 0
+	den := wmax + 2*int(a.ext)
+	side := min(n, m)
+	if a.mode != KernelBitvector {
+		maxDiv := a.maxDiv
+		if maxDiv <= 0 {
+			// Default: cap the band near 2·side/5. A band of b fills
+			// ~(2b+1)/side of the matrix, so the banded fill still beats
+			// the full one by ≥15% at the cap — enough to cover the
+			// Myers pass — while wider bands approach the full fill with
+			// the bitvector work as pure overhead (the 2·band+1 ≥ side
+			// profit gate below catches those).
+			maxDiv = den * side / 5
+		}
+		if num > 2*maxDiv {
+			a.ks.FallbackTiles++
+			return TileResult{}, false
+		}
+	}
+	band := num/den + 2 // +2 slack over the provable gap bound
+	if 2*band+1 >= side {
+		if a.mode != KernelBitvector {
+			a.ks.FallbackTiles++
+			return TileResult{}, false
+		}
+		if band > n+m {
+			band = n + m // clamp: banded fill degenerates to the full fill
+		}
+	}
+
+	cells := a.fillCoded(rc, qc, band)
+	a.ks.BitvectorTiles++
+	a.ks.BitvectorCells += cells
+
+	score := int(a.hRow[n]) // H of the bottom-right cell — exact in-band
+	cigar, iOff, jOff := a.traceback(n+1, n, m, maxOff)
+	return TileResult{
+		Score: score,
+		IOff:  iOff,
+		JOff:  jOff,
+		MaxI:  a.maxI, // in-band maxima; see the file comment
+		MaxJ:  a.maxJ,
+		Cigar: cigar,
+	}, true
+}
+
+// rescoreCodes scores an edit-path cigar over precoded tiles under the
+// aligner's affine LUT — Result.Rescore's logic on codes, giving the
+// bound S_bv the band derivation needs.
+func (a *TileAligner) rescoreCodes(rc, qc []byte, cig Cigar) int {
+	score := 0
+	i, j := 0, 0
+	open, ext := int(a.open), int(a.ext)
+	for _, s := range cig {
+		switch s.Op {
+		case OpMatch:
+			for k := 0; k < s.Len; k++ {
+				score += int(a.lut[(int(qc[j+k])&7)*LUTStride+int(rc[i+k])&7])
+			}
+			i += s.Len
+			j += s.Len
+		case OpIns:
+			score -= open + (s.Len-1)*ext
+			j += s.Len
+		case OpDel:
+			score -= open + (s.Len-1)*ext
+			i += s.Len
+		}
+	}
+	return score
+}

@@ -40,6 +40,16 @@ type TileAligner struct {
 	open, ext int32
 	maxSide   int // kernel side limit; a test knob, maxKernelSide in production
 
+	// Kernel-tier state (see bitvector.go): the selected mode, the
+	// divergence-gate override, the scoring's maximum substitution
+	// score (the band derivation's wmax), the embedded bitvector
+	// scratch, and the per-path counters.
+	mode   KernelMode
+	maxDiv int
+	wmax   int32
+	bv     MyersState
+	ks     KernelStats
+
 	// Reusable state, grown monotonically.
 	ptr        []byte // (n+1)×(m+1) pointer matrix, row-major
 	hRow, vRow []int32
@@ -58,12 +68,21 @@ func NewTileAligner(sc *Scoring) (*TileAligner, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	wmax := 0
+	for i := range sc.W {
+		for j := range sc.W[i] {
+			if sc.W[i][j] > wmax {
+				wmax = sc.W[i][j]
+			}
+		}
+	}
 	return &TileAligner{
 		sc:      *sc,
 		lut:     sc.LUT(),
 		open:    int32(sc.GapOpen),
 		ext:     int32(sc.GapExtend),
 		maxSide: maxKernelSide,
+		wmax:    int32(wmax), // > 0: Validate requires a positive match
 	}, nil
 }
 
@@ -109,12 +128,36 @@ func (a *TileAligner) align(rTile, qTile dna.Seq, firstTile bool, maxOff int, re
 		if reversed {
 			rTile, qTile = dna.Reverse(rTile), dna.Reverse(qTile)
 		}
+		a.ks.LUTTiles++
+		a.ks.LUTCells += int64(n) * int64(m)
 		return AlignTile(rTile, qTile, firstTile, maxOff, &a.sc)
 	}
 	if maxOff <= 0 {
 		maxOff = max(n, m)
 	}
-	a.fill(rTile, qTile, reversed)
+	a.grow(n+1, m+1)
+	var rc, qc []byte
+	if reversed {
+		rc = dna.AppendCodesReversed(a.rCode[:0], rTile)
+		qc = dna.AppendCodesReversed(a.qCode[:0], qTile)
+	} else {
+		rc = dna.AppendCodes(a.rCode[:0], rTile)
+		qc = dna.AppendCodes(a.qCode[:0], qTile)
+	}
+	a.rCode, a.qCode = rc, qc
+
+	// The bitvector tier handles extension tiles only: first tiles
+	// need the exact global-maximum cell (MaxI/MaxJ), which a banded
+	// fill cannot guarantee.
+	if a.mode != KernelLUT && !firstTile {
+		if res, ok := a.tryBitvector(rc, qc, maxOff); ok {
+			return res
+		}
+	}
+
+	cells := a.fillCoded(rc, qc, -1)
+	a.ks.LUTTiles++
+	a.ks.LUTCells += cells
 
 	startI, startJ := n, m
 	score := int(a.hRow[n]) // H of the bottom-right cell
@@ -150,25 +193,25 @@ func (a *TileAligner) grow(w, h int) {
 	}
 }
 
-// fill computes the local affine-gap DP matrix exactly as fillLocal
-// does, over precoded sequences with the int16 LUT and int32 rows.
-// After it returns, hRow holds H over the final query row and
-// maxScore/maxI/maxJ locate the highest-scoring cell (earliest row,
-// then earliest column, on ties — the systolic array's convention).
-func (a *TileAligner) fill(rTile, qTile dna.Seq, reversed bool) {
-	n, m := len(rTile), len(qTile)
+// fillCoded computes the local affine-gap DP matrix exactly as
+// fillLocal does, over precoded sequences with the int16 LUT and int32
+// rows, and returns the number of cells filled. After it returns, hRow
+// holds H over the final query row and maxScore/maxI/maxJ locate the
+// highest-scoring cell (earliest row, then earliest column, on ties —
+// the systolic array's convention).
+//
+// band < 0 fills the full matrix. band ≥ 0 restricts row j to columns
+// within ±band of the back-diagonal through (n, m) — i ∈
+// [j+(n−m)−band, j+(n−m)+band] — the bitvector tier's provably
+// sufficient window (see bitvector.go). Out-of-band cells keep their
+// initialization (hRow 0, vRow negInf), which are valid lower bounds
+// of the true values: bands only move right as j grows, so a cell
+// first entering the band has never been written this tile. In-band
+// values, the traceback path, and hRow[n] are exact; maxScore/maxI/
+// maxJ are in-band maxima.
+func (a *TileAligner) fillCoded(rc, qc []byte, band int) int64 {
+	n, m := len(rc), len(qc)
 	w, h := n+1, m+1
-	a.grow(w, h)
-
-	var rc, qc []byte
-	if reversed {
-		rc = dna.AppendCodesReversed(a.rCode[:0], rTile)
-		qc = dna.AppendCodesReversed(a.qCode[:0], qTile)
-	} else {
-		rc = dna.AppendCodes(a.rCode[:0], rTile)
-		qc = dna.AppendCodes(a.qCode[:0], qTile)
-	}
-	a.rCode, a.qCode = rc, qc
 
 	hRow := a.hRow[:w]
 	vRow := a.vRow[:w]
@@ -190,12 +233,32 @@ func (a *TileAligner) fill(rTile, qTile dna.Seq, reversed bool) {
 	open, ext := a.open, a.ext
 	maxScore := int32(0)
 	maxI, maxJ := 0, 0
+	var cells int64
 	for j := 1; j < h; j++ {
-		diag := hRow[0] // H(j-1, 0)
-		hRow[0] = 0
-		hPrev := negInf32 // horizontal gap score at (j, i-1)
+		lo, hi := 1, n
+		if band >= 0 {
+			if lo = j + (n - m) - band; lo < 1 {
+				lo = 1
+			}
+			if hi = j + (n - m) + band; hi > n {
+				hi = n
+			}
+			if hi < lo {
+				continue // row entirely outside the band
+			}
+		}
+		diag := hRow[lo-1] // H(j-1, lo-1)
+		// H(j, lo-1): 0 on the column-0 boundary, otherwise out of band
+		// (the traceback provably never crosses a band edge, so the
+		// underestimate only weakens candidates that cannot win).
+		leftH := negInf32
 		rowPtr := ptr[j*w : j*w+w]
-		rowPtr[0] = 0
+		if lo == 1 {
+			hRow[0] = 0
+			leftH = 0
+			rowPtr[0] = 0
+		}
+		hPrev := negInf32 // horizontal gap score at (j, i-1)
 		// A fixed-size array pointer into the LUT row: the &7-masked
 		// index is provably < LUTStride, so the per-cell load carries
 		// no bounds check.
@@ -205,9 +268,9 @@ func (a *TileAligner) fill(rTile, qTile dna.Seq, reversed bool) {
 		// compiler emits conditional moves instead of branches — on
 		// noisy-read tiles the per-cell branches are data-dependent and
 		// mispredict heavily, which dominated the fill's runtime.
-		for i := 1; i < w; i++ {
+		for i := lo; i <= hi; i++ {
 			// Horizontal gap (consumes reference): depends on (j, i-1).
-			hOpen := hRow[i-1] - open
+			hOpen := leftH - open
 			hExt := hPrev - ext
 			hGap := max(hOpen, hExt)
 			var p byte
@@ -244,6 +307,7 @@ func (a *TileAligner) fill(rTile, qTile dna.Seq, reversed bool) {
 
 			diag = hRow[i]
 			hRow[i] = best
+			leftH = best
 			vRow[i] = vGap
 			hPrev = hGap
 
@@ -252,8 +316,10 @@ func (a *TileAligner) fill(rTile, qTile dna.Seq, reversed bool) {
 				maxI, maxJ = i, j
 			}
 		}
+		cells += int64(hi - lo + 1)
 	}
 	a.maxScore, a.maxI, a.maxJ = maxScore, maxI, maxJ
+	return cells
 }
 
 // traceback walks pointers from cell (i, j) exactly like tracebackFrom,

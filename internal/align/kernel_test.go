@@ -40,7 +40,10 @@ func kernelSeq(rng *rand.Rand, n int) dna.Seq {
 // flavours, and clip bounds, the reusable kernel returns results
 // byte-identical to the reference AlignTile — including across many
 // tiles through one aligner, which is what exercises the dirty-buffer
-// reuse.
+// reuse. Pinned to KernelLUT: this is the strict full-struct oracle
+// (MaxI/MaxJ included, which the banded tier only approximates on
+// extension tiles); kernel_tier_test.go holds the cross-tier
+// properties.
 func TestQuickKernelMatchesReference(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -50,6 +53,7 @@ func TestQuickKernelMatchesReference(t *testing.T) {
 			t.Logf("NewTileAligner: %v", err)
 			return false
 		}
+		ta.SetKernel(KernelLUT)
 		for it := 0; it < 8; it++ {
 			rTile := kernelSeq(rng, 1+rng.Intn(96))
 			var qTile dna.Seq
@@ -84,26 +88,34 @@ func TestQuickKernelMatchesReference(t *testing.T) {
 }
 
 // The paper's exact operating points must agree too (larger tiles than
-// the quick-check sizes, realistic divergence).
+// the quick-check sizes, realistic divergence), in every kernel mode:
+// strict full-struct identity for the LUT tier, the engine-consumed
+// contract for the banded tiers.
 func TestKernelMatchesReferencePaperTiles(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
-	sc := GACTEval()
-	ta, err := NewTileAligner(&sc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for it := 0; it < 10; it++ {
-		rTile := dna.Random(rng, 384, 0.45)
-		qTile := mutate(rng, rTile, 0.15)
-		if len(qTile) > 384 {
-			qTile = qTile[:384]
+	for _, mode := range []KernelMode{KernelLUT, KernelAuto, KernelBitvector} {
+		rng := rand.New(rand.NewSource(42))
+		sc := GACTEval()
+		ta, err := NewTileAligner(&sc)
+		if err != nil {
+			t.Fatal(err)
 		}
-		first := it%2 == 0
-		maxOff := 384 - 128
-		want := AlignTile(rTile, qTile, first, maxOff, &sc)
-		got := ta.AlignTile(rTile, qTile, first, maxOff)
-		if !tileResultsEqual(got, want) {
-			t.Fatalf("iteration %d: kernel diverged from reference:\n got %+v\nwant %+v", it, got, want)
+		ta.SetKernel(mode)
+		for it := 0; it < 10; it++ {
+			rTile := dna.Random(rng, 384, 0.45)
+			qTile := mutate(rng, rTile, 0.15)
+			if len(qTile) > 384 {
+				qTile = qTile[:384]
+			}
+			first := it%2 == 0
+			maxOff := 384 - 128
+			want := AlignTile(rTile, qTile, first, maxOff, &sc)
+			got := ta.AlignTile(rTile, qTile, first, maxOff)
+			if mode == KernelLUT && !tileResultsEqual(got, want) {
+				t.Fatalf("mode %v iteration %d: kernel diverged from reference:\n got %+v\nwant %+v", mode, it, got, want)
+			}
+			if err := tileContractDiff(got, want, first); err != "" {
+				t.Fatalf("mode %v iteration %d: %s:\n got %+v\nwant %+v", mode, it, err, got, want)
+			}
 		}
 	}
 }

@@ -1,0 +1,208 @@
+package align
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"darwin/internal/dna"
+)
+
+// tileContractDiff compares two TileResults on the fields GACT
+// consumes: Score, IOff, JOff, and Cigar always; MaxI/MaxJ only when
+// firstTile was set (TileResult documents them as meaningful only
+// then, and the banded tier never runs on first tiles). It returns ""
+// on a match, else a description of the first difference.
+func tileContractDiff(got, want TileResult, firstTile bool) string {
+	if got.Score != want.Score {
+		return fmt.Sprintf("score %d != %d", got.Score, want.Score)
+	}
+	if got.IOff != want.IOff || got.JOff != want.JOff {
+		return fmt.Sprintf("offsets (%d,%d) != (%d,%d)", got.IOff, got.JOff, want.IOff, want.JOff)
+	}
+	if firstTile && (got.MaxI != want.MaxI || got.MaxJ != want.MaxJ) {
+		return fmt.Sprintf("max cell (%d,%d) != (%d,%d)", got.MaxI, got.MaxJ, want.MaxI, want.MaxJ)
+	}
+	if len(got.Cigar) != len(want.Cigar) {
+		return fmt.Sprintf("cigar length %d != %d", len(got.Cigar), len(want.Cigar))
+	}
+	for i := range got.Cigar {
+		if got.Cigar[i] != want.Cigar[i] {
+			return fmt.Sprintf("cigar[%d] %+v != %+v", i, got.Cigar[i], want.Cigar[i])
+		}
+	}
+	return ""
+}
+
+// cloneTile deep-copies a TileResult whose cigar aliases an aligner's
+// reused buffer.
+func cloneTile(res TileResult) TileResult {
+	res.Cigar = append(Cigar(nil), res.Cigar...)
+	return res
+}
+
+// tierSeq makes tile-tier-sized sequences, occasionally N-laced (which
+// must force the LUT path without changing results) and with lengths
+// biased toward the 64-bit block boundaries the bitvector recurrence
+// is touchiest at.
+func tierSeq(rng *rand.Rand, n int) dna.Seq {
+	if rng.Intn(3) == 0 {
+		// Snap near a block boundary: 63, 64, 65, 127, 128, 129, ...
+		k := 64 * (1 + rng.Intn(3))
+		n = max(1, k-1+rng.Intn(3))
+	}
+	s := dna.Random(rng, n, 0.5)
+	if rng.Intn(5) == 0 {
+		for x := 0; x < 1+rng.Intn(3); x++ {
+			s[rng.Intn(len(s))] = 'N'
+		}
+	}
+	return s
+}
+
+// The cross-kernel property (the tentpole's correctness claim): across
+// random scorings, tile shapes, identities, divergence thresholds,
+// orientations, and first/extension flavours, the auto and forced
+// bitvector tiers return results identical to the LUT kernel on every
+// field GACT consumes. The banded fill's provable-window argument is
+// exactly what this hammers.
+func TestQuickKernelTiers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sc := Simple(1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(2))
+		if rng.Intn(3) == 0 {
+			// Affine (open > extend) exercises the gap-chain open bits.
+			sc.GapOpen = sc.GapExtend + 1 + rng.Intn(3)
+		}
+		lut, err := NewTileAligner(&sc)
+		if err != nil {
+			t.Logf("NewTileAligner: %v", err)
+			return false
+		}
+		lut.SetKernel(KernelLUT)
+		auto, _ := NewTileAligner(&sc)
+		auto.SetKernel(KernelAuto)
+		forced, _ := NewTileAligner(&sc)
+		forced.SetKernel(KernelBitvector)
+		if rng.Intn(2) == 0 {
+			// Random divergence thresholds, tiny ones included: they may
+			// change *when* auto falls back, never *what* it returns.
+			d := rng.Intn(200)
+			auto.SetKernelDivergence(d)
+			forced.SetKernelDivergence(d)
+		}
+		for it := 0; it < 6; it++ {
+			rTile := tierSeq(rng, 32+rng.Intn(200))
+			var qTile dna.Seq
+			switch rng.Intn(4) {
+			case 0:
+				qTile = tierSeq(rng, 32+rng.Intn(200))
+			case 1:
+				qTile = mutate(rng, rTile, 0.4)
+			default:
+				qTile = mutate(rng, rTile, 0.03+rng.Float64()*0.2)
+			}
+			firstTile := rng.Intn(4) == 0
+			maxOff := 0
+			if rng.Intn(3) > 0 {
+				maxOff = 1 + rng.Intn(200)
+			}
+			// The kernel cigars alias per-aligner buffers; copy the
+			// expectations so the second orientation can't clobber them.
+			want := cloneTile(lut.AlignTile(rTile, qTile, firstTile, maxOff))
+			wantRev := cloneTile(lut.AlignTileReversed(rTile, qTile, firstTile, maxOff))
+			for name, ta := range map[string]*TileAligner{"auto": auto, "bitvector": forced} {
+				got := ta.AlignTile(rTile, qTile, firstTile, maxOff)
+				if d := tileContractDiff(got, want, firstTile); d != "" {
+					t.Logf("%s mismatch (seed %d it %d, first %v): %s\n got %+v\nwant %+v",
+						name, seed, it, firstTile, d, got, want)
+					return false
+				}
+				gotRev := ta.AlignTileReversed(rTile, qTile, firstTile, maxOff)
+				if d := tileContractDiff(gotRev, wantRev, firstTile); d != "" {
+					t.Logf("%s reversed mismatch (seed %d it %d): %s\n got %+v\nwant %+v",
+						name, seed, it, d, gotRev, wantRev)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The auto tier must actually engage on the workload it exists for —
+// high-identity extension tiles — and must fall back on low-identity
+// tiles rather than fill wide bands.
+func TestKernelTierFallbackRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sc := GACTEval()
+	ta, err := NewTileAligner(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// High-identity reads: the PacBio-like regime of the paper's tiles.
+	for it := 0; it < 40; it++ {
+		rTile := dna.Random(rng, 320, 0.45)
+		qTile := mutate(rng, rTile, 0.10)
+		if len(qTile) > 320 {
+			qTile = qTile[:320]
+		}
+		ta.AlignTile(rTile, qTile, false, 320-128)
+	}
+	ks := ta.KernelStats()
+	if ks.BitvectorTiles < 30 {
+		t.Errorf("high-identity tiles: bitvector path took %d of 40 (fallback %d, lut %d), want ≥ 30",
+			ks.BitvectorTiles, ks.FallbackTiles, ks.LUTTiles)
+	}
+	if ks.BitvectorCells >= ks.BitvectorTiles*320*320/2 {
+		t.Errorf("banded fill saved too little: %d cells over %d tiles (full fill would be %d/tile)",
+			ks.BitvectorCells, ks.BitvectorTiles, 320*320)
+	}
+
+	// Low-identity reads: the divergence gate must punt to the LUT.
+	before := ks
+	for it := 0; it < 40; it++ {
+		rTile := dna.Random(rng, 320, 0.45)
+		qTile := mutate(rng, rTile, 0.45)
+		if len(qTile) > 320 {
+			qTile = qTile[:320]
+		}
+		ta.AlignTile(rTile, qTile, false, 320-128)
+	}
+	ks = ta.KernelStats()
+	if fb := ks.FallbackTiles - before.FallbackTiles; fb < 30 {
+		t.Errorf("low-identity tiles: only %d of 40 fell back (bitvector %d)",
+			fb, ks.BitvectorTiles-before.BitvectorTiles)
+	}
+
+	// First tiles never take the bitvector tier.
+	before = ks
+	rTile := dna.Random(rng, 384, 0.45)
+	qTile := mutate(rng, rTile, 0.05)
+	ta.AlignTile(rTile, qTile, true, 384-128)
+	ks = ta.KernelStats()
+	if ks.BitvectorTiles != before.BitvectorTiles || ks.LUTTiles != before.LUTTiles+1 {
+		t.Errorf("first tile took the bitvector path: %+v -> %+v", before, ks)
+	}
+}
+
+// Mode parsing round-trips, and rejects junk.
+func TestParseKernelMode(t *testing.T) {
+	for _, m := range []KernelMode{KernelAuto, KernelLUT, KernelBitvector} {
+		got, err := ParseKernelMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseKernelMode(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if got, err := ParseKernelMode(""); err != nil || got != KernelAuto {
+		t.Errorf("ParseKernelMode(\"\") = %v, %v; want auto", got, err)
+	}
+	if _, err := ParseKernelMode("simd"); err == nil {
+		t.Error("ParseKernelMode(\"simd\") should fail")
+	}
+}

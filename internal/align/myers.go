@@ -3,6 +3,7 @@ package align
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"darwin/internal/dna"
 )
@@ -31,41 +32,96 @@ type EditResult struct {
 	Cigar                Cigar
 }
 
-// Myers computes the edit distance and alignment path between ref and
+// MyersState owns the reusable scratch of the bit-vector aligner: the
+// Peq table, the working Pv/Mv words, the per-column history the
+// traceback reads, and the code/path buffers. Buffers grow
+// monotonically and are reused across calls, so the steady state
+// allocates nothing — the memory-frugality trick GenASM/Scrooge apply
+// to the same recurrence in hardware. The zero value is ready to use.
+// A MyersState is not safe for concurrent use.
+type MyersState struct {
+	peq    [4][]uint64
+	pv, mv []uint64
+	// hist retains the vertical-delta words of every column for the
+	// traceback: column j occupies hist[j*2*blocks : (j+1)*2*blocks),
+	// Pv words first, then Mv words. This is the compact traceback
+	// store — O(n·⌈m/64⌉) words instead of an n×m pointer matrix.
+	hist   []uint64
+	rCode  []byte
+	qCode  []byte
+	cig    Cigar
+	blocks int
+}
+
+// NewMyersState returns an empty state; buffers grow on first use.
+func NewMyersState() *MyersState { return &MyersState{} }
+
+// grow sizes the block-width buffers and the cols-column history.
+func (s *MyersState) grow(blocks, cols int) {
+	if cap(s.pv) < blocks || cap(s.peq[0]) < blocks {
+		s.pv = make([]uint64, blocks)
+		s.mv = make([]uint64, blocks)
+		for c := range s.peq {
+			s.peq[c] = make([]uint64, blocks)
+		}
+	}
+	s.pv = s.pv[:blocks]
+	s.mv = s.mv[:blocks]
+	for c := range s.peq {
+		s.peq[c] = s.peq[c][:blocks]
+	}
+	if need := cols * 2 * blocks; cap(s.hist) < need {
+		s.hist = make([]uint64, need)
+	} else {
+		s.hist = s.hist[:need]
+	}
+	s.blocks = blocks
+}
+
+// Align computes the edit distance and alignment path between ref and
 // query with Myers' 1999 bit-vector algorithm, the algorithm class
-// Edlib implements. Time is O(⌈m/64⌉·n); the per-column Pv/Mv words are
-// retained so the traceback does not recompute the matrix.
-func Myers(ref, query dna.Seq, mode EditMode) (*EditResult, error) {
-	m, n := len(query), len(ref)
+// Edlib implements. Time is O(⌈m/64⌉·n); the per-column Pv/Mv words
+// are retained so the traceback does not recompute the matrix. The
+// returned Cigar aliases the state's internal buffer and is only valid
+// until the next call; callers that retain it must copy it first.
+func (s *MyersState) Align(ref, query dna.Seq, mode EditMode) (EditResult, error) {
+	if len(query) == 0 || len(ref) == 0 {
+		return EditResult{}, fmt.Errorf("align: empty sequence (ref %d, query %d)", len(ref), len(query))
+	}
+	s.rCode = dna.AppendCodes(s.rCode[:0], ref)
+	s.qCode = dna.AppendCodes(s.qCode[:0], query)
+	return s.alignCodes(s.rCode, s.qCode, mode)
+}
+
+// alignCodes is Align over precoded base codes (dna.CodeA..dna.CodeN);
+// the tile kernel's bitvector tier calls it directly on its precoded
+// tile buffers. N codes match nothing (always an edit), like Edlib.
+func (s *MyersState) alignCodes(rc, qc []byte, mode EditMode) (EditResult, error) {
+	m, n := len(qc), len(rc)
 	if m == 0 || n == 0 {
-		return nil, fmt.Errorf("align: empty sequence (ref %d, query %d)", n, m)
+		return EditResult{}, fmt.Errorf("align: empty sequence (ref %d, query %d)", n, m)
 	}
 	blocks := (m + 63) / 64
+	s.grow(blocks, n+1)
 
-	// Peq[c][b]: bit i set iff query[b*64+i] has base code c. N rows
-	// match nothing (always an edit), like Edlib.
-	var peq [4][]uint64
-	for c := 0; c < 4; c++ {
-		peq[c] = make([]uint64, blocks)
+	// Peq[c][b]: bit i set iff qc[b*64+i] has base code c.
+	for c := range s.peq {
+		clear(s.peq[c])
 	}
 	for i := 0; i < m; i++ {
-		c := dna.Code(query[i])
-		if c < 4 {
-			peq[c][i/64] |= 1 << (uint(i) % 64)
+		if c := qc[i]; c < 4 {
+			s.peq[c][i/64] |= 1 << (uint(i) % 64)
 		}
 	}
 
-	pv := make([]uint64, blocks)
-	mv := make([]uint64, blocks)
+	pv, mv := s.pv, s.mv
 	for b := range pv {
 		pv[b] = ^uint64(0)
+		mv[b] = 0
 	}
-	// Column history for traceback: pvHist[j] / mvHist[j] hold the
-	// vertical delta words *after* processing column j (1-based).
-	pvHist := make([][]uint64, n+1)
-	mvHist := make([][]uint64, n+1)
-	pvHist[0] = append([]uint64(nil), pv...)
-	mvHist[0] = append([]uint64(nil), mv...)
+	hw := 2 * blocks // history words per column
+	copy(s.hist[:blocks], pv)
+	copy(s.hist[blocks:hw], mv)
 
 	hin0 := 1 // global: D(0,j) = j
 	if mode == EditInfix {
@@ -73,12 +129,12 @@ func Myers(ref, query dna.Seq, mode EditMode) (*EditResult, error) {
 	}
 
 	for j := 1; j <= n; j++ {
-		rc := dna.Code(ref[j-1])
+		rcj := rc[j-1]
 		hin := hin0
 		for b := 0; b < blocks; b++ {
 			var eq uint64
-			if rc < 4 {
-				eq = peq[rc][b]
+			if rcj < 4 {
+				eq = s.peq[rcj][b]
 			}
 			pvB, mvB := pv[b], mv[b]
 			xv := eq | mvB
@@ -106,47 +162,27 @@ func Myers(ref, query dna.Seq, mode EditMode) (*EditResult, error) {
 			mv[b] = ph & xv
 			hin = hout
 		}
-		pvHist[j] = append([]uint64(nil), pv...)
-		mvHist[j] = append([]uint64(nil), mv...)
-	}
-
-	// score returns D(i, j) by prefix-summing the stored vertical
-	// deltas of column j from the top boundary value D(0, j).
-	score := func(i, j int) int {
-		d := 0
-		if mode == EditGlobal {
-			d = j
-		}
-		pvJ, mvJ := pvHist[j], mvHist[j]
-		for b := 0; b*64 < i; b++ {
-			word := uint(min(64, i-b*64))
-			var mask uint64
-			if word == 64 {
-				mask = ^uint64(0)
-			} else {
-				mask = (uint64(1) << word) - 1
-			}
-			d += bits.OnesCount64(pvJ[b]&mask) - bits.OnesCount64(mvJ[b]&mask)
-		}
-		return d
+		col := s.hist[j*hw : j*hw+hw]
+		copy(col[:blocks], pv)
+		copy(col[blocks:], mv)
 	}
 
 	// Pick the traceback start.
 	endJ := n
 	if mode == EditInfix {
-		best := score(m, 0)
+		best := s.colScore(mode, m, 0)
 		endJ = 0
 		for j := 1; j <= n; j++ {
-			if d := score(m, j); d < best {
+			if d := s.colScore(mode, m, j); d < best {
 				best = d
 				endJ = j
 			}
 		}
 	}
-	dist := score(m, endJ)
+	dist := s.colScore(mode, m, endJ)
 
 	// Traceback by DP-value comparison.
-	var cigar Cigar
+	cigar := s.cig[:0]
 	i, j := m, endJ
 	cur := dist
 	for i > 0 {
@@ -158,9 +194,9 @@ func Myers(ref, query dna.Seq, mode EditMode) (*EditResult, error) {
 			cur--
 			continue
 		}
-		diag := score(i-1, j-1)
+		diag := s.colScore(mode, i-1, j-1)
 		matchCost := 1
-		if dna.Code(ref[j-1]) == dna.Code(query[i-1]) && dna.Code(ref[j-1]) != dna.CodeN {
+		if rc[j-1] == qc[i-1] && rc[j-1] != dna.CodeN {
 			matchCost = 0
 		}
 		switch {
@@ -169,16 +205,17 @@ func Myers(ref, query dna.Seq, mode EditMode) (*EditResult, error) {
 			i--
 			j--
 			cur = diag
-		case cur == score(i, j-1)+1:
+		case cur == s.colScore(mode, i, j-1)+1:
 			cigar = cigar.AppendOp(OpDel)
 			j--
 			cur--
-		case cur == score(i-1, j)+1:
+		case cur == s.colScore(mode, i-1, j)+1:
 			cigar = cigar.AppendOp(OpIns)
 			i--
 			cur--
 		default:
-			return nil, fmt.Errorf("align: inconsistent traceback at (%d,%d)", i, j)
+			s.cig = cigar
+			return EditResult{}, fmt.Errorf("align: inconsistent traceback at (%d,%d)", i, j)
 		}
 	}
 	if mode == EditGlobal {
@@ -187,40 +224,88 @@ func Myers(ref, query dna.Seq, mode EditMode) (*EditResult, error) {
 			j--
 		}
 	}
-	res := &EditResult{
+	s.cig = cigar
+	return EditResult{
 		Distance:   dist,
 		RefStart:   j,
 		RefEnd:     endJ,
 		QueryStart: 0,
 		QueryEnd:   m,
 		Cigar:      cigar.Reverse(),
-	}
-	return res, nil
+	}, nil
 }
 
-// EditDistance computes just the edit distance (no traceback, O(m/64)
-// memory) between ref and query in the given mode. For EditInfix it
-// returns the minimum distance over all ref substrings.
+// colScore returns D(i, j) by prefix-summing the stored vertical
+// deltas of column j from the top boundary value D(0, j).
+func (s *MyersState) colScore(mode EditMode, i, j int) int {
+	d := 0
+	if mode == EditGlobal {
+		d = j
+	}
+	hw := 2 * s.blocks
+	pvJ := s.hist[j*hw : j*hw+s.blocks]
+	mvJ := s.hist[j*hw+s.blocks : j*hw+hw]
+	for b := 0; b*64 < i; b++ {
+		word := uint(min(64, i-b*64))
+		var mask uint64
+		if word == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << word) - 1
+		}
+		d += bits.OnesCount64(pvJ[b]&mask) - bits.OnesCount64(mvJ[b]&mask)
+	}
+	return d
+}
+
+// myersPool recycles MyersStates behind the package-level wrappers,
+// the scorePool idiom: steady state, the wrappers allocate only their
+// returned result.
+var myersPool = sync.Pool{New: func() any { return new(MyersState) }}
+
+// Myers computes the edit-distance alignment of query against ref; it
+// is MyersState.Align with pooled scratch, returning a result whose
+// cigar is an owned copy (safe to retain).
+func Myers(ref, query dna.Seq, mode EditMode) (*EditResult, error) {
+	s := myersPool.Get().(*MyersState)
+	res, err := s.Align(ref, query, mode)
+	if err != nil {
+		myersPool.Put(s)
+		return nil, err
+	}
+	out := res
+	out.Cigar = append(Cigar(nil), res.Cigar...)
+	myersPool.Put(s)
+	return &out, nil
+}
+
+// EditDistance computes just the edit distance (no traceback, no
+// column history) between ref and query in the given mode. For
+// EditInfix it returns the minimum distance over all ref substrings.
 func EditDistance(ref, query dna.Seq, mode EditMode) (int, error) {
 	m, n := len(query), len(ref)
 	if m == 0 || n == 0 {
 		return 0, fmt.Errorf("align: empty sequence (ref %d, query %d)", n, m)
 	}
+	s := myersPool.Get().(*MyersState)
+	defer myersPool.Put(s)
 	blocks := (m + 63) / 64
-	var peq [4][]uint64
-	for c := 0; c < 4; c++ {
-		peq[c] = make([]uint64, blocks)
+	s.grow(blocks, 1)
+	s.rCode = dna.AppendCodes(s.rCode[:0], ref)
+	s.qCode = dna.AppendCodes(s.qCode[:0], query)
+	rc, qc := s.rCode, s.qCode
+	for c := range s.peq {
+		clear(s.peq[c])
 	}
 	for i := 0; i < m; i++ {
-		c := dna.Code(query[i])
-		if c < 4 {
-			peq[c][i/64] |= 1 << (uint(i) % 64)
+		if c := qc[i]; c < 4 {
+			s.peq[c][i/64] |= 1 << (uint(i) % 64)
 		}
 	}
-	pv := make([]uint64, blocks)
-	mv := make([]uint64, blocks)
+	pv, mv := s.pv, s.mv
 	for b := range pv {
 		pv[b] = ^uint64(0)
+		mv[b] = 0
 	}
 	hin0 := 1
 	if mode == EditInfix {
@@ -240,12 +325,12 @@ func EditDistance(ref, query dna.Seq, mode EditMode) (int, error) {
 	bottom := m
 	best := bottom
 	for j := 1; j <= n; j++ {
-		rc := dna.Code(ref[j-1])
+		rcj := rc[j-1]
 		hin := hin0
 		for b := 0; b < blocks; b++ {
 			var eq uint64
-			if rc < 4 {
-				eq = peq[rc][b]
+			if rcj < 4 {
+				eq = s.peq[rcj][b]
 			}
 			pvB, mvB := pv[b], mv[b]
 			xv := eq | mvB

@@ -62,7 +62,9 @@ type Config struct {
 	// HTile is the first-tile score threshold (paper: 90 at first-tile
 	// size 384). Zero disables it.
 	HTile int
-	// GACT holds the tile parameters and scoring.
+	// GACT holds the tile parameters, scoring, and kernel-tier
+	// selection (GACT.Kernel; the zero value enables the bitvector
+	// fast path with its bit-identical LUT fallback).
 	GACT gact.Config
 	// MaxCandidates bounds GACT work per query strand as a safety
 	// valve against pathological repeat regions. Zero means no bound.

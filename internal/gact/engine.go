@@ -59,6 +59,11 @@ type Engine struct {
 	arena  []align.Step   // tile paths for the current candidate
 	steps  []engStep      // extendDir loop state
 	dirCig [2]align.Cigar // per-direction assembled paths
+
+	// lastKS is the kernel-stat snapshot at the end of the previous
+	// Extend, so publishKernel can emit per-call deltas to the shared
+	// counters.
+	lastKS align.KernelStats
 }
 
 // NewEngine validates cfg and returns an engine whose kernel buffers
@@ -76,6 +81,8 @@ func NewEngine(cfg *Config) (*Engine, error) {
 		side = ft
 	}
 	ta.Preallocate(side)
+	ta.SetKernel(cfg.Kernel)
+	ta.SetKernelDivergence(cfg.KernelDivergence)
 	return &Engine{cfg: *cfg, ta: ta}, nil
 }
 
@@ -118,6 +125,7 @@ func (e *Engine) Extend(R, Q dna.Seq, iSeed, jSeed int) (res *align.Result, stat
 		return nil, stats, fmt.Errorf("gact: seed position (%d,%d) outside R[0,%d) × Q[0,%d)", iSeed, jSeed, len(R), len(Q))
 	}
 	defer tAlign.Time()()
+	defer e.publishKernel()
 	e.arena = e.arena[:0]
 
 	// First tile, spanning forward from the candidate. Traceback
@@ -169,6 +177,24 @@ func (e *Engine) Extend(R, Q dna.Seq, iSeed, jSeed int) (res *align.Result, stat
 	res.Score = res.Rescore(R, Q, &cfg.Scoring)
 	stats.publish(false)
 	return res, stats, nil
+}
+
+// KernelStats returns the cumulative kernel-tier counters of the
+// engine's TileAligner.
+func (e *Engine) KernelStats() align.KernelStats { return e.ta.KernelStats() }
+
+// publishKernel emits the kernel-tier counter deltas accumulated since
+// the previous Extend. The TileAligner keeps cheap plain-int stats;
+// batching the atomic counter adds per Extend (rather than per tile)
+// keeps the rejected-candidate fast path free of contention.
+func (e *Engine) publishKernel() {
+	ks := e.ta.KernelStats()
+	cTileBitvector.Add(ks.BitvectorTiles - e.lastKS.BitvectorTiles)
+	cTileFallback.Add(ks.FallbackTiles - e.lastKS.FallbackTiles)
+	cTileLUT.Add(ks.LUTTiles - e.lastKS.LUTTiles)
+	cCellsBitvector.Add(ks.BitvectorCells - e.lastKS.BitvectorCells)
+	cCellsLUT.Add(ks.LUTCells - e.lastKS.LUTCells)
+	e.lastKS = ks
 }
 
 // extendDir runs extendLeft's loop over the engine's reused state.

@@ -118,3 +118,47 @@ func TestEngineErrors(t *testing.T) {
 		t.Error("NewEngine should reject an invalid config")
 	}
 }
+
+// The default (auto) engine must actually route high-identity
+// extension tiles through the bitvector tier, a KernelLUT engine must
+// never, and validate must reject out-of-range kernel settings. The
+// bit-identity of the tiers themselves is TestEngineMatchesExtend's
+// job (the free Extend uses the reference AlignTile).
+func TestEngineKernelTier(t *testing.T) {
+	cfg := DefaultConfig()
+	engine, err := NewEngine(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, query, iSeed, jSeed := simPair(t, 4000, readsim.PacBio, 314)
+	if _, _, err := engine.Extend(ref, query, iSeed, jSeed); err != nil {
+		t.Fatal(err)
+	}
+	ks := engine.KernelStats()
+	if ks.BitvectorTiles == 0 {
+		t.Errorf("auto engine took the bitvector path 0 times: %+v", ks)
+	}
+
+	cfg.Kernel = align.KernelLUT
+	lutEng, err := NewEngine(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lutEng.Extend(ref, query, iSeed, jSeed); err != nil {
+		t.Fatal(err)
+	}
+	if ks := lutEng.KernelStats(); ks.BitvectorTiles != 0 || ks.LUTTiles == 0 {
+		t.Errorf("lut engine stats %+v, want pure LUT", ks)
+	}
+
+	bad := DefaultConfig()
+	bad.Kernel = align.KernelBitvector + 1
+	if _, err := NewEngine(&bad); err == nil {
+		t.Error("NewEngine should reject an unknown kernel mode")
+	}
+	bad = DefaultConfig()
+	bad.KernelDivergence = -1
+	if _, err := NewEngine(&bad); err == nil {
+		t.Error("NewEngine should reject a negative kernel divergence")
+	}
+}

@@ -34,6 +34,22 @@ var (
 	tFirstTile    = obs.Default.Timer("gact/first_tile")
 	hFirstScore   = obs.Default.Histogram("gact/first_tile_score", 0, 384, 48)
 	hTilesPerExt  = obs.Default.Histogram("gact/tiles_per_extension", 0, 128, 32)
+
+	// Kernel-tier split (Engine only; the free functions use the
+	// reference AlignTile, which has no tiers): tiles and actually
+	// filled DP cells per path. tile_lut counts every full-LUT fill,
+	// fallbacks included; tile_fallback is the subset that attempted
+	// the bitvector tier and hit its divergence gate, so the fallback
+	// rate is tile_fallback / (tile_bitvector + tile_fallback). Note
+	// gact/cells stays the *geometric* tile area — the work a
+	// cell-at-a-time kernel would do — so cells/s measures effective
+	// throughput across kernel generations; cells_bitvector/cells_lut
+	// count filled cells only.
+	cTileBitvector  = obs.Default.Counter("gact/tile_bitvector")
+	cTileFallback   = obs.Default.Counter("gact/tile_fallback")
+	cTileLUT        = obs.Default.Counter("gact/tile_lut")
+	cCellsBitvector = obs.Default.Counter("gact/cells_bitvector")
+	cCellsLUT       = obs.Default.Counter("gact/cells_lut")
 )
 
 // Config holds GACT parameters. The paper's operating point for all
@@ -60,6 +76,15 @@ type Config struct {
 	YDrop int
 	// Scoring configures the PE array's 18 scoring parameters.
 	Scoring align.Scoring
+	// Kernel selects the Engine's tile-kernel tier (the zero value,
+	// align.KernelAuto, enables the bitvector fast path with its
+	// provable bit-identical fallback; see align.KernelMode).
+	Kernel align.KernelMode
+	// KernelDivergence overrides the auto tier's fallback threshold:
+	// the maximum allowed gap, in score units, between a tile's
+	// perfect-score bound and the bitvector path's rescored bound.
+	// Zero picks a geometry-derived default.
+	KernelDivergence int
 }
 
 // DefaultConfig returns the paper's chosen operating point
@@ -77,6 +102,12 @@ func (c *Config) validate() error {
 	}
 	if c.FirstTileT < 0 || (c.FirstTileT > 0 && c.FirstTileT <= c.O) {
 		return fmt.Errorf("gact: first tile size %d must exceed overlap %d", c.FirstTileT, c.O)
+	}
+	if c.Kernel > align.KernelBitvector {
+		return fmt.Errorf("gact: unknown kernel mode %d", c.Kernel)
+	}
+	if c.KernelDivergence < 0 {
+		return fmt.Errorf("gact: kernel divergence %d must be ≥ 0", c.KernelDivergence)
 	}
 	return c.Scoring.Validate()
 }

@@ -63,6 +63,14 @@ for want in darwin_core_reads_total darwin_shard_ darwin_server_ "# EOF"; do
     fi
 done
 
+# The default kernel mode is auto: a mapped high-identity read must
+# have routed at least one extension tile through the bitvector tier.
+if ! grep -Eq '^darwin_gact_tile_bitvector_total [1-9]' "$tmp/metrics.txt"; then
+    echo "metrics-lint: FAIL — darwin_gact_tile_bitvector_total missing or zero:" >&2
+    grep darwin_gact_tile "$tmp/metrics.txt" >&2 || true
+    exit 1
+fi
+
 # The SLO endpoint must serve both windows with a non-zero request
 # count after the traffic above.
 curl -fsS "http://$addr/v1/stats" > "$tmp/stats.json"
