@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard bench-traced bench-index benchdiff benchdiff-traced serve-smoke chaos-smoke index-smoke metrics-lint clean
+.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard bench-traced bench-index benchdiff benchdiff-traced serve-smoke chaos-smoke index-smoke cluster-smoke metrics-lint clean
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ race:
 test-allocs:
 	$(GO) test -run 'ZeroSteadyStateAllocs' ./internal/align/
 
-check: vet race test-allocs serve-smoke chaos-smoke index-smoke metrics-lint
+check: vet race test-allocs serve-smoke chaos-smoke index-smoke cluster-smoke metrics-lint
 
 # End-to-end serving check: darwind on a synthetic genome, load from
 # darwin-client, non-empty SAM back, clean drain on SIGTERM.
@@ -45,6 +45,14 @@ chaos-smoke:
 # sidecar, and corruption detection + graceful fallback.
 index-smoke:
 	./scripts/index_smoke.sh
+
+# Distributed scatter-gather check: darwin-router over two darwind
+# cluster workers booted from one shared .dwi must produce SAM
+# byte-identical to the monolithic engine, survive a SIGSTOPped
+# replica via hedged requests and a SIGKILLed one via failover, and
+# drain cleanly.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Observability exposition check: a live darwind's /metrics must be
 # valid OpenMetrics with no duplicate or undeclared families, and

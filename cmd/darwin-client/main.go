@@ -9,6 +9,12 @@
 //
 //	darwin-client -addr 127.0.0.1:8844 -reads reads.fq -requests 200 -concurrency 8 -batch 4
 //	darwin-client -addr 127.0.0.1:8844 -reads reads.fq -rate 50 -duration 10s
+//	darwin-client -target 127.0.0.1:8850,127.0.0.1:8844 -reads reads.fq -requests 200
+//
+// -target takes one or more comma-separated targets (darwind or
+// darwin-router, host:port or URL); requests round-robin across them,
+// retries rotate to the next target, and the summary breaks latency
+// down per target.
 package main
 
 import (
@@ -63,6 +69,8 @@ type result struct {
 	// the response, which echoes the one we sent) — the join key into
 	// darwind's access log, error envelopes, and /debug/slow captures.
 	reqID string
+	// target is the base URL the final attempt went to.
+	target string
 }
 
 // timingAgg accumulates per-stage server-side durations parsed from
@@ -132,7 +140,8 @@ func retryableStatus(status int) bool {
 }
 
 func run() error {
-	addr := flag.String("addr", "", "darwind address host:port (required)")
+	addr := flag.String("addr", "", "darwind address host:port (or use -target)")
+	targetSpec := flag.String("target", "", "comma-separated targets (darwind or darwin-router, host:port or URL); round-robin per request, supersedes -addr")
 	readsPath := flag.String("reads", "", "reads FASTA/FASTQ to replay (required)")
 	requests := flag.Int("requests", 100, "closed-loop: total requests to send")
 	concurrency := flag.Int("concurrency", 4, "closed-loop: in-flight requests")
@@ -149,8 +158,26 @@ func run() error {
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *addr == "" || *readsPath == "" {
-		return fmt.Errorf("-addr and -reads are required")
+	if (*addr == "" && *targetSpec == "") || *readsPath == "" {
+		return fmt.Errorf("-addr (or -target) and -reads are required")
+	}
+	var targets []string
+	if *targetSpec != "" {
+		for _, tg := range strings.Split(*targetSpec, ",") {
+			tg = strings.TrimSpace(tg)
+			if tg == "" {
+				continue
+			}
+			if !strings.Contains(tg, "://") {
+				tg = "http://" + tg
+			}
+			targets = append(targets, strings.TrimRight(tg, "/"))
+		}
+		if len(targets) == 0 {
+			return fmt.Errorf("-target %q names no targets", *targetSpec)
+		}
+	} else {
+		targets = []string{"http://" + *addr}
 	}
 	session, err := obsFlags.Start("darwin-client")
 	if err != nil {
@@ -169,10 +196,15 @@ func run() error {
 		*batch = 1
 	}
 
-	url := "http://" + *addr + "/v1/map"
+	urls := make([]string, len(targets))
+	for i, tg := range targets {
+		urls[i] = tg + "/v1/map"
+	}
 	var out *os.File
 	if *outPath != "" {
-		url += "?format=sam"
+		for i := range urls {
+			urls[i] += "?format=sam"
+		}
 		out, err = os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
@@ -214,25 +246,30 @@ func run() error {
 	timing := &timingAgg{}
 	var seq atomic.Int64
 	fire := func() result {
-		b := int(seq.Add(1)-1) % nBodies
+		n := int(seq.Add(1) - 1)
+		b := n % nBodies
 		cReadsSent.Add(int64(readsPerBody[b]))
 		// One identity per logical request, reused across retries, so
 		// every server-side record of the attempts joins to one client
 		// request.
 		reqID := obs.NewRequestID()
 		for attempt := 0; ; attempt++ {
+			// Round-robin across targets; a retried request rotates to
+			// the next target, so pushback from one node spills to its
+			// peers instead of hammering the same queue.
+			tgt := (n + attempt) % len(targets)
 			start := time.Now()
-			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(bodies[b]))
+			req, err := http.NewRequest(http.MethodPost, urls[tgt], bytes.NewReader(bodies[b]))
 			if err != nil {
 				cReqFailed.Inc()
-				return result{err: err, retries: attempt, reqID: reqID}
+				return result{err: err, retries: attempt, reqID: reqID, target: targets[tgt]}
 			}
 			req.Header.Set("Content-Type", "application/json")
 			req.Header.Set("X-Request-ID", reqID)
 			resp, err := client.Do(req)
 			if err != nil {
 				cReqFailed.Inc()
-				return result{err: err, retries: attempt, reqID: reqID}
+				return result{err: err, retries: attempt, reqID: reqID, target: targets[tgt]}
 			}
 			if id := resp.Header.Get("X-Request-ID"); id != "" {
 				reqID = id // server's view wins (it sanitizes)
@@ -249,7 +286,7 @@ func run() error {
 				time.Sleep(backoffWait(resp.Header.Get("Retry-After"), attempt, *retryMaxWait))
 				continue
 			}
-			r := result{status: resp.StatusCode, latency: lat, err: err, retries: attempt, reqID: reqID}
+			r := result{status: resp.StatusCode, latency: lat, err: err, retries: attempt, reqID: reqID, target: targets[tgt]}
 			switch {
 			case err != nil || resp.StatusCode >= 500:
 				cReqFailed.Inc()
@@ -273,7 +310,7 @@ func run() error {
 	}
 
 	fmt.Fprintf(os.Stderr, "darwin-client: %d reads in %d request bodies of ≤%d reads against %s\n",
-		len(reads), nBodies, *batch, url)
+		len(reads), nBodies, *batch, strings.Join(urls, ", "))
 
 	var results []result
 	var mu sync.Mutex
@@ -378,6 +415,12 @@ func tally(body []byte, isSAM bool) {
 	}
 }
 
+// targetAgg is summarize's per-target slice of the run.
+type targetAgg struct {
+	ok, failed int
+	lats       []time.Duration
+}
+
 // summarize prints the throughput/latency digest. Percentiles come
 // from the raw latency samples, not histogram bins.
 func summarize(w io.Writer, results []result, wall time.Duration, timing *timingAgg) {
@@ -436,6 +479,42 @@ func summarize(w io.Writer, results []result, wall time.Duration, timing *timing
 		fmt.Fprintf(w, "failure latency: p50=%s p99=%s max=%s\n",
 			pctOf(failLats, 0.50).Round(time.Microsecond), pctOf(failLats, 0.99).Round(time.Microsecond),
 			failLats[len(failLats)-1].Round(time.Microsecond))
+	}
+	// Per-target breakdown: with several -target entries, uneven p50s
+	// point at a hot node and failure counts at a sick one — the first
+	// question a scatter tier raises that a single-node summary hides.
+	perTarget := make(map[string]*targetAgg)
+	var targetNames []string
+	for _, r := range results {
+		if r.target == "" {
+			continue
+		}
+		agg := perTarget[r.target]
+		if agg == nil {
+			agg = &targetAgg{}
+			perTarget[r.target] = agg
+			targetNames = append(targetNames, r.target)
+		}
+		switch {
+		case r.err == nil && r.status == http.StatusOK:
+			agg.ok++
+			agg.lats = append(agg.lats, r.latency)
+		default:
+			agg.failed++
+		}
+	}
+	if len(targetNames) > 1 {
+		sort.Strings(targetNames)
+		for _, name := range targetNames {
+			agg := perTarget[name]
+			sort.Slice(agg.lats, func(a, b int) bool { return agg.lats[a] < agg.lats[b] })
+			fmt.Fprintf(w, "target %s: %d ok, %d failed", name, agg.ok, agg.failed)
+			if len(agg.lats) > 0 {
+				fmt.Fprintf(w, ", p50=%s p99=%s",
+					pctOf(agg.lats, 0.50).Round(time.Microsecond), pctOf(agg.lats, 0.99).Round(time.Microsecond))
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	// Server-assigned request IDs join client-side failures to the
 	// server's access log, error envelopes, and /debug/slow captures.

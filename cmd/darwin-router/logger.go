@@ -1,0 +1,25 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+)
+
+// newLogger matches darwind's logger wiring: text for operators, json
+// for pipelines, request_id on every access line either way.
+func newLogger(w *os.File, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}

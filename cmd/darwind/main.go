@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"darwin/internal/align"
+	"darwin/internal/cluster"
 	"darwin/internal/core"
 	"darwin/internal/dna"
 	"darwin/internal/faults"
@@ -85,6 +86,10 @@ func run() error {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects before admitting a probe build")
 	shedWatermark := flag.Float64("shed-watermark", 0.75, "queue-depth fraction that triggers batch-size shedding under sustained load")
 	leakCheck := flag.Bool("leak-check", false, "after drain, verify goroutines returned to the pre-serve baseline (exit 1 on leak)")
+	workerName := flag.String("worker-name", "", "cluster-worker mode: this process's name in the cluster map (requires -cluster-workers and a sharded engine)")
+	clusterWorkers := flag.String("cluster-workers", "", "cluster roster as name=url,name=url — must match darwin-router's -workers exactly")
+	clusterReplication := flag.Int("cluster-replication", 2, "replicas per shard in the cluster map — must match darwin-router")
+	scatterConcurrency := flag.Int("scatter-concurrency", 4, "max concurrent cluster scatter sub-requests (overflow → 429)")
 	faultSpec := flag.String("faults", "", "fault-injection spec (requires DARWIN_ALLOW_FAULTS=1); see internal/faults")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -150,6 +155,30 @@ func run() error {
 		defaultIndex = *indexWrite
 	}
 
+	var workerCfg server.WorkerConfig
+	if *workerName != "" {
+		ws, err := cluster.ParseWorkers(*clusterWorkers)
+		if err != nil {
+			return fmt.Errorf("-cluster-workers: %w", err)
+		}
+		cmap, err := cluster.NewMap(ws, *clusterReplication)
+		if err != nil {
+			return err
+		}
+		name := *workerName
+		workerCfg = server.WorkerConfig{
+			Enabled:            true,
+			Name:               name,
+			ScatterConcurrency: *scatterConcurrency,
+			// Ownership is derived from the actual index geometry at
+			// warm time: -shard-mem decides the shard count during the
+			// build, so it cannot be hashed before the index exists.
+			AssignShards: func(shards int) ([]int, error) { return cmap.OwnedBy(name, shards) },
+		}
+	} else if *clusterWorkers != "" {
+		return fmt.Errorf("-cluster-workers requires -worker-name")
+	}
+
 	srv := server.New(server.Config{
 		DefaultRef:     *refPath,
 		DefaultIndex:   defaultIndex,
@@ -174,6 +203,7 @@ func run() error {
 		BreakerCooldown:    *breakerCooldown,
 		Logger:             log,
 		SlowCapture:        *slowCapture,
+		Worker:             workerCfg,
 	})
 
 	// The leak-check baseline is taken after server assembly (batcher

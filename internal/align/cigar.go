@@ -86,6 +86,41 @@ func (c Cigar) String() string {
 	return b.String()
 }
 
+// ParseCigar parses CIGAR notation produced by Cigar.String — only the
+// M/I/D operations the GACT traceback emits, no clips — back into a
+// path. Round-tripping through String and ParseCigar is exact: Check's
+// canonical-form invariant (positive runs, adjacent runs merged) means
+// the string form carries the full step structure.
+func ParseCigar(s string) (Cigar, error) {
+	var c Cigar
+	i := 0
+	for i < len(s) {
+		j := i
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if j == i || j == len(s) {
+			return nil, fmt.Errorf("align: malformed cigar %q at offset %d", s, i)
+		}
+		n, err := strconv.Atoi(s[i:j])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("align: bad cigar run length in %q at offset %d", s, i)
+		}
+		op := Op(s[j])
+		switch op {
+		case OpMatch, OpIns, OpDel:
+		default:
+			return nil, fmt.Errorf("align: unsupported cigar op %q in %q", s[j], s)
+		}
+		if k := len(c); k > 0 && c[k-1].Op == op {
+			return nil, fmt.Errorf("align: non-canonical cigar %q: adjacent %c runs", s, op)
+		}
+		c = append(c, Step{op, n})
+		i = j + 1
+	}
+	return c, nil
+}
+
 // Reverse reverses the path in place and returns it (left extension
 // produces operations back-to-front).
 func (c Cigar) Reverse() Cigar {

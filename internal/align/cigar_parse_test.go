@@ -1,0 +1,44 @@
+package align
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCigarRoundTrip(t *testing.T) {
+	cases := []Cigar{
+		nil,
+		{{OpMatch, 12}},
+		{{OpMatch, 12}, {OpIns, 1}, {OpMatch, 3}},
+		{{OpDel, 2}, {OpMatch, 1000}, {OpDel, 1}, {OpIns, 7}},
+	}
+	for _, c := range cases {
+		got, err := ParseCigar(c.String())
+		if err != nil {
+			t.Fatalf("%q: %v", c.String(), err)
+		}
+		if len(c) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Errorf("%q: round-trip gave %v", c.String(), got)
+		}
+	}
+}
+
+func TestParseCigarRejects(t *testing.T) {
+	for _, s := range []string{
+		"M",     // missing length
+		"3",     // missing op
+		"0M",    // zero run
+		"-2M",   // negative run
+		"3M4M",  // non-canonical adjacent runs
+		"5S3M",  // clips are a SAM rendering, not a path op
+		"3M 4I", // whitespace
+		"4X",    // unsupported op
+	} {
+		if c, err := ParseCigar(s); err == nil {
+			t.Errorf("%q: parsed to %v, want error", s, c)
+		}
+	}
+}

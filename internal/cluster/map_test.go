@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestParseWorkers(t *testing.T) {
+	ws, err := ParseWorkers("w0=127.0.0.1:8851, w1=http://10.0.0.2:8852/,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Worker{
+		{Name: "w0", URL: "http://127.0.0.1:8851"},
+		{Name: "w1", URL: "http://10.0.0.2:8852"},
+	}
+	if !reflect.DeepEqual(ws, want) {
+		t.Fatalf("got %+v, want %+v", ws, want)
+	}
+	for _, bad := range []string{"", "w0", "=url", "w0=", ",,"} {
+		if _, err := ParseWorkers(bad); err == nil {
+			t.Errorf("ParseWorkers(%q): want error", bad)
+		}
+	}
+}
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(nil, 2); err == nil {
+		t.Error("empty roster: want error")
+	}
+	dup := []Worker{{Name: "w0"}, {Name: "w0"}}
+	if _, err := NewMap(dup, 1); err == nil {
+		t.Error("duplicate names: want error")
+	}
+	// Replication clamps to the roster size on both ends.
+	m, err := NewMap([]Worker{{Name: "a"}, {Name: "b"}}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Replication != 2 {
+		t.Errorf("replication clamp high: got %d, want 2", m.Replication)
+	}
+	m, _ = NewMap([]Worker{{Name: "a"}}, 0)
+	if m.Replication != 1 {
+		t.Errorf("replication clamp low: got %d, want 1", m.Replication)
+	}
+}
+
+func roster(n int) []Worker {
+	var ws []Worker
+	for i := 0; i < n; i++ {
+		ws = append(ws, Worker{Name: fmt.Sprintf("worker-%d", i), URL: fmt.Sprintf("http://w%d", i)})
+	}
+	return ws
+}
+
+// TestReplicasForDeterminism: a replica set is stable across calls,
+// holds exactly Replication distinct workers, and the primary is the
+// first entry.
+func TestReplicasForDeterminism(t *testing.T) {
+	m, err := NewMap(roster(5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 64
+	for s := 0; s < shards; s++ {
+		first := m.ReplicasFor(s)
+		if len(first) != 3 {
+			t.Fatalf("shard %d: %d replicas, want 3", s, len(first))
+		}
+		seen := make(map[int]bool)
+		for _, wi := range first {
+			if wi < 0 || wi >= 5 {
+				t.Fatalf("shard %d: replica index %d out of range", s, wi)
+			}
+			if seen[wi] {
+				t.Fatalf("shard %d: duplicate replica %d", s, wi)
+			}
+			seen[wi] = true
+		}
+		for trial := 0; trial < 3; trial++ {
+			if got := m.ReplicasFor(s); !reflect.DeepEqual(got, first) {
+				t.Fatalf("shard %d: replica set changed across calls: %v then %v", s, first, got)
+			}
+		}
+	}
+}
+
+// names resolves replica indices to worker names, which survive
+// roster reordering (indices do not).
+func names(m *Map, replicas []int) []string {
+	var out []string
+	for _, wi := range replicas {
+		out = append(out, m.Workers[wi].Name)
+	}
+	return out
+}
+
+// TestRendezvousStabilityOnRemove: removing a worker only reassigns
+// shards that worker replicated; every other shard keeps its exact
+// replica list — the minimal-disruption property that makes a static
+// map workable (a roster edit does not re-shuffle the cluster).
+func TestRendezvousStabilityOnRemove(t *testing.T) {
+	const shards = 128
+	full, err := NewMap(roster(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const removed = "worker-2"
+	var shrunk []Worker
+	for _, w := range full.Workers {
+		if w.Name != removed {
+			shrunk = append(shrunk, w)
+		}
+	}
+	small, err := NewMap(shrunk, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for s := 0; s < shards; s++ {
+		before := names(full, full.ReplicasFor(s))
+		after := names(small, small.ReplicasFor(s))
+		hadRemoved := false
+		for _, n := range before {
+			if n == removed {
+				hadRemoved = true
+			}
+		}
+		if hadRemoved {
+			moved++
+			continue
+		}
+		if !reflect.DeepEqual(before, after) {
+			t.Errorf("shard %d: replica set moved without cause: %v -> %v", s, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: removed worker replicated no shards")
+	}
+}
+
+// TestRendezvousStabilityOnAdd is the converse: a new worker only
+// claims shards it now scores into the top N; all others are untouched.
+func TestRendezvousStabilityOnAdd(t *testing.T) {
+	const shards = 128
+	base, err := NewMap(roster(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := Worker{Name: "worker-new", URL: "http://new"}
+	grown, err := NewMap(append(roster(4), added), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := 0
+	for s := 0; s < shards; s++ {
+		before := names(base, base.ReplicasFor(s))
+		after := names(grown, grown.ReplicasFor(s))
+		hasNew := false
+		for _, n := range after {
+			if n == added.Name {
+				hasNew = true
+			}
+		}
+		if hasNew {
+			claimed++
+			continue
+		}
+		if !reflect.DeepEqual(before, after) {
+			t.Errorf("shard %d: replica set moved without cause: %v -> %v", s, before, after)
+		}
+	}
+	if claimed == 0 {
+		t.Fatal("test vacuous: added worker claimed no shards")
+	}
+}
+
+// TestOwnedByMatchesReplicas: the worker-side ownership derivation is
+// exactly the router-side replica assignment — the property the boot
+// probe enforces over the wire.
+func TestOwnedByMatchesReplicas(t *testing.T) {
+	const shards = 64
+	m, err := NewMap(roster(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make(map[int]int)
+	for _, w := range m.Workers {
+		owned, err := m.OwnedBy(w.Name, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(owned); i++ {
+			if owned[i] <= owned[i-1] {
+				t.Fatalf("OwnedBy(%q) not strictly sorted: %v", w.Name, owned)
+			}
+		}
+		for _, s := range owned {
+			owners[s]++
+			found := false
+			for _, wi := range m.ReplicasFor(s) {
+				if m.Workers[wi].Name == w.Name {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("worker %q claims shard %d but is not in its replica set", w.Name, s)
+			}
+		}
+	}
+	for s := 0; s < shards; s++ {
+		if owners[s] != 2 {
+			t.Errorf("shard %d owned by %d workers, want 2", s, owners[s])
+		}
+	}
+	if _, err := m.OwnedBy("stranger", shards); err == nil {
+		t.Error("OwnedBy(unknown worker): want error")
+	}
+}

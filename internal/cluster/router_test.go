@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"darwin/internal/server"
+	"darwin/internal/shard"
+)
+
+// testCluster wires fake workers behind a probed router. The fakes
+// speak the real wire contract (GET /v1/shards, POST
+// /v1/cluster/scatter with server's JSON types), so these tests cover
+// the router's half of the protocol end to end without an index.
+type testCluster struct {
+	rt      *Router
+	cmap    *Map
+	workers []Worker
+}
+
+const (
+	testShards   = 2
+	testMaxCands = 8
+)
+
+var testRefMeta = server.RefMeta{
+	Names: []string{"chr1"}, Offsets: []int{0}, Lengths: []int{100}, TotalLen: 100,
+}
+
+var testGeo = server.GeometryMeta{
+	RefLen: 100, ShardSize: 50, Overlap: 0, BinSize: 16, Shards: testShards,
+}
+
+// startCluster boots one fake worker per scatter handler (named
+// "worker-0", "worker-1", ...) plus a probed router over them.
+// Handlers may be nil for a worker that answers scatters with empty
+// results.
+func startCluster(t *testing.T, cfg Config, scatter []http.HandlerFunc) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	// The map hashes names only, so replica sets are computable before
+	// the servers exist; handlers read ownership through this pointer
+	// once the roster (with real URLs) is final.
+	for i, fn := range scatter {
+		name := fmt.Sprintf("worker-%d", i)
+		if fn == nil {
+			fn = scatterRespond(nil)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+			owned, err := tc.cmap.OwnedBy(name, testShards)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			json.NewEncoder(w).Encode(server.ShardsResponse{
+				Worker: name, Owned: owned, Geometry: testGeo,
+				Ref: testRefMeta, MaxCandidates: testMaxCands,
+			})
+		})
+		mux.HandleFunc("/v1/cluster/scatter", fn)
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		tc.workers = append(tc.workers, Worker{Name: name, URL: srv.URL})
+	}
+	var err error
+	tc.cmap, err = NewMap(tc.workers, cfg.Replication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = tc.workers
+	tc.rt, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.rt.Probe(t.Context()); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	return tc
+}
+
+// scatterRespond answers a scatter request with the given candidates
+// on read 0's forward strand (every other read comes back empty).
+func scatterRespond(cands []shard.CandExt) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req server.ScatterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results := make([]shard.ReadScatter, len(req.Reads))
+		for i := range results {
+			results[i] = shard.ReadScatter{Read: i}
+		}
+		if len(results) > 0 {
+			results[0].Strand[0] = cands
+		}
+		json.NewEncoder(w).Encode(server.ScatterResponse{Results: results})
+	}
+}
+
+func postMap(t *testing.T, tc *testCluster, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	body := `{"reads":[{"name":"r1","seq":"ACGTACGTACGT"}]}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/map", strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	tc.rt.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestRouterIdentityPropagation: the ingress request ID and the
+// client's traceparent ride every scatter sub-request verbatim, and
+// the merged NDJSON line carries the same ID — one trace across hops.
+func TestRouterIdentityPropagation(t *testing.T) {
+	var mu sync.Mutex
+	type hop struct{ reqID, traceparent string }
+	var hops []hop
+	record := func(inner http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			hops = append(hops, hop{r.Header.Get("X-Request-ID"), r.Header.Get("traceparent")})
+			mu.Unlock()
+			inner(w, r)
+		}
+	}
+	tc := startCluster(t, Config{Replication: 1}, []http.HandlerFunc{
+		record(scatterRespond(nil)), record(scatterRespond(nil)),
+	})
+
+	const wantID = "req-ident-123"
+	const wantTP = "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	rec := postMap(t, tc, map[string]string{"X-Request-ID": wantID, "traceparent": wantTP})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Request-ID"); got != wantID {
+		t.Errorf("response X-Request-ID %q, want %q", got, wantID)
+	}
+	var line server.MapResponseLine
+	if err := json.Unmarshal(rec.Body.Bytes(), &line); err != nil {
+		t.Fatalf("response line: %v", err)
+	}
+	if line.RequestID != wantID {
+		t.Errorf("NDJSON request_id %q, want %q", line.RequestID, wantID)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hops) != testShards {
+		t.Fatalf("%d sub-requests, want %d", len(hops), testShards)
+	}
+	for i, h := range hops {
+		if h.reqID != wantID || h.traceparent != wantTP {
+			t.Errorf("hop %d: got (%q, %q), want (%q, %q)", i, h.reqID, h.traceparent, wantID, wantTP)
+		}
+	}
+}
+
+// TestRouterHedgeCancelsLoser: when the primary stalls, the hedge
+// fires the next replica, the replica's answer wins, and the stalled
+// primary's sub-request context is cancelled — the loser is abandoned,
+// not merged.
+func TestRouterHedgeCancelsLoser(t *testing.T) {
+	// Which worker is primary for a shard is hash-determined, so the
+	// stall adapts at request time: whichever worker is primary for
+	// the requested shard stalls until its context is cancelled, and
+	// the secondary answers. stall gates the behavior so the boot
+	// probe and map construction happen on fast paths.
+	var stall atomic.Bool
+	var cm *Map
+	cancelled := make(chan string, 4)
+	slowIfPrimary := func(idx int) http.HandlerFunc {
+		name := fmt.Sprintf("worker-%d", idx)
+		return func(w http.ResponseWriter, r *http.Request) {
+			var req server.ScatterRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if stall.Load() && cm.ReplicasFor(req.Shards[0])[0] == idx {
+				<-r.Context().Done()
+				cancelled <- name
+				return
+			}
+			results := make([]shard.ReadScatter, len(req.Reads))
+			for i := range results {
+				results[i] = shard.ReadScatter{Read: i}
+			}
+			json.NewEncoder(w).Encode(server.ScatterResponse{Results: results})
+		}
+	}
+	hedgeFiredBefore := cHedgeFired.Value()
+	hedgeWinsBefore := cHedgeWins.Value()
+	breakerOpensBefore := cBreakerOpens.Value()
+	// BreakerThreshold 1 makes the no-breaker-charge assertion below
+	// deterministic: if losing a hedge counted as a worker failure,
+	// one lost hedge would open the loser's breaker.
+	tc := startCluster(t, Config{Replication: 2, HedgeDelay: 5 * time.Millisecond, BreakerThreshold: 1},
+		[]http.HandlerFunc{slowIfPrimary(0), slowIfPrimary(1)})
+	cm = tc.cmap
+	stall.Store(true)
+
+	rec := postMap(t, tc, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body)
+	}
+	// Both shards' primaries stalled, so both hedges fired and won.
+	if got := cHedgeFired.Value() - hedgeFiredBefore; got != testShards {
+		t.Errorf("hedge_fired delta %d, want %d", got, testShards)
+	}
+	if got := cHedgeWins.Value() - hedgeWinsBefore; got != testShards {
+		t.Errorf("hedge_wins delta %d, want %d", got, testShards)
+	}
+	// The losers' contexts must be cancelled promptly — not left to
+	// dangle until the 60s request deadline.
+	for i := 0; i < testShards; i++ {
+		select {
+		case <-cancelled:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("loser %d of %d: context never cancelled", i+1, testShards)
+		}
+	}
+	// Losing a hedge is router-initiated cancellation, not a worker
+	// failure: the stalled-but-healthy primaries' breakers must stay
+	// closed, or routine hedging would eject slow workers. The loser's
+	// failure path runs just after its context cancels, so give it a
+	// beat before asserting nothing was charged.
+	time.Sleep(100 * time.Millisecond)
+	if got := cBreakerOpens.Value() - breakerOpensBefore; got != 0 {
+		t.Errorf("breaker_opens delta %d after lost hedges, want 0", got)
+	}
+	for _, ws := range tc.rt.workers {
+		if !ws.br.Allow() {
+			t.Errorf("worker %s breaker open after losing a hedge", ws.Name)
+		}
+	}
+}
+
+// TestRouterFailoverAndBreaker: a failing primary triggers immediate
+// failover (no hedge wait), and once its breaker opens the next
+// request skips it entirely.
+func TestRouterFailoverAndBreaker(t *testing.T) {
+	var mu sync.Mutex
+	hits := map[string]int{}
+	var failing atomic.Value // worker name that 500s every scatter
+	failing.Store("")
+	flaky := func(idx int) http.HandlerFunc {
+		name := fmt.Sprintf("worker-%d", idx)
+		ok := scatterRespond(nil)
+		return func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			hits[name]++
+			mu.Unlock()
+			if failing.Load().(string) == name {
+				http.Error(w, `{"code":"internal"}`, http.StatusInternalServerError)
+				return
+			}
+			ok(w, r)
+		}
+	}
+	tc := startCluster(t, Config{
+		Replication:      2,
+		HedgeDelay:       10 * time.Second, // hedging out of the picture: failover must not wait for it
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+	}, []http.HandlerFunc{flaky(0), flaky(1)})
+	// Break whichever worker is primary for shard 0, so at least one
+	// shard is guaranteed to exercise the failover path.
+	prim := tc.workers[tc.cmap.ReplicasFor(0)[0]].Name
+
+	failing.Store(prim)
+	start := time.Now()
+	if rec := postMap(t, tc, nil); rec.Code != http.StatusOK {
+		t.Fatalf("request 1: HTTP %d: %s", rec.Code, rec.Body)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("failover waited %v — it must not sit out the hedge delay", d)
+	}
+	mu.Lock()
+	afterFirst := hits[prim]
+	mu.Unlock()
+	if afterFirst == 0 {
+		t.Fatalf("%s is shard 0's primary but was never tried", prim)
+	}
+	// Threshold 1: that first failure opened the breaker; the next
+	// request must not touch the broken worker at all.
+	if rec := postMap(t, tc, nil); rec.Code != http.StatusOK {
+		t.Fatalf("request 2: HTTP %d: %s", rec.Code, rec.Body)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits[prim] != afterFirst {
+		t.Errorf("%s hit %d more times after its breaker opened", prim, hits[prim]-afterFirst)
+	}
+}
+
+// TestRouterExactlyOneMergeUnderRace: with a near-zero hedge delay
+// both replicas race to answer with identical candidates. If the
+// router ever merged both, shard.MergeReadScatters' duplicate guard
+// would fail the request — so N racing requests all succeeding proves
+// exactly-one-merge.
+func TestRouterExactlyOneMergeUnderRace(t *testing.T) {
+	// Replicas of the same shard answer identically (that is what makes
+	// them replicas), but different shards must answer disjointly — real
+	// shard cores partition the reference — so the candidate's RefPos is
+	// derived from the requested shard.
+	perShard := func(w http.ResponseWriter, r *http.Request) {
+		var req server.ScatterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results := make([]shard.ReadScatter, len(req.Reads))
+		for i := range results {
+			results[i] = shard.ReadScatter{Read: i}
+		}
+		results[0].Strand[0] = []shard.CandExt{{QueryPos: 3, RefPos: 7 + 40*req.Shards[0]}}
+		json.NewEncoder(w).Encode(server.ScatterResponse{Results: results})
+	}
+	tc := startCluster(t, Config{Replication: 2, HedgeDelay: time.Nanosecond}, []http.HandlerFunc{
+		perShard, perShard,
+	})
+	for i := 0; i < 25; i++ {
+		rec := postMap(t, tc, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("iteration %d: HTTP %d: %s — a double merge?", i, rec.Code, rec.Body)
+		}
+	}
+}
+
+// TestRouterProbeRejectsMismatch: a worker whose advertised ownership
+// disagrees with the shared map must fail the boot probe.
+func TestRouterProbeRejectsMismatch(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.ShardsResponse{
+			Worker: "worker-0", Owned: []int{0, 1}, // claims everything
+			Geometry: testGeo, Ref: testRefMeta, MaxCandidates: testMaxCands,
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	other := httptest.NewServer(mux) // wrong identity too
+	defer other.Close()
+	rt, err := New(Config{Workers: []Worker{
+		{Name: "worker-0", URL: srv.URL},
+		{Name: "worker-1", URL: other.URL},
+	}, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Probe(t.Context()); err == nil {
+		t.Fatal("probe accepted a worker whose ownership disagrees with the map")
+	}
+	if rt.Ready() {
+		t.Fatal("router ready after a failed probe")
+	}
+}

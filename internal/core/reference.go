@@ -85,6 +85,36 @@ func NewReferenceFromMeta(seq dna.Seq, names []string, offsets, lengths []int) (
 	return &Reference{seq: seq, names: names, offsets: offsets, lengths: lengths}, nil
 }
 
+// NewReferenceLayout builds a Reference carrying only the coordinate
+// layout — no resident sequence. This is the cluster router's view: it
+// translates global alignment spans back to per-sequence coordinates
+// (LocateSpan, Name) from a worker-advertised layout without ever
+// holding reference bases. total is the concatenated length the layout
+// describes; Seq returns nil, so only coordinate methods may be used.
+func NewReferenceLayout(names []string, offsets, lengths []int, total int) (*Reference, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: no reference sequences")
+	}
+	if len(offsets) != len(names) || len(lengths) != len(names) {
+		return nil, fmt.Errorf("core: %d names vs %d offsets vs %d lengths", len(names), len(offsets), len(lengths))
+	}
+	prevEnd := 0
+	for i := range names {
+		if lengths[i] <= 0 {
+			return nil, fmt.Errorf("core: reference sequence %q has non-positive length %d", names[i], lengths[i])
+		}
+		if offsets[i] < prevEnd {
+			return nil, fmt.Errorf("core: reference sequence %q at offset %d overlaps its predecessor ending at %d",
+				names[i], offsets[i], prevEnd)
+		}
+		prevEnd = offsets[i] + lengths[i]
+	}
+	if prevEnd > total {
+		return nil, fmt.Errorf("core: reference layout spans %d bases but the reference has %d", prevEnd, total)
+	}
+	return &Reference{names: names, offsets: offsets, lengths: lengths}, nil
+}
+
 // Seq returns the concatenated sequence the engine indexes.
 func (r *Reference) Seq() dna.Seq { return r.seq }
 

@@ -40,6 +40,7 @@ type Span struct {
 	dur      time.Duration
 	ended    bool
 	attrs    map[string]int64
+	labels   map[string]string
 	children []*Span
 	dropped  int
 }
@@ -189,6 +190,35 @@ func (s *Span) AddAttr(key string, v int64) {
 	s.mu.Unlock()
 }
 
+// SetLabel sets a string attribute, replacing any previous value.
+// Labels exist for cross-process hops: when a request leaves this
+// process (a router scattering to a cluster worker), the interesting
+// facts about the hop — which worker served it, what role it played —
+// are identities, not numbers, and squeezing them into int attrs
+// loses the join key into the remote process's logs.
+func (s *Span) SetLabel(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.labels == nil {
+		s.labels = make(map[string]string, 2)
+	}
+	s.labels[key] = value
+	s.mu.Unlock()
+}
+
+// Label returns a string attribute ("", false when absent or s is nil).
+func (s *Span) Label(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.labels[key]
+	return v, ok
+}
+
 // Attr returns an attribute value (0, false when absent or s is nil).
 func (s *Span) Attr(key string) (int64, bool) {
 	if s == nil {
@@ -204,14 +234,15 @@ func (s *Span) Attr(key string) (int64, bool) {
 // durations are microseconds — the stage-timing resolution the tile
 // pipeline needs (a GACT tile is hundreds of microseconds).
 type SpanSnapshot struct {
-	Name            string           `json:"name"`
-	RequestID       string           `json:"request_id,omitempty"`
-	StartUS         int64            `json:"start_us"`
-	DurationUS      int64            `json:"duration_us"`
-	InProgress      bool             `json:"in_progress,omitempty"`
-	Attrs           map[string]int64 `json:"attrs,omitempty"`
-	DroppedChildren int              `json:"dropped_children,omitempty"`
-	Children        []SpanSnapshot   `json:"children,omitempty"`
+	Name            string            `json:"name"`
+	RequestID       string            `json:"request_id,omitempty"`
+	StartUS         int64             `json:"start_us"`
+	DurationUS      int64             `json:"duration_us"`
+	InProgress      bool              `json:"in_progress,omitempty"`
+	Attrs           map[string]int64  `json:"attrs,omitempty"`
+	Labels          map[string]string `json:"labels,omitempty"`
+	DroppedChildren int               `json:"dropped_children,omitempty"`
+	Children        []SpanSnapshot    `json:"children,omitempty"`
 }
 
 // Snapshot deep-copies the tree rooted at s. Start offsets are
@@ -244,6 +275,12 @@ func (s *Span) snapshot(base time.Time) SpanSnapshot {
 		out.Attrs = make(map[string]int64, len(s.attrs))
 		for k, v := range s.attrs {
 			out.Attrs[k] = v
+		}
+	}
+	if len(s.labels) > 0 {
+		out.Labels = make(map[string]string, len(s.labels))
+		for k, v := range s.labels {
+			out.Labels[k] = v
 		}
 	}
 	kids := make([]*Span, len(s.children))

@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -231,4 +232,37 @@ func TestSlowRingNilSafety(t *testing.T) {
 		t.Fatal("nil ring misbehaved")
 	}
 	NewSlowRing(2).Offer(nil)
+}
+
+func TestSpanLabels(t *testing.T) {
+	s := NewRequestSpan("rid", "root")
+	hop := s.StartChild("cluster.scatter")
+	hop.SetLabel("worker", "worker-1")
+	hop.SetLabel("worker", "worker-2") // replaces
+	hop.End()
+	s.End()
+	if v, ok := hop.Label("worker"); !ok || v != "worker-2" {
+		t.Fatalf("Label = %q, %v; want worker-2, true", v, ok)
+	}
+	if _, ok := hop.Label("missing"); ok {
+		t.Fatal("missing label reported present")
+	}
+	snap := s.Snapshot()
+	if got := snap.Children[0].Labels["worker"]; got != "worker-2" {
+		t.Fatalf("snapshot label = %q, want worker-2", got)
+	}
+	// Labels must round-trip the snapshot's JSON form (it is served by
+	// /debug/slow) and stay nil-safe.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"labels":{"worker":"worker-2"}`) {
+		t.Fatalf("snapshot JSON missing labels: %s", b)
+	}
+	var nilSpan *Span
+	nilSpan.SetLabel("k", "v")
+	if _, ok := nilSpan.Label("k"); ok {
+		t.Fatal("nil span stored a label")
+	}
 }

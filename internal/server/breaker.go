@@ -96,7 +96,13 @@ func (b *Breaker) Success() {
 // Failure records a failed build: in the closed state it opens the
 // circuit once Threshold consecutive failures accumulate; a failed
 // half-open probe re-opens immediately.
-func (b *Breaker) Failure() {
+func (b *Breaker) Failure() { b.ReportFailure() }
+
+// ReportFailure is Failure that also reports whether this failure
+// transitioned the breaker to open — callers with their own
+// per-backend metrics (the cluster router) count open transitions
+// without polling State.
+func (b *Breaker) ReportFailure() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.failures++
@@ -107,12 +113,15 @@ func (b *Breaker) Failure() {
 			b.openedAt = time.Now()
 			cBreakerOpens.Inc()
 			gBreakerOpen.Add(1)
+			return true
 		}
 	case breakerHalfOpen:
 		b.state = breakerOpen
 		b.openedAt = time.Now()
 		cBreakerOpens.Inc()
+		return true
 	}
+	return false
 }
 
 // State returns the current state name (for tests and debug output).

@@ -1,0 +1,320 @@
+package server
+
+// Cluster-worker mode: the server-side half of distributed
+// scatter-gather. A worker is an ordinary darwind whose sharded engine
+// serves two extra endpoints — GET /v1/shards advertises which shards
+// this process owns plus everything a stateless router needs to merge
+// results (geometry, reference layout, truncation limit, index
+// fingerprint), and POST /v1/cluster/scatter runs a shard-scoped
+// sub-request via shard.ScatterShards, returning candidates and
+// extension outcomes in global coordinates. The router recombines them
+// with shard.MergeReadScatters; bit-identity to the monolith is proven
+// in internal/shard's tests and asserted end to end by
+// scripts/cluster_smoke.sh.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"darwin/internal/dna"
+	"darwin/internal/obs"
+	"darwin/internal/shard"
+)
+
+// Worker-mode observability.
+var (
+	cScatterReqs       = obs.Default.Counter("server/scatter_requests")
+	cScatterReqsFailed = obs.Default.Counter("server/scatter_requests_failed")
+	cScatterReads      = obs.Default.Counter("server/scatter_reads")
+	cScatterShed       = obs.Default.Counter("server/scatter_shed")
+	cScatterCanceled   = obs.Default.Counter("server/scatter_canceled")
+)
+
+// WorkerConfig enables and tunes cluster-worker mode.
+type WorkerConfig struct {
+	// Enabled turns the worker endpoints on.
+	Enabled bool
+	// Name is this worker's identity in the cluster map; it must match
+	// the name the router hashes shards against.
+	Name string
+	// OwnedShards are the shard indices this worker serves. Warm
+	// pre-acquires them and scatter requests for any other shard are
+	// rejected — ownership is a contract, not a hint, so a stale
+	// router cannot silently double-serve a shard.
+	OwnedShards []int
+	// AssignShards, when set, computes OwnedShards once the index is
+	// loaded and the true shard count is known (a -shard-mem geometry
+	// is not knowable before the build). cmd/darwind wires this to the
+	// cluster map's rendezvous assignment.
+	AssignShards func(shards int) ([]int, error)
+	// ScatterConcurrency bounds concurrent sub-requests (default 4);
+	// excess load sheds with 429 + Retry-After so the router's hedging
+	// and failover see backpressure instead of queueing.
+	ScatterConcurrency int
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.ScatterConcurrency <= 0 {
+		c.ScatterConcurrency = 4
+	}
+	return c
+}
+
+// RefMeta is the reference coordinate layout on the wire — enough for
+// a router to rebuild a layout-only core.Reference (LocateSpan, Name)
+// and the SAM @SQ header without holding any bases.
+type RefMeta struct {
+	Names    []string `json:"names"`
+	Offsets  []int    `json:"offsets"`
+	Lengths  []int    `json:"lengths"`
+	TotalLen int      `json:"total_len"`
+}
+
+// GeometryMeta is the shard geometry on the wire; routers compare it
+// across workers to refuse mixed-geometry clusters.
+type GeometryMeta struct {
+	RefLen    int `json:"ref_len"`
+	ShardSize int `json:"shard_size"`
+	Overlap   int `json:"overlap"`
+	BinSize   int `json:"bin_size"`
+	Shards    int `json:"shards"`
+}
+
+// ShardsResponse is the GET /v1/shards ownership advertisement.
+type ShardsResponse struct {
+	Worker        string       `json:"worker"`
+	Owned         []int        `json:"owned"`
+	Geometry      GeometryMeta `json:"geometry"`
+	Ref           RefMeta      `json:"ref"`
+	MaxCandidates int          `json:"max_candidates"`
+	// Fingerprint identifies the persistent index the worker serves
+	// from (hex; empty for FASTA-built indexes). Routers refuse
+	// clusters whose workers disagree.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// ScatterRequest is the POST /v1/cluster/scatter body: a read batch
+// scoped to a subset of this worker's shards.
+type ScatterRequest struct {
+	Shards    []int       `json:"shards"`
+	Reads     []ReadInput `json:"reads"`
+	TimeoutMS int         `json:"timeout_ms,omitempty"`
+}
+
+// ScatterResponse carries one ReadScatter per read, in request order.
+type ScatterResponse struct {
+	Worker  string              `json:"worker"`
+	Results []shard.ReadScatter `json:"results"`
+}
+
+// warmOwnedShards validates worker-mode wiring at boot and makes the
+// owned shards resident: the engine must be sharded, every owned index
+// must exist in the geometry, and the residency budget must admit each
+// owned table (Acquire builds or loads it now, so the budget shows its
+// hand before the server reports ready).
+func (s *Server) warmOwnedShards(ctx context.Context, entry *IndexEntry) error {
+	if entry.Shards == nil {
+		return fmt.Errorf("server: worker mode requires a sharded engine (-shards or -shard-mem)")
+	}
+	geo := entry.Shards.Geometry()
+	if s.cfg.Worker.AssignShards != nil {
+		owned, err := s.cfg.Worker.AssignShards(len(geo.Parts))
+		if err != nil {
+			return err
+		}
+		s.cfg.Worker.OwnedShards = owned
+	}
+	if len(s.cfg.Worker.OwnedShards) == 0 {
+		return fmt.Errorf("server: worker %q owns no shards under the cluster map", s.cfg.Worker.Name)
+	}
+	s.log.Info("cluster worker mode",
+		"worker", s.cfg.Worker.Name, "owned_shards", fmt.Sprint(s.cfg.Worker.OwnedShards),
+		"shards_total", len(geo.Parts))
+	for _, id := range s.cfg.Worker.OwnedShards {
+		if id < 0 || id >= len(geo.Parts) {
+			return fmt.Errorf("server: worker %q assigned shard %d but the index has %d shards",
+				s.cfg.Worker.Name, id, len(geo.Parts))
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := entry.Shards.Acquire(id); err != nil {
+			return fmt.Errorf("server: warming shard %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// ownsShard reports whether the worker serves shard id.
+func (s *Server) ownsShard(id int) bool {
+	for _, o := range s.cfg.Worker.OwnedShards {
+		if o == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(r.Context(), w, http.StatusMethodNotAllowed, CodeMethodNotAllow, "GET required")
+		return
+	}
+	entry := s.defaultEntry.Load()
+	if entry == nil || !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(r.Context(), w, http.StatusServiceUnavailable, CodeWarming, "index warming")
+		return
+	}
+	geo := entry.Shards.Geometry()
+	ref := entry.Ref
+	meta := RefMeta{TotalLen: len(ref.Seq())}
+	for i := 0; i < ref.NumSeqs(); i++ {
+		meta.Names = append(meta.Names, ref.Name(i))
+		meta.Offsets = append(meta.Offsets, ref.Offset(i))
+		meta.Lengths = append(meta.Lengths, ref.Len(i))
+	}
+	owned := append([]int(nil), s.cfg.Worker.OwnedShards...)
+	sort.Ints(owned)
+	resp := ShardsResponse{
+		Worker: s.cfg.Worker.Name,
+		Owned:  owned,
+		Geometry: GeometryMeta{
+			RefLen:    geo.RefLen,
+			ShardSize: geo.ShardSize,
+			Overlap:   geo.Overlap,
+			BinSize:   geo.BinSize,
+			Shards:    len(geo.Parts),
+		},
+		Ref:           meta,
+		MaxCandidates: s.cfg.Core.MaxCandidates,
+	}
+	if entry.Fingerprint != 0 {
+		resp.Fingerprint = fmt.Sprintf("%016x", entry.Fingerprint)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleScatter(w http.ResponseWriter, r *http.Request) {
+	rctx := r.Context()
+	cScatterReqs.Inc()
+	if r.Method != http.MethodPost {
+		cScatterReqsFailed.Inc()
+		httpError(rctx, w, http.StatusMethodNotAllowed, CodeMethodNotAllow, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		cScatterReqsFailed.Inc()
+		w.Header().Set("Retry-After", "5")
+		httpError(rctx, w, http.StatusServiceUnavailable, CodeDraining, "draining")
+		return
+	}
+	if !s.ready.Load() {
+		cScatterReqsFailed.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(rctx, w, http.StatusServiceUnavailable, CodeWarming, "index warming")
+		return
+	}
+	var req ScatterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		cScatterReqsFailed.Inc()
+		httpError(rctx, w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Reads) == 0 || len(req.Shards) == 0 {
+		cScatterReqsFailed.Inc()
+		httpError(rctx, w, http.StatusBadRequest, CodeBadRequest, "scatter needs reads and shards")
+		return
+	}
+	if len(req.Reads) > s.cfg.MaxReadsPerRequest {
+		cScatterReqsFailed.Inc()
+		httpError(rctx, w, http.StatusRequestEntityTooLarge, CodeTooManyReads,
+			"%d reads exceeds per-request limit %d", len(req.Reads), s.cfg.MaxReadsPerRequest)
+		return
+	}
+	for i, rd := range req.Reads {
+		if len(rd.Seq) == 0 {
+			cScatterReqsFailed.Inc()
+			httpError(rctx, w, http.StatusBadRequest, CodeBadRequest, "read %d (%q) has an empty sequence", i, rd.Name)
+			return
+		}
+	}
+	for _, id := range req.Shards {
+		if !s.ownsShard(id) {
+			cScatterReqsFailed.Inc()
+			httpError(rctx, w, http.StatusConflict, CodeShardNotOwned,
+				"worker %q does not own shard %d (stale cluster map?)", s.cfg.Worker.Name, id)
+			return
+		}
+	}
+	// Bounded admission: the router prefers a fast 429 it can fail
+	// over or hedge against to a queue that smears tail latency.
+	select {
+	case s.scatterSem <- struct{}{}:
+		defer func() { <-s.scatterSem }()
+	default:
+		cScatterShed.Inc()
+		cScatterReqsFailed.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(rctx, w, http.StatusTooManyRequests, CodeQueueFull, "scatter admission full, retry later")
+		return
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(rctx, timeout)
+	defer cancel()
+
+	entry := s.defaultEntry.Load()
+	mapper, err := entry.Acquire()
+	if err != nil {
+		cScatterReqsFailed.Inc()
+		httpError(rctx, w, http.StatusInternalServerError, CodeInternal, "engine clone: %v", err)
+		return
+	}
+	defer entry.Release(mapper)
+	sm, ok := mapper.(*shard.ScatterMapper)
+	if !ok {
+		cScatterReqsFailed.Inc()
+		httpError(rctx, w, http.StatusInternalServerError, CodeInternal, "worker engine is not sharded")
+		return
+	}
+	reads := make([]dna.Seq, len(req.Reads))
+	for i := range req.Reads {
+		reads[i] = req.Reads[i].Seq
+	}
+	cScatterReads.Add(int64(len(reads)))
+	results, err := sm.ScatterShards(ctx, reads, req.Shards, 1)
+	if err != nil {
+		switch {
+		case err == context.DeadlineExceeded || ctx.Err() == context.DeadlineExceeded:
+			cScatterReqsFailed.Inc()
+			httpError(rctx, w, http.StatusGatewayTimeout, CodeDeadline, "scatter deadline exceeded")
+		case errors.Is(err, context.Canceled) || rctx.Err() == context.Canceled:
+			// The router cancels losing hedge/failover attempts the
+			// moment a sibling wins; that is normal operation, not a
+			// worker failure, so it stays out of the failure counter
+			// and the 5xx (ERROR-level) access log. 499 is the
+			// client-closed-request convention.
+			cScatterCanceled.Inc()
+			httpError(rctx, w, 499, CodeCanceled, "scatter canceled by caller")
+		default:
+			cScatterReqsFailed.Inc()
+			httpError(rctx, w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(ScatterResponse{Worker: s.cfg.Worker.Name, Results: results})
+}

@@ -24,7 +24,10 @@ const (
 	CodeWarming         = "warming"
 	CodeNoIndex         = "no_index"
 	CodeDeadline        = "deadline_exceeded"
+	CodeCanceled        = "canceled"
 	CodeInternal        = "internal"
+	CodeShardNotOwned   = "shard_not_owned"
+	CodeScatterFailed   = "scatter_failed"
 )
 
 // ErrorBody is the structured JSON error envelope every non-200
@@ -41,6 +44,13 @@ type ErrorDetail struct {
 	Code      string `json:"code"`
 	Message   string `json:"message"`
 	RequestID string `json:"request_id,omitempty"`
+}
+
+// WriteError is the structured-error writer, exported so the cluster
+// router's responses carry the exact envelope the worker API does —
+// one error shape for clients regardless of which tier rejected them.
+func WriteError(ctx context.Context, w http.ResponseWriter, status int, code string, format string, args ...any) {
+	httpError(ctx, w, status, code, format, args...)
 }
 
 // httpError writes a structured JSON error with status code, carrying

@@ -88,6 +88,10 @@ type Config struct {
 	// their full span trees for the /debug/slow endpoint and the drain
 	// dump (default 16).
 	SlowCapture int
+	// Worker enables cluster-worker mode: the /v1/shards ownership
+	// endpoint and the shard-scoped /v1/cluster/scatter API a router
+	// fans sub-requests out to. Requires Shard to be enabled.
+	Worker WorkerConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +123,7 @@ func (c Config) withDefaults() Config {
 		c.SlowCapture = 16
 	}
 	c.Batch = c.Batch.withDefaults()
+	c.Worker = c.Worker.withDefaults()
 	return c
 }
 
@@ -141,6 +146,10 @@ type Server struct {
 	// reference fails fast without touching any other source's builds.
 	brMu     sync.Mutex
 	breakers map[string]*Breaker
+
+	// scatterSem bounds concurrent cluster sub-requests in worker mode
+	// (nil otherwise); a full semaphore sheds with 429 + Retry-After.
+	scatterSem chan struct{}
 }
 
 // New assembles a server; call Warm to load the default index and
@@ -165,6 +174,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.Handle("/metrics", obs.MetricsHandler(obs.Default))
 	s.mux.HandleFunc("/debug/slow", s.handleSlow)
+	if cfg.Worker.Enabled {
+		s.scatterSem = make(chan struct{}, cfg.Worker.ScatterConcurrency)
+		s.mux.HandleFunc("/v1/shards", s.handleShards)
+		s.mux.HandleFunc("/v1/cluster/scatter", s.handleScatter)
+	}
 	return s
 }
 
@@ -191,6 +205,15 @@ func (s *Server) Warm(ctx context.Context) error {
 	}
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if s.cfg.Worker.Enabled {
+		// Worker readiness includes the owned shards being resident:
+		// the first sub-request must be as fast as the millionth, and a
+		// geometry the cluster map disagrees with must fail boot, not
+		// the first scatter.
+		if err := s.warmOwnedShards(ctx, entry); err != nil {
+			return err
+		}
 	}
 	s.defaultEntry.Store(entry)
 	s.ready.Store(true)
@@ -612,9 +635,13 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	s.writeNDJSON(w, obs.RequestIDFromContext(rctx), entry, req, res.Results)
 }
 
-// recordsFor converts one read's alignments to SAM records — the same
-// emission logic as cmd/darwin, shared by both response formats.
-func recordsFor(entry *IndexEntry, name string, seq dna.Seq, alns []core.ReadAlignment, all bool) []sam.Record {
+// RecordsFor converts one read's alignments to SAM records — the same
+// emission logic as cmd/darwin, shared by both response formats and by
+// the cluster router (which holds only a layout Reference; ref's
+// coordinate methods are all this needs). Byte-identical SAM across
+// the monolith and the cluster hinges on every tier emitting through
+// this one function.
+func RecordsFor(ref *core.Reference, name string, seq dna.Seq, alns []core.ReadAlignment, all bool) []sam.Record {
 	if len(alns) == 0 {
 		return []sam.Record{{QName: name, Flag: sam.FlagUnmapped, Seq: seq}}
 	}
@@ -624,7 +651,7 @@ func recordsFor(entry *IndexEntry, name string, seq dna.Seq, alns []core.ReadAli
 	}
 	var out []sam.Record
 	for _, a := range emit {
-		seqIdx, localStart, _, err := entry.Ref.LocateSpan(a.Result.RefStart, a.Result.RefEnd)
+		seqIdx, localStart, _, err := ref.LocateSpan(a.Result.RefStart, a.Result.RefEnd)
 		if err != nil {
 			continue // degenerate cross-sequence span
 		}
@@ -637,7 +664,7 @@ func recordsFor(entry *IndexEntry, name string, seq dna.Seq, alns []core.ReadAli
 		out = append(out, sam.Record{
 			QName: name,
 			Flag:  flagBits,
-			RName: entry.Ref.Name(seqIdx),
+			RName: ref.Name(seqIdx),
 			Pos:   localStart,
 			MapQ:  60,
 			Cigar: sam.CigarWithClips(a.Result.Cigar, a.Result.QueryStart, a.Result.QueryEnd, len(outSeq)),
@@ -672,7 +699,7 @@ func (s *Server) writeNDJSON(w http.ResponseWriter, reqID string, entry *IndexEn
 				line = MapResponseLine{Read: rd.Name, Error: err.Error()}
 				break
 			}
-			recs := recordsFor(entry, rd.Name, rd.Seq, results[i].Alignments, req.All)
+			recs := RecordsFor(entry.Ref, rd.Name, rd.Seq, results[i].Alignments, req.All)
 			// Mapped reflects the emitted records, not the raw alignment
 			// count: recordsFor can drop every alignment (degenerate
 			// cross-sequence spans) and emit an unmapped placeholder.
@@ -714,7 +741,7 @@ func (s *Server) writeSAM(w http.ResponseWriter, entry *IndexEntry, req MapReque
 		if results[i].Err != nil {
 			alns = nil
 		}
-		for _, rec := range recordsFor(entry, rd.Name, rd.Seq, alns, req.All) {
+		for _, rec := range RecordsFor(entry.Ref, rd.Name, rd.Seq, alns, req.All) {
 			fmt.Fprintln(w, rec.Line())
 		}
 		if flusher != nil {

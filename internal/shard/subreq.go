@@ -1,0 +1,341 @@
+package shard
+
+// Sub-request contract for distributed scatter-gather. A cluster
+// router splits one read batch into per-shard sub-requests served by
+// shard-owning workers; each worker runs ScatterShards over the shards
+// it owns and returns every core-owned candidate in global reference
+// coordinates together with its GACT extension outcome. The router
+// then recombines the per-shard results with MergeReadScatters, which
+// reproduces the monolithic engine's candidate order, MaxCandidates
+// truncation, and alignment sort exactly — so the distributed answer
+// is bit-identical to core.Darwin no matter how the shards were
+// assigned to workers.
+//
+// The one structural difference from the in-process gather
+// (gatherRead) is where truncation happens. A worker sees only its own
+// shards' candidates, so it cannot know which of them survive the
+// global per-strand MaxCandidates cut; it therefore extends all of
+// them and ships the outcomes, and the router applies the global
+// truncation after the merge, discarding extensions of truncated
+// candidates. That is sound because a candidate's GACT extension is a
+// pure function of (reference, query, anchor) — independent of every
+// other candidate — and shard cores partition the reference, so no
+// candidate appears twice.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"darwin/internal/align"
+	"darwin/internal/core"
+	"darwin/internal/dna"
+	"darwin/internal/dsoft"
+	"darwin/internal/gact"
+	"darwin/internal/obs"
+)
+
+// CandExt is one D-SOFT candidate in global reference coordinates
+// plus its GACT extension outcome. JSON tags are deliberately short:
+// a sub-response carries one CandExt per candidate per read.
+type CandExt struct {
+	// QueryPos, RefPos anchor the candidate (RefPos is global).
+	QueryPos int `json:"q"`
+	RefPos   int `json:"r"`
+	// Ext reports that GACT extension ran without error. A false Ext
+	// mirrors the monolithic engine skipping a candidate whose anchor
+	// geometry is invalid: the candidate still occupies a truncation
+	// slot but contributes no work stats and no alignment.
+	Ext bool `json:"x,omitempty"`
+	// Aligned reports the extension survived the first-tile filter and
+	// produced an alignment (the fields below are then meaningful).
+	Aligned    bool   `json:"a,omitempty"`
+	Score      int    `json:"s,omitempty"`
+	RefStart   int    `json:"rs,omitempty"`
+	RefEnd     int    `json:"re,omitempty"`
+	QueryStart int    `json:"qs,omitempty"`
+	QueryEnd   int    `json:"qe,omitempty"`
+	Cigar      string `json:"c,omitempty"`
+	// FirstTileScore and the tile/cell counts are recorded whenever
+	// Ext is true, aligned or not, so the merge can rebuild the
+	// monolithic MapStats for the surviving candidate set.
+	FirstTileScore int   `json:"ft,omitempty"`
+	Tiles          int   `json:"t,omitempty"`
+	Cells          int64 `json:"cl,omitempty"`
+}
+
+// ReadScatter is one read's sub-response from one worker: all of the
+// worker's core-owned candidates for the read, split by strand
+// (forward, reverse-complement), each with its extension outcome.
+type ReadScatter struct {
+	// Read is the read's index within the originating batch.
+	Read int `json:"read"`
+	// Strand holds forward (0) and reverse-complement (1) candidates.
+	Strand [2][]CandExt `json:"strand"`
+	// Err poisons this read only (panic containment, injected fault);
+	// the rest of the sub-response remains valid.
+	Err string `json:"err,omitempty"`
+}
+
+// ScatterShards maps a batch against a subset of shards and returns
+// per-read candidate/extension lists instead of merged alignments —
+// the worker half of the distributed scatter-gather contract. Every
+// core-owned candidate is extended (no MaxCandidates truncation; see
+// the package comment) and reported, including failed extensions, so
+// the caller can apply the global truncation and still account every
+// candidate. Results are deterministic for any worker count: each
+// strand's candidates are sorted into (QueryPos, RefPos) order.
+//
+// Per-read failures (panics, the core/map_read fault point) land in
+// that read's ReadScatter.Err; batch-level failures (cancelled
+// context, shard build errors, shard IDs out of range) return an
+// error.
+func (m *ScatterMapper) ScatterShards(ctx context.Context, reads []dna.Seq, shardIDs []int, workers int) ([]ReadScatter, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(reads) {
+		workers = len(reads)
+	}
+	if len(reads) == 0 {
+		return []ReadScatter{}, nil
+	}
+	ids := append([]int(nil), shardIDs...)
+	sort.Ints(ids)
+	for i, id := range ids {
+		if id < 0 || id >= len(m.set.shards) {
+			return nil, fmt.Errorf("shard: scatter shard %d out of range [0,%d)", id, len(m.set.shards))
+		}
+		if i > 0 && ids[i-1] == id {
+			return nil, fmt.Errorf("shard: scatter shard %d listed twice", id)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := m.ensureWorkers(workers); err != nil {
+		return nil, err
+	}
+	_, mSpan := obs.StartSpan(ctx, "shard.scatter_shards")
+	defer mSpan.End()
+	mSpan.SetAttr("reads", int64(len(reads)))
+	mSpan.SetAttr("shards", int64(len(ids)))
+
+	revs := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		revs[i] = dna.RevComp(r)
+	}
+	acc := make([]perRead, len(reads))
+
+	// Scatter phase: identical to Map's, restricted to the given
+	// shards. Shard-major so each table is acquired once per batch.
+	scatterStart := time.Now()
+	for _, si := range ids {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		table, err := m.set.Acquire(si)
+		if err != nil {
+			return nil, err
+		}
+		part := m.set.shards[si].part
+		err = m.runStriped(ctx, workers, len(reads), func(w *workerState, i int) error {
+			if w.filter == nil {
+				f, ferr := dsoft.New(table, m.dcfg)
+				if ferr != nil {
+					return ferr
+				}
+				w.filter = f
+			} else if ferr := w.filter.SetTable(table); ferr != nil {
+				return ferr
+			}
+			pr := &acc[i]
+			if pr.err != nil {
+				return nil
+			}
+			if perr := m.scatterRead(w, pr, reads[i], revs[i], part); perr != nil {
+				pr.err = perr
+				w.filter = nil
+			}
+			return nil
+		})
+		for _, w := range m.workers[:workers] {
+			if w.filter != nil {
+				w.filter.SetTable(nil)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	tScatter.Observe(time.Since(scatterStart))
+
+	// Extension phase: extend every core-owned candidate untruncated
+	// and record outcomes instead of building alignments.
+	gatherStart := time.Now()
+	out := make([]ReadScatter, len(reads))
+	err := m.runStriped(ctx, workers, len(reads), func(w *workerState, i int) error {
+		out[i] = m.extendRead(w, i, reads[i], revs[i], &acc[i])
+		return nil
+	})
+	tGather.Observe(time.Since(gatherStart))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// extendRead runs the worker half of the gather for one read: sort
+// each strand's candidates, extend them all, and record outcomes.
+// Panic isolation and the core/map_read fault point mirror gatherRead,
+// so the distributed path exercises the same per-read containment.
+func (m *ScatterMapper) extendRead(w *workerState, i int, fwd, rev dna.Seq, pr *perRead) (out ReadScatter) {
+	defer func() {
+		if r := recover(); r != nil {
+			cReadPanics.Inc()
+			if e, eerr := gact.NewEngine(&m.gcfg); eerr == nil {
+				w.engine = e
+			}
+			out = ReadScatter{Read: i, Err: fmt.Sprintf("shard: read scatter-extend panicked: %v", r)}
+		}
+	}()
+	if pr.err != nil {
+		return ReadScatter{Read: i, Err: pr.err.Error()}
+	}
+	if err := fpMapRead.Fire(); err != nil {
+		return ReadScatter{Read: i, Err: err.Error()}
+	}
+	out = ReadScatter{Read: i}
+	for strand := range pr.strand {
+		cs := pr.strand[strand]
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].QueryPos != cs[b].QueryPos {
+				return cs[a].QueryPos < cs[b].QueryPos
+			}
+			return cs[a].RefPos < cs[b].RefPos
+		})
+		query := fwd
+		if strand == 1 {
+			query = rev
+		}
+		exts := make([]CandExt, 0, len(cs))
+		for _, c := range cs {
+			ce := CandExt{QueryPos: c.QueryPos, RefPos: c.RefPos}
+			res, gst, err := w.engine.Extend(m.set.ref, query, c.RefPos, c.QueryPos)
+			if err == nil {
+				ce.Ext = true
+				ce.FirstTileScore = gst.FirstTileScore
+				ce.Tiles = gst.Tiles
+				ce.Cells = gst.Cells
+				if res != nil {
+					ce.Aligned = true
+					ce.Score = res.Score
+					ce.RefStart = res.RefStart
+					ce.RefEnd = res.RefEnd
+					ce.QueryStart = res.QueryStart
+					ce.QueryEnd = res.QueryEnd
+					ce.Cigar = res.Cigar.String()
+				}
+			}
+			exts = append(exts, ce)
+		}
+		out.Strand[strand] = exts
+	}
+	return out
+}
+
+// MergeReadScatters recombines one read's sub-responses from disjoint
+// shard groups into the monolithic engine's result. parts must all
+// carry the same Read index and come from non-overlapping shard sets;
+// maxCandidates is the engine's per-strand truncation limit (0 = no
+// limit), which must match the configuration the monolithic engine
+// would have used.
+//
+// The merge reproduces the monolithic pipeline stage by stage: per
+// strand, concatenate and sort candidates by (QueryPos, RefPos) —
+// recovering the filter's emission order — count them, truncate to
+// maxCandidates, then keep the recorded extension outcomes of the
+// survivors and sort alignments with core.SortAlignments. MapStats
+// work fields (Candidates, PassedHTile, Tiles, Cells,
+// FirstTileScores) are rebuilt exactly; D-SOFT filter stats and stage
+// timings stay zero (they describe per-worker work, which scales with
+// the shard count and is reported by the workers' own metrics).
+func MergeReadScatters(maxCandidates int, parts []ReadScatter) (core.MapResult, error) {
+	if len(parts) == 0 {
+		return core.MapResult{}, fmt.Errorf("shard: merge of zero sub-responses")
+	}
+	read := parts[0].Read
+	for _, p := range parts {
+		if p.Read != read {
+			return core.MapResult{}, fmt.Errorf("shard: merging mismatched reads %d and %d", read, p.Read)
+		}
+		if p.Err != "" {
+			return core.MapResult{Index: read, Err: fmt.Errorf("shard: sub-request read failure: %s", p.Err)}, nil
+		}
+	}
+	var alns []core.ReadAlignment
+	var stats core.MapStats
+	for strand := 0; strand < 2; strand++ {
+		n := 0
+		for _, p := range parts {
+			n += len(p.Strand[strand])
+		}
+		cs := make([]CandExt, 0, n)
+		for _, p := range parts {
+			cs = append(cs, p.Strand[strand]...)
+		}
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].QueryPos != cs[b].QueryPos {
+				return cs[a].QueryPos < cs[b].QueryPos
+			}
+			return cs[a].RefPos < cs[b].RefPos
+		})
+		// Disjoint shard cores mean no candidate can arrive twice; a
+		// duplicate is a double-merge (the exactly-one-merge property
+		// violated upstream) and must fail loudly rather than skew
+		// truncation.
+		for i := 1; i < len(cs); i++ {
+			if cs[i].QueryPos == cs[i-1].QueryPos && cs[i].RefPos == cs[i-1].RefPos {
+				return core.MapResult{}, fmt.Errorf("shard: duplicate candidate (q=%d r=%d) in merge: sub-responses overlap", cs[i].QueryPos, cs[i].RefPos)
+			}
+		}
+		stats.Candidates += len(cs)
+		if maxCandidates > 0 && len(cs) > maxCandidates {
+			cs = cs[:maxCandidates]
+		}
+		for _, c := range cs {
+			if !c.Ext {
+				continue
+			}
+			stats.Tiles += c.Tiles
+			stats.Cells += c.Cells
+			stats.FirstTileScores = append(stats.FirstTileScores, c.FirstTileScore)
+			if !c.Aligned {
+				continue
+			}
+			stats.PassedHTile++
+			cig, err := align.ParseCigar(c.Cigar)
+			if err != nil {
+				return core.MapResult{}, fmt.Errorf("shard: candidate (q=%d r=%d): %w", c.QueryPos, c.RefPos, err)
+			}
+			alns = append(alns, core.ReadAlignment{
+				Result: align.Result{
+					Score:      c.Score,
+					RefStart:   c.RefStart,
+					RefEnd:     c.RefEnd,
+					QueryStart: c.QueryStart,
+					QueryEnd:   c.QueryEnd,
+					Cigar:      cig,
+				},
+				Reverse:        strand == 1,
+				FirstTileScore: c.FirstTileScore,
+			})
+		}
+	}
+	core.SortAlignments(alns)
+	return core.MapResult{Index: read, Alignments: alns, Stats: stats}, nil
+}

@@ -11,6 +11,11 @@
 #      -breaker-threshold attempts and fails fast with circuit_open
 #   6. SIGTERM darwind, assert clean drain AND goroutines back to the
 #      pre-serve baseline (-leak-check)
+#   7. index/load fault: a poisoned sidecar degrades to a FASTA rebuild
+#   8. cluster/scatter fault: a darwin-router whose scatter attempts
+#      fail must return structured errors, open per-worker breakers
+#      within -breaker-threshold, and recover through half-open probes
+#      once the fault budget is exhausted
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +28,7 @@ cleanup() {
 trap cleanup EXIT
 
 echo "chaos-smoke: building binaries"
-go build -o "$tmp/bin/" ./cmd/darwind ./cmd/darwin-client ./cmd/genomesim ./cmd/readsim ./cmd/darwin-index
+go build -o "$tmp/bin/" ./cmd/darwind ./cmd/darwin-client ./cmd/genomesim ./cmd/readsim ./cmd/darwin-index ./cmd/darwin-router
 
 echo "chaos-smoke: generating synthetic genome and reads"
 "$tmp/bin/genomesim" -len 150000 -seed 7 -out "$tmp/ref.fa" 2>/dev/null
@@ -185,3 +190,86 @@ if ! wait "$pid"; then
 fi
 pid=""
 echo "chaos-smoke: OK (poisoned index load degraded to a FASTA rebuild and served)"
+
+# ---------------------------------------------------------------------------
+# cluster/scatter fault: every scatter attempt out of the router fails
+# (per attempt = per backend) for a bounded budget. The router must
+# return structured errors, open per-worker breakers within
+# -breaker-threshold failures, and recover through half-open probes
+# once the budget is exhausted.
+# ---------------------------------------------------------------------------
+echo "chaos-smoke: cluster/scatter fault through darwin-router"
+"$tmp/bin/darwin-index" build -ref "$tmp/ref.fa" -out "$tmp/cluster.dwi" \
+    -k 11 -n 400 -h 20 -shards 2 2>/dev/null
+
+cluster_flags=(-ref "$tmp/ref.fa" -index "$tmp/cluster.dwi" -k 11 -n 400 -h 20 -shards 2 -batch-wait 2ms)
+roster_names='cw0=placeholder:1,cw1=placeholder:2'
+"$tmp/bin/darwind" -addr 127.0.0.1:0 "${cluster_flags[@]}" \
+    -worker-name cw0 -cluster-workers "$roster_names" -cluster-replication 2 2> "$tmp/cw0.log" &
+cw0_pid=$!
+"$tmp/bin/darwind" -addr 127.0.0.1:0 "${cluster_flags[@]}" \
+    -worker-name cw1 -cluster-workers "$roster_names" -cluster-replication 2 2> "$tmp/cw1.log" &
+cw1_pid=$!
+cleanup_cluster() {
+    for p in "$cw0_pid" "$cw1_pid"; do kill "$p" 2>/dev/null || true; done
+}
+trap 'cleanup_cluster; cleanup' EXIT
+
+wait_addr() {
+    local log=$1 p=$2 a=""
+    for _ in $(seq 1 300); do
+        a=$(sed -n 's|.*serving on http://\([^/]*\)/.*|\1|p' "$log" | head -1)
+        if [ -n "$a" ] && curl -fsS "http://$a/readyz" >/dev/null 2>&1; then
+            echo "$a"; return 0
+        fi
+        kill -0 "$p" 2>/dev/null || { cat "$log" >&2; return 1; }
+        sleep 0.1
+    done
+    cat "$log" >&2; return 1
+}
+cw0_addr=$(wait_addr "$tmp/cw0.log" "$cw0_pid")
+cw1_addr=$(wait_addr "$tmp/cw1.log" "$cw1_pid")
+
+# times=6 covers request 1 (2 shards x 2 replicas = 4 attempts) plus
+# the first half-open probes, then runs dry so recovery is observable.
+DARWIN_ALLOW_FAULTS=1 "$tmp/bin/darwin-router" -addr 127.0.0.1:0 \
+    -workers "cw0=$cw0_addr,cw1=$cw1_addr" -replication 2 \
+    -breaker-threshold 2 -breaker-cooldown 300ms -hedge-delay 5s \
+    -faults 'cluster/scatter=every=1,times=6,error=chaos scatter;seed=17' 2> "$tmp/router.log" &
+router_pid=$!
+trap 'kill "$router_pid" 2>/dev/null || true; cleanup_cluster; cleanup' EXIT
+router_addr=$(wait_addr "$tmp/router.log" "$router_pid")
+
+batch='{"reads":[{"name":"r","seq":"ACGTACGTACGTACGTACGTACGTACGT"}]}'
+body=$(curl -sS -X POST -d "$batch" "http://$router_addr/v1/map")
+if ! echo "$body" | grep -q '"code"'; then
+    echo "chaos-smoke: FAIL — router returned an unstructured error under faults: $body" >&2
+    exit 1
+fi
+opens=$(curl -fsS "http://$router_addr/metrics" \
+    | awk '/^darwin_cluster_breaker_opens_total /{print int($2)}')
+if [ -z "$opens" ] || [ "$opens" -lt 1 ]; then
+    echo "chaos-smoke: FAIL — scatter faults did not open a worker breaker (opens=$opens)" >&2
+    exit 1
+fi
+echo "chaos-smoke: scatter faults returned structured errors and opened $opens worker breaker(s)"
+
+# Recovery: once the fault budget is exhausted and the cooldown has
+# passed, half-open probes must close the breakers and serve again.
+recovered=""
+for _ in $(seq 1 40); do
+    if curl -fsS -X POST -d "$batch" "http://$router_addr/v1/map" >/dev/null 2>&1; then
+        recovered=1
+        break
+    fi
+    sleep 0.3
+done
+if [ -z "$recovered" ]; then
+    echo "chaos-smoke: FAIL — router never recovered after the fault budget ran dry:" >&2
+    cat "$tmp/router.log" >&2
+    exit 1
+fi
+echo "chaos-smoke: OK (router recovered through half-open probes after the fault budget ran dry)"
+kill -TERM "$router_pid" 2>/dev/null || true
+wait "$router_pid" 2>/dev/null || true
+cleanup_cluster
