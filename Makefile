@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard bench-traced bench-index benchdiff benchdiff-traced serve-smoke chaos-smoke index-smoke cluster-smoke metrics-lint clean
+.PHONY: build test check race vet test-allocs bench bench-core bench-kernel bench-shard bench-traced bench-index benchdiff benchdiff-traced serve-smoke chaos-smoke index-smoke cluster-smoke assembly-smoke metrics-lint clean
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ race:
 test-allocs:
 	$(GO) test -run 'ZeroSteadyStateAllocs' ./internal/align/
 
-check: vet race test-allocs serve-smoke chaos-smoke index-smoke cluster-smoke metrics-lint
+check: vet race test-allocs serve-smoke chaos-smoke index-smoke cluster-smoke assembly-smoke metrics-lint
 
 # End-to-end serving check: darwind on a synthetic genome, load from
 # darwin-client, non-empty SAM back, clean drain on SIGTERM.
@@ -53,6 +53,14 @@ index-smoke:
 # drain cleanly.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Assembly job API durability check: submit an assemble job, SIGTERM
+# darwind mid-overlap after a checkpoint lands, restart over the same
+# -jobs-dir, and require the job to resume from its checkpoint and
+# complete (resumed + resume_read in status, jobs/* metrics lint-clean,
+# darwin-client -jobs-target end-to-end).
+assembly-smoke:
+	./scripts/assembly_smoke.sh
 
 # Observability exposition check: a live darwind's /metrics must be
 # valid OpenMetrics with no duplicate or undeclared families, and

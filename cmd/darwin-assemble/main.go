@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"darwin/internal/core"
@@ -37,6 +40,7 @@ func run() error {
 	minOverlap := flag.Int("min-overlap", 1000, "minimum overlap length")
 	polishRounds := flag.Int("polish", 2, "consensus polishing rounds (0 disables)")
 	minContig := flag.Int("min-contig", 0, "discard contigs shorter than this")
+	reorder := flag.String("reorder", "off", "overlap-graph read reordering before layout: off, rcm, farthest")
 	out := flag.String("out", "", "output FASTA path (default stdout)")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -65,45 +69,37 @@ func run() error {
 		return err
 	}
 	seqs := make([]dna.Seq, len(recs))
-	readLens := make([]int, len(recs))
 	for i := range recs {
 		seqs[i] = recs[i].Seq
-		readLens[i] = len(recs[i].Seq)
+	}
+	mode, err := olc.ParseReorderMode(*reorder)
+	if err != nil {
+		return err
 	}
 
 	cfg := core.DefaultConfig(*k, *n, *h)
 	cfg.SeedStride = *stride
+	// SIGTERM/SIGINT cancels between pipeline steps.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
 	start := time.Now()
-	ovp, err := core.NewOverlapper(seqs, cfg)
+	asm, err := olc.Assemble(ctx, seqs,
+		olc.WithConfig(cfg),
+		olc.WithMinOverlap(*minOverlap),
+		olc.WithPolishRounds(*polishRounds),
+		olc.WithMinContig(*minContig),
+		olc.WithReorder(mode))
 	if err != nil {
 		return err
 	}
-	overlaps, stats := ovp.FindOverlaps(*minOverlap / 2)
 	fmt.Fprintf(os.Stderr, "darwin-assemble: overlap step %s (%d overlaps, table build %s)\n",
-		time.Since(start).Round(time.Millisecond), len(overlaps), stats.TableBuildTime.Round(time.Millisecond))
-
-	layout := olc.BuildLayout(readLens, overlaps)
-	fmt.Fprintf(os.Stderr, "darwin-assemble: layout %s\n", olc.Summarize(layout))
-
-	var outRecs []dna.Record
-	for ci, contig := range layout.Contigs {
-		if contig.Len < *minContig {
-			continue
-		}
-		seq := olc.Splice(seqs, contig)
-		for round := 0; round < *polishRounds && len(contig.Placements) > 1; round++ {
-			polished, err := olc.Polish(seq, seqs, cfg)
-			if err != nil {
-				return err
-			}
-			seq = polished
-		}
-		outRecs = append(outRecs, dna.Record{
-			Name: fmt.Sprintf("contig_%d", ci),
-			Desc: fmt.Sprintf("reads=%d len=%d", len(contig.Placements), len(seq)),
-			Seq:  seq,
-		})
+		time.Since(start).Round(time.Millisecond), len(asm.Overlaps), asm.OverlapStats.TableBuildTime.Round(time.Millisecond))
+	if r := asm.Reorder; r != nil {
+		fmt.Fprintf(os.Stderr, "darwin-assemble: reorder %s: bandwidth max %d -> %d, mean %.1f -> %.1f (%d edges)\n",
+			r.Mode, r.MaxBefore, r.MaxAfter, r.MeanBefore, r.MeanAfter, r.Edges)
 	}
+	fmt.Fprintf(os.Stderr, "darwin-assemble: layout %s\n", asm.Stats)
+	outRecs := asm.Contigs
 
 	w := os.Stdout
 	if *out != "" {

@@ -10,10 +10,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"darwin/internal/core"
 	"darwin/internal/dna"
@@ -85,7 +88,10 @@ func run() error {
 	cfg := varcall.DefaultConfig(core.DefaultConfig(*k, *n, *h))
 	cfg.MinDepth = *minDepth
 	cfg.MinFrac = *minFrac
-	calls, err := varcall.Call(ref, reads, cfg)
+	// SIGTERM/SIGINT cancels between reads.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	calls, err := varcall.CallContext(ctx, ref, reads, cfg)
 	if err != nil {
 		return err
 	}

@@ -155,9 +155,33 @@ func run() error {
 	retries := flag.Int("retries", 3, "max retries per request on 429/503/504 (0 disables)")
 	retryMaxWait := flag.Duration("retry-max-wait", 2*time.Second, "cap on a single retry backoff wait")
 	strict := flag.Bool("strict", false, "validate 200 NDJSON responses; malformed or per-read error lines fail the run")
+	jobsTarget := flag.String("jobs-target", "", "assembly-job mode: submit -reads as a job to this darwind (host:port or URL), poll it, fetch the result")
+	jobKind := flag.String("job-kind", "assemble", "job mode: overlap or assemble")
+	jobReorder := flag.String("job-reorder", "", "job mode: read-reordering pass (off, rcm, farthest)")
+	jobMinOverlap := flag.Int("job-min-overlap", 0, "job mode: nominal minimum overlap length (0 = server default)")
+	jobPolish := flag.Int("job-polish", -1, "job mode: polishing rounds (-1 = server default)")
+	jobMinContig := flag.Int("job-min-contig", 0, "job mode: drop contigs shorter than this")
+	jobPoll := flag.Duration("job-poll", 500*time.Millisecond, "job mode: status poll interval")
+	jobOut := flag.String("job-out", "", "job mode: write the result stream here (default stdout)")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	if *jobsTarget != "" {
+		if *readsPath == "" {
+			return fmt.Errorf("-jobs-target requires -reads")
+		}
+		return runJobMode(jobModeConfig{
+			target:     *jobsTarget,
+			readsPath:  *readsPath,
+			kind:       *jobKind,
+			reorder:    *jobReorder,
+			minOverlap: *jobMinOverlap,
+			polish:     *jobPolish,
+			minContig:  *jobMinContig,
+			poll:       *jobPoll,
+			out:        *jobOut,
+		})
+	}
 	if (*addr == "" && *targetSpec == "") || *readsPath == "" {
 		return fmt.Errorf("-addr (or -target) and -reads are required")
 	}

@@ -23,6 +23,7 @@ import (
 	"darwin/internal/dna"
 	"darwin/internal/faults"
 	"darwin/internal/obs"
+	"darwin/internal/olc"
 )
 
 func main() {
@@ -80,10 +81,6 @@ func run() error {
 
 	cfg := core.DefaultConfig(*k, *n, *h)
 	cfg.SeedStride = *stride
-	ov, err := core.NewOverlapper(seqs, cfg)
-	if err != nil {
-		return err
-	}
 	if *progressEvery > 0 {
 		p := obs.StartProgress(os.Stderr, "darwin-overlap", "reads",
 			obs.Default.Counter("overlap/reads_done"), int64(len(seqs)), int64(*progressEvery))
@@ -93,7 +90,8 @@ func run() error {
 	// are still written, so a long run interrupted late is not wasted.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	overlaps, stats, cerr := ov.FindOverlapsContext(ctx, *minOverlap)
+	overlaps, stats, cerr := olc.Overlap(ctx, seqs,
+		olc.WithConfig(cfg), olc.WithMinOverlap(*minOverlap))
 	if cerr != nil && !errors.Is(cerr, context.Canceled) {
 		return cerr
 	}

@@ -42,6 +42,7 @@ import (
 	"darwin/internal/dna"
 	"darwin/internal/faults"
 	"darwin/internal/indexio"
+	"darwin/internal/jobs"
 	"darwin/internal/obs"
 	"darwin/internal/server"
 	"darwin/internal/shard"
@@ -90,6 +91,9 @@ func run() error {
 	clusterWorkers := flag.String("cluster-workers", "", "cluster roster as name=url,name=url — must match darwin-router's -workers exactly")
 	clusterReplication := flag.Int("cluster-replication", 2, "replicas per shard in the cluster map — must match darwin-router")
 	scatterConcurrency := flag.Int("scatter-concurrency", 4, "max concurrent cluster scatter sub-requests (overflow → 429)")
+	jobsDir := flag.String("jobs-dir", "", "enable the assembly job API, persisting jobs under this directory")
+	jobsConcurrency := flag.Int("jobs-concurrency", 1, "max simultaneously executing assembly jobs")
+	jobsCkptEvery := flag.Int("jobs-checkpoint-every", 16, "overlap-stage checkpoint cadence in reads")
 	faultSpec := flag.String("faults", "", "fault-injection spec (requires DARWIN_ALLOW_FAULTS=1); see internal/faults")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -179,6 +183,19 @@ func run() error {
 		return fmt.Errorf("-cluster-workers requires -worker-name")
 	}
 
+	var jobMgr *jobs.Manager
+	if *jobsDir != "" {
+		jobMgr, err = jobs.New(jobs.Config{
+			Dir:             *jobsDir,
+			Concurrency:     *jobsConcurrency,
+			CheckpointEvery: *jobsCkptEvery,
+			Logger:          log,
+		})
+		if err != nil {
+			return fmt.Errorf("jobs manager: %w", err)
+		}
+	}
+
 	srv := server.New(server.Config{
 		DefaultRef:     *refPath,
 		DefaultIndex:   defaultIndex,
@@ -204,6 +221,7 @@ func run() error {
 		Logger:             log,
 		SlowCapture:        *slowCapture,
 		Worker:             workerCfg,
+		Jobs:               jobMgr,
 	})
 
 	// The leak-check baseline is taken after server assembly (batcher
@@ -216,6 +234,19 @@ func run() error {
 		return fmt.Errorf("warming default index: %w", err)
 	}
 	log.Info("default index warm", "k", *k, "took", time.Since(warmStart).Round(time.Millisecond))
+
+	if jobMgr != nil {
+		// Recovery after warm: resumed jobs start executing immediately,
+		// and their overlap passes should not race the index build for
+		// CPU during startup.
+		restarted, err := jobMgr.Recover()
+		if err != nil {
+			return fmt.Errorf("job recovery: %w", err)
+		}
+		if restarted > 0 {
+			log.Info("jobs recovered from previous process", "restarted", restarted)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -230,7 +261,11 @@ func run() error {
 	}()
 	// The message keeps the full URL inline (not an attr): the smoke
 	// scripts and operators scrape the bound address out of this line.
-	log.Info(fmt.Sprintf("serving on http://%s/ (POST /v1/map, /healthz, /readyz, /metrics, /v1/stats)", ln.Addr()))
+	endpoints := "POST /v1/map, /healthz, /readyz, /metrics, /v1/stats"
+	if jobMgr != nil {
+		endpoints += ", /v1/jobs"
+	}
+	log.Info(fmt.Sprintf("serving on http://%s/ (%s)", ln.Addr(), endpoints))
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
@@ -252,6 +287,14 @@ func run() error {
 	}
 	if err := srv.Drain(ctx); err != nil {
 		return fmt.Errorf("batcher drain: %w", err)
+	}
+	if jobMgr != nil {
+		// Job drain cancels running pipelines; each saves a final
+		// checkpoint at its cancellation boundary, so the next process
+		// resumes instead of restarting.
+		if err := jobMgr.Drain(ctx); err != nil {
+			return fmt.Errorf("jobs drain: %w", err)
+		}
 	}
 	log.Info("drain complete, all in-flight work flushed")
 	dumpSlowCaptures(log, srv.SlowCaptures())

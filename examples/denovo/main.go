@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -93,7 +94,11 @@ func run() error {
 		"darwin (ASIC)", hwSec, dalTime.Seconds()/hwSec)
 
 	// --- Layout + consensus ------------------------------------------
-	layout := olc.BuildLayout(readLens, overlaps)
+	ctx := context.Background()
+	layout, err := olc.BuildLayoutContext(ctx, readLens, overlaps)
+	if err != nil {
+		return err
+	}
 	st := olc.Summarize(layout)
 	fmt.Printf("Layout: %s\n", st)
 	contig := olc.Splice(seqs, layout.Contigs[0])
@@ -123,7 +128,7 @@ func run() error {
 	// the vast majority of read errors").
 	polished := contig
 	for round := 0; round < 2; round++ {
-		polished, err = olc.Polish(polished, seqs, core.DefaultConfig(12, readLen/3, 24))
+		polished, err = olc.PolishContext(ctx, polished, seqs, core.DefaultConfig(12, readLen/3, 24))
 		if err != nil {
 			return err
 		}

@@ -125,16 +125,111 @@ func (o *Overlapper) FindOverlaps(minOverlap int) ([]Overlap, OverlapStats) {
 // returns the overlaps found so far together with ctx.Err(), so a
 // partial run still yields usable output.
 func (o *Overlapper) FindOverlapsContext(ctx context.Context, minOverlap int) ([]Overlap, OverlapStats, error) {
+	return o.FindOverlapsResumable(ctx, minOverlap, nil, 0, nil)
+}
+
+// OverlapCheckpoint is a resumable snapshot of an overlap pass taken
+// at a read boundary: every read below NextRead has been queried (both
+// strands) and Overlaps holds the best overlap per (pair, orientation)
+// seen so far in canonical order. Because reads are processed in index
+// order and deduplication keeps only the best-scoring overlap per key,
+// resuming from a checkpoint yields output bit-identical to an
+// uninterrupted run.
+type OverlapCheckpoint struct {
+	// NextRead is the first read index not yet processed.
+	NextRead int
+	// Overlaps is the deduplicated best-so-far set, in the same
+	// canonical order FindOverlaps returns.
+	Overlaps []Overlap
+}
+
+// Done reports whether the checkpoint covers all n reads.
+func (c *OverlapCheckpoint) Done(n int) bool { return c != nil && c.NextRead >= n }
+
+// overlapKey identifies one deduplication slot: an unordered read pair
+// in one relative orientation.
+type overlapKey struct {
+	a, b int
+	rev  bool
+}
+
+func keyOf(ov *Overlap) overlapKey {
+	lo, hi := ov.Pair()
+	return overlapKey{lo, hi, ov.QueryRev}
+}
+
+// FindOverlapsResumable is FindOverlapsContext with checkpointing:
+// when resume is non-nil, reads below resume.NextRead are skipped and
+// the deduplication state is rebuilt from resume.Overlaps; when save
+// is non-nil it receives a fresh checkpoint every `every` reads (and
+// once more on cancellation, so an interrupted pass always leaves its
+// latest read boundary behind). A non-nil error from save aborts the
+// pass — callers that want best-effort checkpointing swallow the
+// error in the callback.
+func (o *Overlapper) FindOverlapsResumable(ctx context.Context, minOverlap int, resume *OverlapCheckpoint, every int, save func(OverlapCheckpoint) error) ([]Overlap, OverlapStats, error) {
+	return o.Run(ctx, OverlapRun{
+		MinOverlap:      minOverlap,
+		Resume:          resume,
+		CheckpointEvery: every,
+		Save:            save,
+	})
+}
+
+// OverlapRun configures one overlap pass: the reporting threshold plus
+// the optional resume point, checkpoint cadence, and progress hook.
+type OverlapRun struct {
+	// MinOverlap is the minimum reported overlap length on the target
+	// read.
+	MinOverlap int
+	// Resume, when non-nil, restarts the pass at Resume.NextRead with
+	// the deduplication state rebuilt from Resume.Overlaps.
+	Resume *OverlapCheckpoint
+	// CheckpointEvery is how many reads between Save calls (0 disables
+	// periodic saves; a cancellation save still fires when Save is set).
+	CheckpointEvery int
+	// Save receives checkpoints. A non-nil return aborts the pass with
+	// that error; best-effort checkpointing swallows errors inside the
+	// callback.
+	Save func(OverlapCheckpoint) error
+	// Progress, when non-nil, is called after each read completes with
+	// the cumulative count (including reads skipped via Resume).
+	Progress func(done, total int)
+}
+
+// Run executes the overlap pass described by r. Stats cover only the
+// reads processed by this call: a resumed pass reports the remaining
+// work, not the pre-checkpoint history.
+func (o *Overlapper) Run(ctx context.Context, r OverlapRun) ([]Overlap, OverlapStats, error) {
 	stats := OverlapStats{TableBuildTime: o.darwin.TableBuildTime}
-	type key struct {
-		a, b int
-		rev  bool
-	}
 	var ctxErr error
-	best := map[key]Overlap{}
-	for q := range o.reads {
+	best := map[overlapKey]Overlap{}
+	startRead := 0
+	if r.Resume != nil {
+		if r.Resume.NextRead > 0 {
+			startRead = r.Resume.NextRead
+		}
+		for i := range r.Resume.Overlaps {
+			ov := r.Resume.Overlaps[i]
+			k := keyOf(&ov)
+			if cur, ok := best[k]; !ok || ov.Score > cur.Score {
+				best[k] = ov
+			}
+		}
+	}
+	minOverlap := r.MinOverlap
+	snapshot := func(nextRead int) OverlapCheckpoint {
+		return OverlapCheckpoint{NextRead: nextRead, Overlaps: collectOverlaps(best)}
+	}
+	for q := startRead; q < len(o.reads); q++ {
 		if err := ctx.Err(); err != nil {
 			ctxErr = err
+			// A final checkpoint at the cancellation boundary: read q has
+			// not been processed, so the interrupted pass resumes there.
+			if r.Save != nil {
+				if serr := r.Save(snapshot(q)); serr != nil {
+					ctxErr = serr
+				}
+			}
 			break
 		}
 		endSpan := obs.Trace.Start("overlap.read")
@@ -165,8 +260,7 @@ func (o *Overlapper) FindOverlapsContext(ctx context.Context, minOverlap int) ([
 					QueryEnd:    a.Result.QueryEnd,
 					Score:       a.Result.Score,
 				}
-				lo, hi := ov.Pair()
-				k := key{lo, hi, a.Reverse}
+				k := keyOf(&ov)
 				if cur, ok := best[k]; !ok || ov.Score > cur.Score {
 					best[k] = ov
 				}
@@ -174,7 +268,25 @@ func (o *Overlapper) FindOverlapsContext(ctx context.Context, minOverlap int) ([
 		}
 		endSpan()
 		cOverlapReads.Inc()
+		if r.Progress != nil {
+			r.Progress(q+1, len(o.reads))
+		}
+		if r.Save != nil && r.CheckpointEvery > 0 && (q+1)%r.CheckpointEvery == 0 && q+1 < len(o.reads) {
+			if serr := r.Save(snapshot(q + 1)); serr != nil {
+				return collectOverlaps(best), stats, serr
+			}
+		}
 	}
+	out := collectOverlaps(best)
+	cOverlapsOut.Add(int64(len(out)))
+	return out, stats, ctxErr
+}
+
+// collectOverlaps flattens the deduplication map into the canonical
+// output order: unordered pair ascending, forward orientation first.
+// The map is keyed by (pair, orientation), so this order is total and
+// the output is deterministic regardless of map iteration order.
+func collectOverlaps(best map[overlapKey]Overlap) []Overlap {
 	out := make([]Overlap, 0, len(best))
 	for _, ov := range best {
 		out = append(out, ov)
@@ -190,6 +302,12 @@ func (o *Overlapper) FindOverlapsContext(ctx context.Context, minOverlap int) ([
 		}
 		return !out[a].QueryRev && out[b].QueryRev
 	})
-	cOverlapsOut.Add(int64(len(out)))
-	return out, stats, ctxErr
+	return out
 }
+
+// NumReads returns the number of reads the overlapper was built over.
+func (o *Overlapper) NumReads() int { return len(o.reads) }
+
+// Reads returns the read set the overlapper indexes (shared, not a
+// copy — callers must not mutate).
+func (o *Overlapper) Reads() []dna.Seq { return o.reads }

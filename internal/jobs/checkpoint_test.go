@@ -1,0 +1,122 @@
+package jobs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"darwin/internal/core"
+	"darwin/internal/dna"
+)
+
+func testCheckpoint() core.OverlapCheckpoint {
+	return core.OverlapCheckpoint{
+		NextRead: 7,
+		Overlaps: []core.Overlap{
+			{Target: 0, Query: 3, TargetStart: 100, TargetEnd: 900, QueryStart: 0, QueryEnd: 800, Score: 750},
+			{Target: 1, Query: 2, QueryRev: true, TargetStart: 5, TargetEnd: 505, QueryStart: 10, QueryEnd: 510, Score: 480},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.dwc")
+	want := testCheckpoint()
+	const fp = 0xDEADBEEFCAFE
+	if err := WriteCheckpoint(path, fp, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextRead != want.NextRead || len(got.Overlaps) != len(want.Overlaps) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	for i := range want.Overlaps {
+		if got.Overlaps[i] != want.Overlaps[i] {
+			t.Errorf("overlap %d: got %+v, want %+v", i, got.Overlaps[i], want.Overlaps[i])
+		}
+	}
+}
+
+func TestCheckpointEmptyOverlaps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.dwc")
+	if err := WriteCheckpoint(path, 1, core.OverlapCheckpoint{NextRead: 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextRead != 3 || len(got.Overlaps) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestCheckpointCorruption: every corruption class must surface as a
+// CheckpointError with its stable code — the contract the recovery
+// path and the HTTP error envelope depend on.
+func TestCheckpointCorruption(t *testing.T) {
+	write := func(t *testing.T) (string, []byte) {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "checkpoint.dwc")
+		if err := WriteCheckpoint(path, 42, testCheckpoint()); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path, data
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		fp      uint64
+		wantErr string
+	}{
+		{"bad magic", func(d []byte) []byte { d[0] ^= 0xFF; return d }, 42, CodeBadMagic},
+		{"bad version", func(d []byte) []byte { d[4] = 99; return d }, 42, CodeBadVersion},
+		{"truncated header", func(d []byte) []byte { return d[:10] }, 42, CodeTruncated},
+		{"truncated records", func(d []byte) []byte { return d[:len(d)-20] }, 42, CodeTruncated},
+		{"payload bit flip", func(d []byte) []byte { d[40] ^= 0x01; return d }, 42, CodeChecksumMismatch},
+		{"wrong fingerprint", func(d []byte) []byte { return d }, 43, CodePayloadMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path, data := write(t)
+			if err := os.WriteFile(path, tc.mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ReadCheckpoint(path, tc.fp)
+			if err == nil {
+				t.Fatal("corrupt checkpoint read back clean")
+			}
+			if !IsCheckpointError(err) {
+				t.Fatalf("error %v is not a CheckpointError", err)
+			}
+			var ce *CheckpointError
+			if !errors.As(err, &ce) || ce.Code != tc.wantErr {
+				t.Errorf("code = %v, want %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestReadsFingerprintSensitivity(t *testing.T) {
+	a := []dna.Seq{dna.Seq("ACGTACGT"), dna.Seq("TTTT")}
+	b := []dna.Seq{dna.Seq("ACGTACGT"), dna.Seq("TTTA")}
+	c := []dna.Seq{dna.Seq("ACGTACG"), dna.Seq("TTTTT")} // same concatenation length
+	if ReadsFingerprint(a) == ReadsFingerprint(b) {
+		t.Error("fingerprint blind to base change")
+	}
+	if ReadsFingerprint(a) == ReadsFingerprint(c) {
+		t.Error("fingerprint blind to read boundaries")
+	}
+	if ReadsFingerprint(a) != ReadsFingerprint(a) {
+		t.Error("fingerprint not deterministic")
+	}
+}

@@ -14,6 +14,7 @@
 package olc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -75,16 +76,81 @@ func (f *fragment) span(readLens []int) (int, int) {
 
 // BuildLayout constructs contigs from overlaps. readLens gives each
 // read's length.
+//
+// Deprecated: use BuildLayoutContext, which adds cooperative
+// cancellation. This wrapper is bit-identical to the context form.
 func BuildLayout(readLens []int, overlaps []core.Overlap) *Layout {
+	l, _ := buildLayout(context.Background(), readLens, overlaps, nil)
+	return l
+}
+
+// BuildLayoutContext is BuildLayout with cooperative cancellation: ctx
+// is checked periodically during the greedy merge, and cancellation
+// returns ctx.Err() with a nil layout.
+func BuildLayoutContext(ctx context.Context, readLens []int, overlaps []core.Overlap) (*Layout, error) {
+	return buildLayout(ctx, readLens, overlaps, nil)
+}
+
+// buildLayout is the one greedy-layout implementation. order, when
+// non-nil, is a processing permutation (order[p] = original read index
+// handled at position p): the layout's working arrays are indexed in
+// permuted space — the cache-locality win of reordering — while every
+// tie-break is keyed on original read indices, so the merge decisions
+// (and therefore the returned layout, which is always expressed in
+// original indices) are identical for every permutation.
+func buildLayout(ctx context.Context, readLens []int, overlaps []core.Overlap, order []int) (*Layout, error) {
 	defer tLayout.Time()()
 	defer obs.Trace.Start("olc.layout")()
-	ovs := append([]core.Overlap(nil), overlaps...)
-	sort.Slice(ovs, func(x, y int) bool { return ovs[x].Score > ovs[y].Score })
+	n := len(readLens)
+	if order != nil && len(order) != n {
+		return nil, fmt.Errorf("olc: layout order has %d entries for %d reads", len(order), n)
+	}
+	// pos maps original read index → processing position; identity when
+	// no reorder is in effect.
+	pos := make([]int, n)
+	lens := make([]int, n)
+	if order == nil {
+		for i := 0; i < n; i++ {
+			pos[i] = i
+			lens[i] = readLens[i]
+		}
+	} else {
+		for p, orig := range order {
+			pos[orig] = p
+			lens[p] = readLens[orig]
+		}
+	}
 
-	frags := make([]*fragment, len(readLens))
-	fragOf := make([]*fragment, len(readLens))
-	where := make([]Placement, len(readLens)) // read's placement in its fragment frame
-	for i := range readLens {
+	// Canonical processing order: score descending, ties broken on the
+	// original unordered pair, then orientation, then coordinates. The
+	// comparator never consults permuted positions, so the decision
+	// sequence is permutation-invariant.
+	ovs := append([]core.Overlap(nil), overlaps...)
+	sort.Slice(ovs, func(x, y int) bool {
+		if ovs[x].Score != ovs[y].Score {
+			return ovs[x].Score > ovs[y].Score
+		}
+		xa, xb := ovs[x].Pair()
+		ya, yb := ovs[y].Pair()
+		if xa != ya {
+			return xa < ya
+		}
+		if xb != yb {
+			return xb < yb
+		}
+		if ovs[x].QueryRev != ovs[y].QueryRev {
+			return !ovs[x].QueryRev
+		}
+		if ovs[x].TargetStart != ovs[y].TargetStart {
+			return ovs[x].TargetStart < ovs[y].TargetStart
+		}
+		return ovs[x].QueryStart < ovs[y].QueryStart
+	})
+
+	frags := make([]*fragment, n)
+	fragOf := make([]*fragment, n)
+	where := make([]Placement, n) // read's placement in its fragment frame
+	for i := 0; i < n; i++ {
 		f := &fragment{placements: []Placement{{Read: i}}}
 		frags[i] = f
 		fragOf[i] = f
@@ -92,13 +158,18 @@ func BuildLayout(readLens []int, overlaps []core.Overlap) *Layout {
 	}
 
 	for i := range ovs {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		o := &ovs[i]
-		a, b := o.Target, o.Query
+		a, b := pos[o.Target], pos[o.Query]
 		fa, fb := fragOf[a], fragOf[b]
 		if fa == fb {
 			continue // already placed relative to each other
 		}
-		lenA, lenB := readLens[a], readLens[b]
+		lenA, lenB := lens[a], lens[b]
 		pa, pb := where[a], where[b]
 
 		// Place oriented b relative to a-forward: b starts at
@@ -119,11 +190,11 @@ func BuildLayout(readLens []int, overlaps []core.Overlap) *Layout {
 		// Rigidly move fb so that b lands at (wantRev, wantOff).
 		if pb.Rev != wantRev {
 			// Reflect fb in place around its own span.
-			lo, hi := fb.span(readLens)
+			lo, hi := fb.span(lens)
 			for j := range fb.placements {
 				p := &fb.placements[j]
 				p.Rev = !p.Rev
-				p.Offset = lo + hi - (p.Offset + readLens[p.Read])
+				p.Offset = lo + hi - (p.Offset + lens[p.Read])
 				where[p.Read] = *p
 			}
 			pb = where[b]
@@ -154,12 +225,19 @@ func BuildLayout(readLens []int, overlaps []core.Overlap) *Layout {
 		}
 	}
 
+	// Emission: placements are mapped back to original read indices, so
+	// the layout a caller sees is independent of the processing order.
 	layout := &Layout{}
 	for _, f := range frags {
 		if len(f.placements) == 0 {
 			continue
 		}
 		ps := append([]Placement(nil), f.placements...)
+		if order != nil {
+			for j := range ps {
+				ps[j].Read = order[ps[j].Read]
+			}
+		}
 		sort.Slice(ps, func(x, y int) bool {
 			if ps[x].Offset != ps[y].Offset {
 				return ps[x].Offset < ps[y].Offset
@@ -183,7 +261,7 @@ func BuildLayout(readLens []int, overlaps []core.Overlap) *Layout {
 		return layout.Contigs[a].Placements[0].Read < layout.Contigs[b].Placements[0].Read
 	})
 	cContigs.Add(int64(len(layout.Contigs)))
-	return layout
+	return layout, nil
 }
 
 // Splice builds a draft contig sequence by walking placements in

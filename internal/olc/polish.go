@@ -1,6 +1,7 @@
 package olc
 
 import (
+	"context"
 	"sort"
 
 	"darwin/internal/core"
@@ -23,7 +24,17 @@ var tPolish = obs.Default.Timer("olc/polish")
 // With coverage C ≳ 10 the polished contig's error rate drops from the
 // raw read rate (~15% for PacBio) to well under 1%, mirroring the
 // consensus-accuracy argument of Section 2.
+//
+// Deprecated: use PolishContext, which adds cooperative cancellation.
+// This wrapper is bit-identical to the context form.
 func Polish(draft dna.Seq, reads []dna.Seq, cfg core.Config) (dna.Seq, error) {
+	return PolishContext(context.Background(), draft, reads, cfg)
+}
+
+// PolishContext is Polish with cooperative cancellation: ctx is
+// checked between reads (each read's remap is the unit of work), and
+// cancellation returns ctx.Err() with a nil sequence.
+func PolishContext(ctx context.Context, draft dna.Seq, reads []dna.Seq, cfg core.Config) (dna.Seq, error) {
 	defer tPolish.Time()()
 	defer obs.Trace.Start("olc.polish")()
 	engine, err := core.New(draft, cfg)
@@ -40,6 +51,9 @@ func Polish(draft dna.Seq, reads []dna.Seq, cfg core.Config) (dna.Seq, error) {
 	cols := make([]column, len(draft))
 
 	for _, read := range reads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		alns, _ := engine.MapRead(read)
 		best := core.Best(alns)
 		if best == nil {

@@ -1,0 +1,314 @@
+package olc
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"darwin/internal/core"
+	"darwin/internal/obs"
+)
+
+// Read reordering (Tile-X style): the overlap graph's adjacency
+// structure predicts which reads the layout and consensus stages will
+// touch together, so renumbering reads to keep graph neighbours close
+// shrinks the working set those stages stride across. Reverse
+// Cuthill-McKee minimizes edge bandwidth (neighbours end up adjacent —
+// cache locality); the farthest-neighbour order does the opposite on
+// purpose (graph-distant reads interleave — balanced parallel
+// partitions for a sharded layout).
+var (
+	tReorder        = obs.Default.Timer("olc/reorder")
+	gBandwidthPre   = obs.Default.Gauge("olc/reorder_bandwidth_pre")
+	gBandwidthPost  = obs.Default.Gauge("olc/reorder_bandwidth_post")
+	cReorderedReads = obs.Default.Counter("olc/reordered_reads")
+)
+
+// ReorderMode selects the read-reordering heuristic applied to the
+// overlap graph before layout.
+type ReorderMode int
+
+const (
+	// ReorderOff leaves reads in input order.
+	ReorderOff ReorderMode = iota
+	// ReorderRCM applies reverse Cuthill-McKee: breadth-first from a
+	// low-degree seed, neighbours visited degree-ascending, order
+	// reversed — the classic bandwidth-minimizing renumbering.
+	ReorderRCM
+	// ReorderFarthest applies a greedy farthest-neighbour chain from a
+	// pseudo-peripheral seed: each next read maximizes graph distance
+	// from the previous one, spreading tight clusters apart.
+	ReorderFarthest
+)
+
+// ParseReorderMode parses "off", "rcm", or "farthest".
+func ParseReorderMode(s string) (ReorderMode, error) {
+	switch s {
+	case "off", "":
+		return ReorderOff, nil
+	case "rcm":
+		return ReorderRCM, nil
+	case "farthest":
+		return ReorderFarthest, nil
+	}
+	return ReorderOff, fmt.Errorf("olc: reorder mode %q: want off, rcm, or farthest", s)
+}
+
+func (m ReorderMode) String() string {
+	switch m {
+	case ReorderRCM:
+		return "rcm"
+	case ReorderFarthest:
+		return "farthest"
+	}
+	return "off"
+}
+
+// ReorderReport records what a reorder pass did: the heuristic and the
+// overlap-graph bandwidth (max and mean |position(a) − position(b)|
+// over edges) before and after renumbering. A large MeanBefore/
+// MeanAfter ratio is the locality win — layout touches entries that
+// are that much closer together.
+type ReorderReport struct {
+	Mode       ReorderMode `json:"mode"`
+	Edges      int         `json:"edges"`
+	MaxBefore  int         `json:"max_bandwidth_before"`
+	MaxAfter   int         `json:"max_bandwidth_after"`
+	MeanBefore float64     `json:"mean_bandwidth_before"`
+	MeanAfter  float64     `json:"mean_bandwidth_after"`
+}
+
+// adjacency builds the deduplicated undirected overlap graph over n
+// reads. Neighbour lists come out sorted ascending.
+func adjacency(n int, overlaps []core.Overlap) [][]int {
+	seen := make(map[[2]int]bool, len(overlaps))
+	adj := make([][]int, n)
+	for i := range overlaps {
+		a, b := overlaps[i].Pair()
+		if a == b || a < 0 || b >= n {
+			continue
+		}
+		k := [2]int{a, b}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+	return adj
+}
+
+// Bandwidth measures the overlap graph's edge bandwidth under a read
+// order (nil = input order): the max and mean |pos(a) − pos(b)| over
+// deduplicated overlap edges.
+func Bandwidth(n int, overlaps []core.Overlap, order []int) (maxBW int, meanBW float64) {
+	pos := make([]int, n)
+	if order == nil {
+		for i := 0; i < n; i++ {
+			pos[i] = i
+		}
+	} else {
+		for p, orig := range order {
+			pos[orig] = p
+		}
+	}
+	seen := make(map[[2]int]bool, len(overlaps))
+	total, edges := 0, 0
+	for i := range overlaps {
+		a, b := overlaps[i].Pair()
+		if a == b {
+			continue
+		}
+		k := [2]int{a, b}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		d := pos[a] - pos[b]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxBW {
+			maxBW = d
+		}
+		total += d
+		edges++
+	}
+	if edges > 0 {
+		meanBW = float64(total) / float64(edges)
+	}
+	return maxBW, meanBW
+}
+
+// ReorderReads computes a read-processing permutation from the overlap
+// graph: the returned order lists original read indices in processing
+// position order (order[p] = read handled at position p). ReorderOff
+// returns nil (input order). The permutation feeds buildLayout, whose
+// decisions are provably order-invariant — reordering changes memory
+// access patterns, never contigs.
+func ReorderReads(ctx context.Context, n int, overlaps []core.Overlap, mode ReorderMode) ([]int, *ReorderReport, error) {
+	if mode == ReorderOff || n == 0 {
+		return nil, nil, nil
+	}
+	defer tReorder.Time()()
+	defer obs.Trace.Start("olc.reorder")()
+	adj := adjacency(n, overlaps)
+	var order []int
+	switch mode {
+	case ReorderRCM:
+		order = rcmOrder(adj)
+	case ReorderFarthest:
+		var err error
+		order, err = farthestOrder(ctx, adj)
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("olc: unknown reorder mode %d", mode)
+	}
+	report := &ReorderReport{Mode: mode}
+	report.MaxBefore, report.MeanBefore = Bandwidth(n, overlaps, nil)
+	report.MaxAfter, report.MeanAfter = Bandwidth(n, overlaps, order)
+	for i := range adj {
+		report.Edges += len(adj[i])
+	}
+	report.Edges /= 2
+	gBandwidthPre.Set(int64(report.MaxBefore))
+	gBandwidthPost.Set(int64(report.MaxAfter))
+	cReorderedReads.Add(int64(n))
+	return order, report, nil
+}
+
+// rcmOrder is reverse Cuthill-McKee over possibly-disconnected graphs:
+// components are seeded lowest-degree-first, BFS visits neighbours
+// degree-ascending (ties by index), and the concatenated order is
+// reversed at the end.
+func rcmOrder(adj [][]int) []int {
+	n := len(adj)
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	sort.Slice(seeds, func(x, y int) bool {
+		dx, dy := len(adj[seeds[x]]), len(adj[seeds[y]])
+		if dx != dy {
+			return dx < dy
+		}
+		return seeds[x] < seeds[y]
+	})
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	nbr := make([]int, 0, 16)
+	for _, seed := range seeds {
+		if visited[seed] {
+			continue
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			nbr = nbr[:0]
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					nbr = append(nbr, w)
+				}
+			}
+			sort.Slice(nbr, func(x, y int) bool {
+				dx, dy := len(adj[nbr[x]]), len(adj[nbr[y]])
+				if dx != dy {
+					return dx < dy
+				}
+				return nbr[x] < nbr[y]
+			})
+			queue = append(queue, nbr...)
+		}
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// farthestOrder builds a greedy farthest-neighbour chain: start from a
+// pseudo-peripheral vertex (double BFS), then repeatedly append the
+// unvisited vertex at maximum graph distance from the last appended
+// one. Each step BFSes from the previous pick, so cost is O(V·E) —
+// acceptable at served job sizes, and ctx bounds a runaway.
+func farthestOrder(ctx context.Context, adj [][]int) ([]int, error) {
+	n := len(adj)
+	dist := make([]int, n)
+	bfs := func(src int) {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	// Pseudo-peripheral seed: farthest vertex from the lowest-degree
+	// vertex of the first component.
+	seed := 0
+	for i := 1; i < n; i++ {
+		if len(adj[i]) < len(adj[seed]) || (len(adj[i]) == len(adj[seed]) && i < seed) {
+			seed = i
+		}
+	}
+	bfs(seed)
+	for i := 0; i < n; i++ {
+		if dist[i] > dist[seed] {
+			seed = i
+		}
+	}
+
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	last := seed
+	visited[seed] = true
+	order = append(order, seed)
+	for len(order) < n {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bfs(last)
+		next, nextDist := -1, -1
+		for i := 0; i < n; i++ {
+			if visited[i] || dist[i] < 0 {
+				continue
+			}
+			if dist[i] > nextDist {
+				next, nextDist = i, dist[i]
+			}
+		}
+		if next < 0 {
+			// Nothing reachable from last: jump to the next unvisited
+			// vertex (new component) by index.
+			for i := 0; i < n; i++ {
+				if !visited[i] {
+					next = i
+					break
+				}
+			}
+		}
+		visited[next] = true
+		order = append(order, next)
+		last = next
+	}
+	return order, nil
+}

@@ -1,0 +1,155 @@
+package olc
+
+import (
+	"context"
+	"testing"
+
+	"darwin/internal/core"
+)
+
+// chainOverlaps builds a linear chain 0-1-2-...-(n-1) in a scrambled
+// id space: read ids are permuted so input order has poor locality.
+func chainOverlaps(n int, perm []int) []core.Overlap {
+	var ovs []core.Overlap
+	for i := 0; i+1 < n; i++ {
+		ovs = append(ovs, core.Overlap{
+			Target: perm[i], Query: perm[i+1],
+			TargetStart: 600, TargetEnd: 1000, QueryEnd: 400, Score: 400,
+		})
+	}
+	return ovs
+}
+
+func isPermutation(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, p := range order {
+		if p < 0 || p >= n || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+func TestParseReorderMode(t *testing.T) {
+	cases := map[string]ReorderMode{
+		"":         ReorderOff,
+		"off":      ReorderOff,
+		"rcm":      ReorderRCM,
+		"farthest": ReorderFarthest,
+	}
+	for s, want := range cases {
+		got, err := ParseReorderMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseReorderMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseReorderMode("bogus"); err == nil {
+		t.Error("ParseReorderMode(bogus) accepted")
+	}
+}
+
+// TestReorderReducesChainBandwidth: on a scrambled linear chain both
+// heuristics must recover (near-)unit bandwidth.
+func TestReorderReducesChainBandwidth(t *testing.T) {
+	const n = 64
+	// Deterministic scramble: bit-reversal-ish stride permutation.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i * 37) % n
+	}
+	ovs := chainOverlaps(n, perm)
+	maxBefore, _ := Bandwidth(n, ovs, nil)
+	if maxBefore <= 1 {
+		t.Fatalf("scramble failed: bandwidth %d", maxBefore)
+	}
+	for _, mode := range []ReorderMode{ReorderRCM, ReorderFarthest} {
+		order, report, err := ReorderReads(context.Background(), n, ovs, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isPermutation(order, n) {
+			t.Fatalf("mode %s: order is not a permutation", mode)
+		}
+		if report.Edges != n-1 {
+			t.Errorf("mode %s: edges = %d, want %d", mode, report.Edges, n-1)
+		}
+		if report.MaxBefore != maxBefore {
+			t.Errorf("mode %s: MaxBefore = %d, want %d", mode, report.MaxBefore, maxBefore)
+		}
+	}
+	// A chain has an ordering of bandwidth 1 and RCM finds it (or very
+	// nearly). Farthest deliberately anti-orders, so only RCM is held
+	// to the locality bound.
+	_, report, err := ReorderReads(context.Background(), n, ovs, ReorderRCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MaxAfter > 2 {
+		t.Errorf("rcm: bandwidth after = %d, want ≤ 2 on a chain", report.MaxAfter)
+	}
+	// Farthest interleaves the chain's two ends (0, n−1, 1, n−2, …):
+	// the first two picks are the chain endpoints.
+	farOrder, _, err := ReorderReads(context.Background(), n, ovs, ReorderFarthest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := farOrder[0], farOrder[1]
+	endpoints := map[int]bool{perm[0]: true, perm[n-1]: true}
+	if !endpoints[first] || !endpoints[second] {
+		t.Errorf("farthest first picks = %d, %d; want the chain endpoints %d, %d",
+			first, second, perm[0], perm[n-1])
+	}
+}
+
+// TestReorderDisconnectedComponents: isolated reads and separate
+// components must all appear exactly once in the order.
+func TestReorderDisconnectedComponents(t *testing.T) {
+	const n = 10
+	ovs := []core.Overlap{
+		{Target: 0, Query: 1, Score: 100},
+		{Target: 1, Query: 2, Score: 100},
+		{Target: 5, Query: 6, Score: 100},
+		// Reads 3, 4, 7, 8, 9 are isolated.
+	}
+	for _, mode := range []ReorderMode{ReorderRCM, ReorderFarthest} {
+		order, _, err := ReorderReads(context.Background(), n, ovs, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isPermutation(order, n) {
+			t.Errorf("mode %s: order %v is not a permutation of %d", mode, order, n)
+		}
+	}
+}
+
+func TestReorderOffIsNil(t *testing.T) {
+	order, report, err := ReorderReads(context.Background(), 5, nil, ReorderOff)
+	if order != nil || report != nil || err != nil {
+		t.Errorf("ReorderOff: got %v, %v, %v; want all nil", order, report, err)
+	}
+}
+
+func TestBandwidthIdentityVsReversal(t *testing.T) {
+	const n = 8
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	ovs := chainOverlaps(n, perm)
+	maxID, meanID := Bandwidth(n, ovs, nil)
+	if maxID != 1 || meanID != 1 {
+		t.Errorf("identity chain bandwidth = %d/%.1f, want 1/1", maxID, meanID)
+	}
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = n - 1 - i
+	}
+	maxRev, _ := Bandwidth(n, ovs, rev)
+	if maxRev != 1 {
+		t.Errorf("reversed chain bandwidth = %d, want 1", maxRev)
+	}
+}

@@ -28,6 +28,15 @@ const (
 	CodeInternal        = "internal"
 	CodeShardNotOwned   = "shard_not_owned"
 	CodeScatterFailed   = "scatter_failed"
+
+	// Job API codes (see jobs.go).
+	CodeJobNotFound     = "job_not_found"
+	CodeJobCanceled     = "job_canceled"
+	CodeJobNotDone      = "job_not_done"
+	CodePayloadTooLarge = "payload_too_large"
+	// checkpoint_corrupt rides through jobs.Status.ErrorCode; the
+	// constant exists so handlers and tests name it consistently.
+	CodeCheckpointCorrupt = "checkpoint_corrupt"
 )
 
 // ErrorBody is the structured JSON error envelope every non-200

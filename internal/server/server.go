@@ -17,6 +17,7 @@ import (
 	"darwin/internal/dna"
 	"darwin/internal/faults"
 	"darwin/internal/indexfile"
+	"darwin/internal/jobs"
 	"darwin/internal/obs"
 	"darwin/internal/sam"
 	"darwin/internal/shard"
@@ -92,6 +93,11 @@ type Config struct {
 	// endpoint and the shard-scoped /v1/cluster/scatter API a router
 	// fans sub-requests out to. Requires Shard to be enabled.
 	Worker WorkerConfig
+	// Jobs, when non-nil, enables the assembly job API (/v1/jobs): the
+	// manager owns execution and persistence, the server is its HTTP
+	// face. The caller wires the manager's Recover/Drain into the
+	// process lifecycle.
+	Jobs *jobs.Manager
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +156,9 @@ type Server struct {
 	// scatterSem bounds concurrent cluster sub-requests in worker mode
 	// (nil otherwise); a full semaphore sheds with 429 + Retry-After.
 	scatterSem chan struct{}
+
+	// jobs is the assembly job manager (nil when the job API is off).
+	jobs *jobs.Manager
 }
 
 // New assembles a server; call Warm to load the default index and
@@ -178,6 +187,11 @@ func New(cfg Config) *Server {
 		s.scatterSem = make(chan struct{}, cfg.Worker.ScatterConcurrency)
 		s.mux.HandleFunc("/v1/shards", s.handleShards)
 		s.mux.HandleFunc("/v1/cluster/scatter", s.handleScatter)
+	}
+	if cfg.Jobs != nil {
+		s.jobs = cfg.Jobs
+		s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+		s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	}
 	return s
 }

@@ -12,6 +12,7 @@
 package varcall
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -67,7 +68,16 @@ func DefaultConfig(coreCfg core.Config) Config {
 }
 
 // Call maps the reads and returns variant calls sorted by position.
+//
+// Deprecated: use CallContext, which this wraps with
+// context.Background(). Results are identical.
 func Call(ref dna.Seq, reads []dna.Seq, cfg Config) ([]Variant, error) {
+	return CallContext(context.Background(), ref, reads, cfg)
+}
+
+// CallContext maps the reads and returns variant calls sorted by
+// position. Cancellation is honoured between reads.
+func CallContext(ctx context.Context, ref dna.Seq, reads []dna.Seq, cfg Config) ([]Variant, error) {
 	if len(ref) == 0 {
 		return nil, fmt.Errorf("varcall: empty reference")
 	}
@@ -90,6 +100,9 @@ func Call(ref dna.Seq, reads []dna.Seq, cfg Config) ([]Variant, error) {
 	}
 	cols := make([]column, len(ref))
 	for _, read := range reads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		alns, _ := engine.MapRead(read)
 		best := core.Best(alns)
 		if best == nil {

@@ -16,6 +16,9 @@
 #      fail must return structured errors, open per-worker breakers
 #      within -breaker-threshold, and recover through half-open probes
 #      once the fault budget is exhausted
+#   9. jobs/checkpoint fault: an assembly job whose checkpoint writes
+#      fail must still complete (checkpointing is best-effort), with
+#      the failures counted in darwin_jobs_checkpoint_errors_total
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -273,3 +276,64 @@ echo "chaos-smoke: OK (router recovered through half-open probes after the fault
 kill -TERM "$router_pid" 2>/dev/null || true
 wait "$router_pid" 2>/dev/null || true
 cleanup_cluster
+
+# ---------------------------------------------------------------------------
+# jobs/checkpoint fault: every checkpoint write of an assembly job
+# fails. Checkpointing is best-effort — the job must still run to
+# completion, with each swallowed failure counted in
+# darwin_jobs_checkpoint_errors_total.
+# ---------------------------------------------------------------------------
+echo "chaos-smoke: jobs/checkpoint fault during an assembly job"
+"$tmp/bin/readsim" -ref "$tmp/ref.fa" -n 40 -len 1200 -seed 21 -out "$tmp/jobreads.fq" 2>/dev/null
+awk 'NR%4==1{sub(/^@/,">");print} NR%4==2{print}' "$tmp/jobreads.fq" > "$tmp/jobreads.fa"
+
+DARWIN_ALLOW_FAULTS=1 "$tmp/bin/darwind" -addr 127.0.0.1:0 -ref "$tmp/ref.fa" \
+    -k 11 -n 400 -h 20 -batch-wait 2ms \
+    -jobs-dir "$tmp/chaosjobs" -jobs-checkpoint-every 4 \
+    -faults 'jobs/checkpoint=every=1,error=chaos checkpoint;seed=23' 2> "$tmp/darwind4.log" &
+pid=$!
+
+addr=$(wait_addr "$tmp/darwind4.log" "$pid")
+submit=$(curl -fsS -X POST -H 'Content-Type: text/x-fasta' \
+    --data-binary @"$tmp/jobreads.fa" \
+    "http://$addr/v1/jobs?kind=assemble&polish=0")
+job=$(echo "$submit" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+if [ -z "$job" ]; then
+    echo "chaos-smoke: FAIL — job submit under checkpoint faults failed: $submit" >&2
+    exit 1
+fi
+
+done_st=""
+for _ in $(seq 1 600); do
+    st=$(curl -fsS "http://$addr/v1/jobs/$job")
+    if echo "$st" | grep -q '"state":"done"'; then
+        done_st=$st
+        break
+    fi
+    if echo "$st" | grep -Eq '"state":"(failed|canceled)"'; then
+        echo "chaos-smoke: FAIL — checkpoint faults killed the job (must be best-effort): $st" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$done_st" ]; then
+    echo "chaos-smoke: FAIL — job under checkpoint faults never finished" >&2
+    cat "$tmp/darwind4.log" >&2
+    exit 1
+fi
+
+ckpt_errs=$(curl -fsS "http://$addr/metrics" \
+    | awk '/^darwin_jobs_checkpoint_errors_total /{print int($2)}')
+if [ -z "$ckpt_errs" ] || [ "$ckpt_errs" -lt 1 ]; then
+    echo "chaos-smoke: FAIL — no checkpoint-error samples under jobs/checkpoint faults (errs=$ckpt_errs)" >&2
+    exit 1
+fi
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "chaos-smoke: FAIL — darwind exited non-zero after checkpoint-fault job:" >&2
+    cat "$tmp/darwind4.log" >&2
+    exit 1
+fi
+pid=""
+echo "chaos-smoke: OK (job completed despite $ckpt_errs swallowed checkpoint failures)"
